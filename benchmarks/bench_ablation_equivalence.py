@@ -1,0 +1,49 @@
+"""Ablation: equivalence criterion in the Shrinking Set (Sec 3.2).
+
+Execution-tree equivalence is strongest (keeps the most statistics);
+t-Optimizer-Cost with growing t is increasingly permissive.
+"""
+
+import pytest
+
+from repro.experiments import run_equivalence_ablation
+from repro.experiments.common import format_table
+
+
+@pytest.fixture(scope="module")
+def equivalence_rows(factory, report):
+    rows = run_equivalence_ablation(factory, 2.0)
+    table = [
+        [
+            r.criterion,
+            f"{r.retained}",
+            f"{r.update_cost:.0f}",
+            f"{r.execution_cost:.0f}",
+        ]
+        for r in rows
+    ]
+    report.add_section(
+        "Ablation — equivalence criterion in Shrinking Set (TPCD_2, "
+        "U0-S-100)",
+        format_table(
+            ["criterion", "stats retained", "update cost", "execution cost"],
+            table,
+        ),
+    )
+    return rows
+
+
+def test_equivalence_criteria(benchmark, factory, equivalence_rows):
+    rows = benchmark.pedantic(
+        lambda: run_equivalence_ablation(factory, 2.0, t_values=(20.0,)),
+        rounds=1,
+        iterations=1,
+    )
+    assert rows
+    by_name = {r.criterion: r for r in equivalence_rows}
+    # larger t never retains more statistics
+    ts = [r for r in equivalence_rows if r.criterion.startswith("t_cost_")]
+    ts.sort(key=lambda r: float(r.criterion.split("_")[-1]))
+    for tighter, looser in zip(ts, ts[1:]):
+        assert looser.retained <= tighter.retained
+    assert "execution_tree" in by_name

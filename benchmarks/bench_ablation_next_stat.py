@@ -1,0 +1,45 @@
+"""Ablation: the Sec 4.2 costliest-operator heuristic vs arbitrary order.
+
+"A good heuristic to identify the next statistic to build can sharply
+lower the number of statistics that need to be created."
+"""
+
+import pytest
+
+from repro.experiments import run_next_stat_ablation
+from repro.experiments.common import format_table
+
+
+@pytest.fixture(scope="module")
+def ablation_result(factory, report):
+    result = run_next_stat_ablation(factory, 2.0)
+    table = [
+        [
+            "costliest-operator (paper)",
+            f"{result.heuristic_created}",
+            f"{result.heuristic_creation_cost:.0f}",
+        ],
+        [
+            "arbitrary order",
+            f"{result.arbitrary_created}",
+            f"{result.arbitrary_creation_cost:.0f}",
+        ],
+    ]
+    report.add_section(
+        "Ablation — FindNextStatToBuild strategy (TPCD_2, U0-S-100)",
+        format_table(["strategy", "stats built", "creation cost"], table),
+    )
+    return result
+
+
+def test_next_stat_heuristic(benchmark, factory, ablation_result):
+    result = benchmark.pedantic(
+        lambda: run_next_stat_ablation(factory, 2.0),
+        rounds=1,
+        iterations=1,
+    )
+    # the heuristic should never build meaningfully more than arbitrary
+    assert (
+        result.heuristic_created
+        <= result.arbitrary_created * 1.2 + 2
+    )

@@ -1,0 +1,54 @@
+"""Ablation: sampled vs full-scan statistics construction.
+
+The paper cites the sampling literature ([3, 8, 9, 12, 14]) as the
+standard way to cheapen statistics creation; this ablation quantifies
+the build-cost / accuracy trade-off in our substrate.
+"""
+
+import pytest
+
+from repro.experiments import run_sampling_ablation
+from repro.experiments.common import format_table
+
+
+@pytest.fixture(scope="module")
+def sampling_rows(factory, report):
+    rows = run_sampling_ablation(factory, 2.0)
+    table = [
+        [
+            "full scan" if r.sample_rows is None else f"{r.sample_rows}",
+            f"{r.creation_cost:.0f}",
+            f"{r.q_error_geomean:.2f}",
+            f"{r.execution_cost:.0f}",
+        ]
+        for r in rows
+    ]
+    report.add_section(
+        "Ablation — sampled statistics construction (TPCD_2, U0-S-100)",
+        format_table(
+            ["sample rows", "creation cost", "q-error geomean",
+             "execution cost"],
+            table,
+        ),
+    )
+    return rows
+
+
+def test_sampling(benchmark, factory, sampling_rows):
+    rows = benchmark.pedantic(
+        lambda: run_sampling_ablation(
+            factory, 2.0, sample_settings=(None, 500), max_queries=10
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert rows
+    # smaller samples must cost less to build
+    costs = [r.creation_cost for r in sampling_rows]
+    assert costs == sorted(costs, reverse=True)
+    # and full scan must be the most accurate
+    full = sampling_rows[0]
+    assert all(
+        full.q_error_geomean <= r.q_error_geomean + 0.05
+        for r in sampling_rows
+    )

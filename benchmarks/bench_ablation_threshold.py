@@ -1,0 +1,44 @@
+"""Ablation: sensitivity of MNSA to the t threshold.
+
+The paper fixes t = 20% and calls it conservative (Sec 8.2).  The sweep
+shows the trade-off directly: larger t -> fewer statistics and lower
+creation cost, at (potentially) higher execution cost.
+"""
+
+import pytest
+
+from repro.experiments import run_threshold_sweep
+from repro.experiments.common import format_table
+
+
+@pytest.fixture(scope="module")
+def sweep_rows(factory, report):
+    rows = run_threshold_sweep(factory, 2.0)
+    table = [
+        [
+            f"{r.t_percent:g}%",
+            f"{r.created_count}",
+            f"{r.creation_cost:.0f}",
+            f"{r.execution_cost:.0f}",
+        ]
+        for r in rows
+    ]
+    report.add_section(
+        "Ablation — MNSA t-threshold sweep (TPCD_2, U0-S-100)",
+        format_table(
+            ["t", "stats built", "creation cost", "execution cost"], table
+        ),
+    )
+    return rows
+
+
+def test_threshold_sweep(benchmark, factory, sweep_rows):
+    rows = benchmark.pedantic(
+        lambda: run_threshold_sweep(factory, 2.0, t_values=(20.0,)),
+        rounds=1,
+        iterations=1,
+    )
+    assert rows
+    # creation count must be non-increasing in t
+    counts = [r.created_count for r in sweep_rows]
+    assert all(a >= b for a, b in zip(counts, counts[1:]))

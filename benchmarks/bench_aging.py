@@ -1,0 +1,50 @@
+"""Aging experiment (Sec 6): dampening re-creation on repeat workloads."""
+
+import pytest
+
+from repro.experiments import run_aging_experiment
+from repro.experiments.common import format_table
+
+
+@pytest.fixture(scope="module")
+def aging_rows(factory, report):
+    without, with_aging = run_aging_experiment(factory, 2.0)
+    table = [
+        [
+            "aging on" if r.aging_enabled else "aging off",
+            f"{r.statistics_created}",
+            f"{r.statistics_dropped}",
+            f"{r.creation_cost:.0f}",
+            f"{r.execution_cost:.0f}",
+        ]
+        for r in (without, with_aging)
+    ]
+    report.add_section(
+        "Aging (Sec 6) — repeat U50-S-100 workload, aggressive drop "
+        "policy",
+        format_table(
+            [
+                "configuration",
+                "stats created",
+                "stats dropped",
+                "creation cost",
+                "execution cost",
+            ],
+            table,
+        ),
+    )
+    return without, with_aging
+
+
+def test_aging(benchmark, factory, aging_rows):
+    result = benchmark.pedantic(
+        lambda: run_aging_experiment(
+            factory, 2.0, workload_name="U50-S-100", repeats=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result) == 2
+    without, with_aging = aging_rows
+    # aging must not increase the statistics creation spend
+    assert with_aging.creation_cost <= without.creation_cost * 1.02

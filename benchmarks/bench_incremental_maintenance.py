@@ -1,0 +1,62 @@
+"""Ablation: incremental histogram maintenance vs full refresh (ref [8])."""
+
+import pytest
+
+from repro.experiments import run_incremental_maintenance_experiment
+from repro.experiments.common import format_table
+
+
+@pytest.fixture(scope="module")
+def maintenance_rows(factory, report):
+    rows = run_incremental_maintenance_experiment(factory, 2.0)
+    table = [
+        [
+            r.scenario,
+            r.strategy,
+            f"{r.maintenance_cost:.0f}",
+            f"{r.full_rebuilds}",
+            f"{r.q_error_geomean:.2f}",
+        ]
+        for r in rows
+    ]
+    report.add_section(
+        "Ablation — incremental histogram maintenance vs counter-driven "
+        "full refresh (insert stream on orders)",
+        format_table(
+            [
+                "scenario",
+                "strategy",
+                "maintenance cost",
+                "full rebuilds",
+                "q-error geomean",
+            ],
+            table,
+        ),
+    )
+    return rows
+
+
+def test_incremental_maintenance(benchmark, factory, maintenance_rows):
+    rows = benchmark.pedantic(
+        lambda: run_incremental_maintenance_experiment(
+            factory, 2.0, batches=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert rows
+    by_key = {(r.scenario, r.strategy): r for r in maintenance_rows}
+    # stationary inserts: incremental must be much cheaper, not less
+    # accurate
+    stationary_full = by_key[("stationary", "full_refresh")]
+    stationary_incr = by_key[("stationary", "incremental")]
+    assert stationary_incr.maintenance_cost < (
+        stationary_full.maintenance_cost
+    )
+    assert stationary_incr.q_error_geomean <= (
+        stationary_full.q_error_geomean + 0.1
+    )
+    # drift: incremental must keep accuracy at least as good
+    drift_full = by_key[("drift", "full_refresh")]
+    drift_incr = by_key[("drift", "incremental")]
+    assert drift_incr.q_error_geomean <= drift_full.q_error_geomean + 0.05

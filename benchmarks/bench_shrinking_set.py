@@ -1,0 +1,61 @@
+"""Ablation: MNSA + Shrinking Set vs MNSA/D (Sec 5 trade-off).
+
+Shrinking Set guarantees an essential set but pays |S| x |W| optimizer
+calls in the worst case; MNSA/D is nearly free but only heuristic.
+"""
+
+import pytest
+
+from repro.experiments import run_shrinking_ablation
+from repro.experiments.common import format_table
+
+
+@pytest.fixture(scope="module")
+def shrinking_result(factory, report):
+    result = run_shrinking_ablation(factory, 2.0)
+    table = [
+        [
+            "MNSA + Shrinking Set",
+            f"{result.shrink_retained}",
+            f"{result.shrink_update_cost:.0f}",
+            f"{result.shrink_optimizer_calls}",
+            f"{result.shrink_execution_cost:.0f}",
+        ],
+        [
+            "MNSA/D",
+            f"{result.mnsad_retained}",
+            f"{result.mnsad_update_cost:.0f}",
+            f"{result.mnsad_optimizer_calls}",
+            f"{result.mnsad_execution_cost:.0f}",
+        ],
+    ]
+    report.add_section(
+        "Ablation — Shrinking Set vs MNSA/D (TPCD_2, U25-S-100); MNSA "
+        f"alone retained {result.mnsa_retained} statistics",
+        format_table(
+            [
+                "strategy",
+                "stats retained",
+                "update cost",
+                "optimizer calls",
+                "execution cost",
+            ],
+            table,
+        ),
+    )
+    return result
+
+
+def test_shrinking_vs_mnsad(benchmark, factory, shrinking_result):
+    result = benchmark.pedantic(
+        lambda: run_shrinking_ablation(factory, 2.0),
+        rounds=1,
+        iterations=1,
+    )
+    # both strategies keep no more than MNSA built
+    assert result.shrink_retained <= result.mnsa_retained
+    assert result.mnsad_retained <= result.mnsa_retained
+    # Shrinking Set is minimal, so it never retains more than... MNSA/D
+    # may drop *more* (it is erroneously aggressive) or less; both must
+    # reduce the update cost versus keeping everything
+    assert result.shrink_update_cost <= result.mnsad_update_cost * 1.5

@@ -1,0 +1,67 @@
+"""Benchmark-harness plumbing.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Every bench computes its paper-reproduction metrics once (module-scoped
+fixture), asserts the paper's qualitative shape, and registers the wall
+clock of one full experiment run with pytest-benchmark.  The
+paper-vs-measured rows are printed in the terminal summary.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — TPC-D scale factor (default 0.002).
+* ``REPRO_BENCH_QUERIES`` — per-workload query cap (default 30).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import DATABASE_SPECS, default_database_factory
+
+_SECTIONS = []
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.002"))
+
+
+def bench_query_cap() -> int:
+    return int(os.environ.get("REPRO_BENCH_QUERIES", "30"))
+
+
+@pytest.fixture(scope="session")
+def factory():
+    """Fresh-database factory shared by all benches."""
+    return default_database_factory(scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def database_specs():
+    return DATABASE_SPECS
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collector for paper-vs-measured tables (printed at the end)."""
+
+    class _Report:
+        def add_section(self, title: str, body: str) -> None:
+            _SECTIONS.append((title, body))
+
+    return _Report()
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _SECTIONS:
+        return
+    terminalreporter.section("paper reproduction results")
+    for title, body in _SECTIONS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"== {title} ==")
+        for line in body.splitlines():
+            terminalreporter.write_line(line)

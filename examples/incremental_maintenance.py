@@ -1,0 +1,63 @@
+"""Keeping statistics fresh under an insert stream.
+
+Run with::
+
+    python examples/incremental_maintenance.py
+
+The paper's Sec 6 policy refreshes all of a table's statistics when its
+row-modification counter trips — a full rebuild.  The approximate-
+maintenance literature the paper cites ([8]) folds inserted values into
+the existing histograms instead, at a tiny per-row cost, and rebuilds
+only when the insert stream's distribution diverges from what the
+histogram was built on.
+
+This example streams order insertions into a skewed TPC-D database in
+two regimes (stationary, then drifting) and reports what each strategy
+spends and how accurate the histograms stay.
+"""
+
+from repro.experiments import (
+    default_database_factory,
+    run_incremental_maintenance_experiment,
+)
+from repro.experiments.common import format_table
+
+
+def main() -> None:
+    factory = default_database_factory(scale=0.005)
+    print(
+        "streaming 15 batches of 100 order insertions; statistics on\n"
+        "orders.o_totalprice and orders.o_orderdate\n"
+    )
+    rows = run_incremental_maintenance_experiment(factory, 2.0)
+    print(
+        format_table(
+            [
+                "insert stream",
+                "strategy",
+                "maintenance cost",
+                "full rebuilds",
+                "q-error (1.0 = perfect)",
+            ],
+            [
+                [
+                    r.scenario,
+                    r.strategy,
+                    f"{r.maintenance_cost:,.0f}",
+                    f"{r.full_rebuilds}",
+                    f"{r.q_error_geomean:.2f}",
+                ]
+                for r in rows
+            ],
+        )
+    )
+    print(
+        "\nstationary inserts: incremental maintenance is orders of\n"
+        "magnitude cheaper at equal accuracy.  drifting inserts: the\n"
+        "divergence trigger forces rebuilds, buying back accuracy that\n"
+        "the counter-driven policy quietly loses between refreshes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Offline statistics tuning: the conservative Sec 6 regime.
+
+Run with::
+
+    python examples/offline_tuning.py
+
+A DBA-style periodic tuning session: take a workload the server saw,
+run MNSA per query to build a sufficient statistics set, then run the
+Shrinking Set algorithm to pare it down to an essential set — the
+smallest set whose removal of any element would change some query plan.
+"""
+
+from repro import (
+    Optimizer,
+    generate_workload,
+    make_tpcd_database,
+    mnsa_for_workload,
+    shrinking_set,
+    workload_candidate_statistics,
+)
+from repro.experiments.common import workload_execution_cost
+
+
+def main() -> None:
+    db = make_tpcd_database(scale=0.005, z=2.0, seed=7)
+    optimizer = Optimizer(db)
+
+    # the workload the server observed: 100 statements, 25% updates
+    workload = generate_workload(db, "U25-S-100")
+    queries = workload.queries()
+    print(f"workload: {workload.name} — {len(queries)} queries, "
+          f"{len(workload.dml())} DML statements")
+
+    candidates = workload_candidate_statistics(queries)
+    print(f"candidate statistics for the workload: {len(candidates)}\n")
+
+    print("=== phase 1: MNSA per query (t=20%, eps=0.0005)")
+    mnsa = mnsa_for_workload(db, optimizer, queries)
+    print(f"MNSA created {len(mnsa.created)} of {len(candidates)} "
+          f"candidates with {mnsa.optimizer_calls} optimizer calls")
+    print(f"creation cost: {mnsa.creation_cost:,.0f} work units\n")
+
+    cost_before_shrink = workload_execution_cost(db, queries)
+
+    print("=== phase 2: Shrinking Set eliminates non-essential statistics")
+    shrink = shrinking_set(db, optimizer, queries)
+    print(f"retained {len(shrink.essential)} essential statistics, "
+          f"removed {len(shrink.removed)}")
+    print(f"optimizer calls: {shrink.optimizer_calls} "
+          f"(memo hits: {shrink.memo_hits})")
+    print("essential set:")
+    for key in shrink.essential:
+        print(f"  {key}")
+    print()
+
+    cost_after_shrink = workload_execution_cost(db, queries)
+    print("=== outcome")
+    update_cost = db.stats.update_cost_of_keys(shrink.essential)
+    print(f"workload execution cost before shrink: "
+          f"{cost_before_shrink:,.0f}")
+    print(f"workload execution cost after shrink:  "
+          f"{cost_after_shrink:,.0f}  (guaranteed equal plans)")
+    print(f"update cost of the retained set: {update_cost:,.0f} "
+          f"work units per refresh cycle")
+
+
+if __name__ == "__main__":
+    main()

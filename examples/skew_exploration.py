@@ -1,0 +1,67 @@
+"""How data skew changes which statistics are essential.
+
+Run with::
+
+    python examples/skew_exploration.py
+
+The same query is analyzed over databases of increasing Zipfian skew
+(z = 0 .. 4).  On uniform data, magic numbers are often adequate and MNSA
+builds little; as skew grows, histograms diverge from the magic guesses,
+plans change, and more statistics become essential.
+"""
+
+from repro import (
+    Executor,
+    Optimizer,
+    candidate_statistics,
+    make_tpcd_database,
+    mnsa_for_query,
+    parse_and_bind,
+)
+
+QUERY = """
+SELECT c_mktsegment, COUNT(*), SUM(l_extendedprice * (1 - l_discount))
+FROM customer, orders, lineitem
+WHERE c_custkey = o_custkey
+  AND o_orderkey = l_orderkey
+  AND l_quantity = 49
+  AND o_orderdate < '1995-01-01'
+GROUP BY c_mktsegment
+"""
+
+
+def main() -> None:
+    print(f"query (l_quantity = 49 is a tail value under skew):\n{QUERY}")
+    header = (
+        f"{'z':>4}  {'MNSA built':>10}  {'plan changed':>12}  "
+        f"{'exec cost (no stats)':>20}  {'exec cost (MNSA)':>17}"
+    )
+    print(header)
+    print("-" * len(header))
+    for z in (0.0, 1.0, 2.0, 3.0, 4.0):
+        db = make_tpcd_database(scale=0.005, z=z, seed=7)
+        optimizer = Optimizer(db)
+        executor = Executor(db)
+        query = parse_and_bind(QUERY, db.schema)
+
+        bare = optimizer.optimize(query)
+        cost_bare = executor.execute(bare.plan, query).actual_cost
+
+        result = mnsa_for_query(db, optimizer, query)
+        tuned = optimizer.optimize(query)
+        cost_tuned = executor.execute(tuned.plan, query).actual_cost
+
+        changed = "yes" if tuned.signature != bare.signature else "no"
+        print(
+            f"{z:>4.1f}  {len(result.created):>10}  {changed:>12}  "
+            f"{cost_bare:>20,.0f}  {cost_tuned:>17,.0f}"
+        )
+    print(
+        "\nunder skew, the equality predicate on a tail value is far more"
+        "\nselective than the magic number assumes; histograms correct the"
+        "\nestimate, flipping join orders and cutting actual cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

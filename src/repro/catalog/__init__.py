@@ -1,0 +1,26 @@
+"""Schema and catalog metadata: types, columns, tables, foreign keys.
+
+This package is the "data dictionary" of the engine.  It is deliberately
+independent of storage so that optimizer tests can build schemas without
+materializing data.
+
+Public API::
+
+    from repro.catalog import (
+        ColumnType, Column, TableSchema, ForeignKey, Schema, ColumnRef,
+    )
+"""
+
+from repro.catalog.types import ColumnType
+from repro.catalog.column import Column, ColumnRef
+from repro.catalog.table import TableSchema, ForeignKey
+from repro.catalog.schema import Schema
+
+__all__ = [
+    "ColumnType",
+    "Column",
+    "ColumnRef",
+    "TableSchema",
+    "ForeignKey",
+    "Schema",
+]

@@ -1,0 +1,56 @@
+"""Column definitions and fully-qualified column references."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.types import ColumnType
+
+
+@dataclass(frozen=True)
+class Column:
+    """Definition of one column inside a table schema.
+
+    Attributes:
+        name: column name, unique within its table.
+        type: logical :class:`ColumnType`.
+        nullable: whether NULLs may appear (the generator never produces
+            NULLs for key columns).
+    """
+
+    name: str
+    type: ColumnType
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise ValueError(f"invalid column name: {self.name!r}")
+
+
+@dataclass(frozen=True, order=True)
+class ColumnRef:
+    """A fully qualified ``table.column`` reference.
+
+    ``ColumnRef`` is the currency of the whole library: statistics are
+    declared over tuples of ``ColumnRef``, predicates bind to them, and the
+    candidate-statistics algorithm manipulates sets of them.  The paper's
+    notation ``R1.a`` maps directly to ``ColumnRef("R1", "a")``.
+    """
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+    @classmethod
+    def parse(cls, text: str) -> "ColumnRef":
+        """Parse ``"table.column"`` into a ``ColumnRef``.
+
+        Raises:
+            ValueError: if the text is not of the form ``table.column``.
+        """
+        parts = text.split(".")
+        if len(parts) != 2 or not all(parts):
+            raise ValueError(f"expected 'table.column', got {text!r}")
+        return cls(parts[0], parts[1])

@@ -1,0 +1,173 @@
+"""Database-wide schema: a set of tables plus the foreign-key join graph."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.catalog.column import Column, ColumnRef
+from repro.catalog.table import ForeignKey, TableSchema
+from repro.errors import CatalogError
+
+
+class Schema:
+    """All table schemas of a database and their foreign-key edges.
+
+    The schema is the static backbone shared by the storage layer, the SQL
+    binder, the optimizer, and the workload generator.  It owns no data.
+    """
+
+    def __init__(
+        self,
+        tables: Iterable[TableSchema] = (),
+        foreign_keys: Iterable[ForeignKey] = (),
+    ) -> None:
+        self._tables: Dict[str, TableSchema] = {}
+        self._foreign_keys: List[ForeignKey] = []
+        for table in tables:
+            self.add_table(table)
+        for fk in foreign_keys:
+            self.add_foreign_key(fk)
+
+    # ------------------------------------------------------------------
+    # tables
+    # ------------------------------------------------------------------
+
+    def add_table(self, table: TableSchema) -> None:
+        """Register a table schema.
+
+        Raises:
+            CatalogError: if a table with the same name already exists.
+        """
+        if table.name in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def table(self, name: str) -> TableSchema:
+        """Look up a table schema by name.
+
+        Raises:
+            CatalogError: if the table does not exist.
+        """
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"no table named {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list:
+        """Table names in insertion order."""
+        return list(self._tables)
+
+    def tables(self) -> list:
+        """All table schemas in insertion order."""
+        return list(self._tables.values())
+
+    def column(self, ref: ColumnRef) -> Column:
+        """Resolve a :class:`ColumnRef` to its :class:`Column` definition."""
+        return self.table(ref.table).column(ref.column)
+
+    def resolve_column(
+        self, column_name: str, tables_in_scope: Iterable[str]
+    ) -> ColumnRef:
+        """Resolve a bare column name against a set of in-scope tables.
+
+        Used by the SQL binder for unqualified column references.
+
+        Raises:
+            CatalogError: if the name is ambiguous or matches no table.
+        """
+        matches = [
+            ColumnRef(tname, column_name)
+            for tname in tables_in_scope
+            if column_name in self.table(tname)
+        ]
+        if not matches:
+            raise CatalogError(
+                f"column {column_name!r} not found in tables "
+                f"{sorted(tables_in_scope)}"
+            )
+        if len(matches) > 1:
+            raise CatalogError(
+                f"column {column_name!r} is ambiguous: matches "
+                f"{[str(m) for m in matches]}"
+            )
+        return matches[0]
+
+    # ------------------------------------------------------------------
+    # foreign keys / join graph
+    # ------------------------------------------------------------------
+
+    def add_foreign_key(self, fk: ForeignKey) -> None:
+        """Register a foreign key after validating both endpoints exist."""
+        child = self.table(fk.child_table)
+        parent = self.table(fk.parent_table)
+        for col in fk.child_columns:
+            child.column(col)
+        for col in fk.parent_columns:
+            parent.column(col)
+        self._foreign_keys.append(fk)
+
+    def foreign_keys(self) -> list:
+        return list(self._foreign_keys)
+
+    def foreign_keys_of(self, table_name: str) -> list:
+        """Foreign keys in which ``table_name`` participates (either side)."""
+        return [
+            fk
+            for fk in self._foreign_keys
+            if fk.child_table == table_name or fk.parent_table == table_name
+        ]
+
+    def join_neighbors(self, table_name: str) -> list:
+        """Tables directly joinable to ``table_name`` via a foreign key."""
+        neighbors = []
+        for fk in self.foreign_keys_of(table_name):
+            other = (
+                fk.parent_table
+                if fk.child_table == table_name
+                else fk.child_table
+            )
+            if other != table_name and other not in neighbors:
+                neighbors.append(other)
+        return neighbors
+
+    def join_edges(self) -> list:
+        """All ``(child ColumnRef, parent ColumnRef)`` joinable pairs."""
+        pairs = []
+        for fk in self._foreign_keys:
+            pairs.extend(fk.column_pairs)
+        return pairs
+
+    def connected_subset(
+        self, start: str, size: int, choose=None
+    ) -> Optional[list]:
+        """Grow a connected set of ``size`` tables from ``start``.
+
+        The workload generator uses this to produce queries whose join graph
+        is connected (no cross products).  ``choose`` is an optional callable
+        ``choose(candidates: list) -> str`` for injecting randomness; the
+        default picks the first candidate deterministically.
+
+        Returns the list of table names, or ``None`` if fewer than ``size``
+        tables are reachable from ``start``.
+        """
+        if size < 1:
+            raise CatalogError("connected_subset size must be >= 1")
+        self.table(start)
+        chosen = [start]
+        while len(chosen) < size:
+            frontier = []
+            for tname in chosen:
+                for other in self.join_neighbors(tname):
+                    if other not in chosen and other not in frontier:
+                        frontier.append(other)
+            if not frontier:
+                return None
+            next_table = choose(frontier) if choose is not None else frontier[0]
+            chosen.append(next_table)
+        return chosen
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Schema(tables={self.table_names()})"

@@ -1,0 +1,41 @@
+"""Column type system.
+
+Four scalar types cover the TPC-D schema and the SQL subset we support.
+Strings are dictionary-encoded by the storage layer (each distinct string
+maps to an integer code whose order matches lexicographic order), and DATEs
+are stored as integer day numbers, so *every* column is numeric at the
+storage level.  That keeps histograms and predicate evaluation purely
+numeric, as noted in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ColumnType(enum.Enum):
+    """Logical type of a column."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    DATE = "date"
+
+    @property
+    def is_numeric(self) -> bool:
+        """True for types whose literals are plain numbers in SQL."""
+        return self in (ColumnType.INT, ColumnType.FLOAT)
+
+    @property
+    def storage_width_bytes(self) -> int:
+        """Approximate per-value width used by the I/O cost model."""
+        widths = {
+            ColumnType.INT: 8,
+            ColumnType.FLOAT: 8,
+            ColumnType.STRING: 24,
+            ColumnType.DATE: 8,
+        }
+        return widths[self]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnType.{self.name}"

@@ -1,0 +1,510 @@
+"""Command-line interface.
+
+::
+
+    python -m repro.cli generate --scale 0.005 --z 2 --out /tmp/tpcd
+    python -m repro.cli query --db /tmp/tpcd "SELECT COUNT(*) FROM orders"
+    python -m repro.cli workload --db /tmp/tpcd --name U25-S-100 \
+        --out /tmp/w.sql
+    python -m repro.cli tune --db /tmp/tpcd --workload /tmp/w.sql \
+        --mode offline
+    python -m repro.cli experiment figure4 --z 2
+
+Every subcommand prints human-readable output; ``experiment`` prints the
+same rows the benchmark harness reports (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.common import DATABASE_SPECS, format_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Automating Statistics Management for "
+            "Query Optimizers' (ICDE 2000)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a skewed TPC-D database")
+    gen.add_argument("--scale", type=float, default=0.005)
+    gen.add_argument(
+        "--z",
+        default="0",
+        help="Zipfian skew: a number in [0,4] or 'mix'",
+    )
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--out", required=True, help="output directory")
+
+    query = sub.add_parser("query", help="run one SQL statement")
+    query.add_argument("--db", required=True, help="database directory")
+    query.add_argument("sql", help="the SQL text")
+    query.add_argument("--limit", type=int, default=20)
+    query.add_argument(
+        "--explain", action="store_true", help="print the plan only"
+    )
+
+    workload = sub.add_parser(
+        "workload", help="generate a Rags-style workload as SQL"
+    )
+    workload.add_argument("--db", required=True)
+    workload.add_argument(
+        "--name", default="U25-S-100", help="U<pct>-<S|C>-<n> spec"
+    )
+    workload.add_argument("--seed", type=int, default=7)
+    workload.add_argument("--out", required=True, help="output .sql file")
+
+    tune = sub.add_parser(
+        "tune", help="run automated statistics selection over a workload"
+    )
+    tune.add_argument("--db", required=True)
+    tune.add_argument("--workload", required=True, help=".sql file")
+    tune.add_argument(
+        "--mode",
+        choices=("mnsa", "mnsad", "offline", "syntactic"),
+        default="offline",
+    )
+    tune.add_argument("--t", type=float, default=20.0)
+
+    experiment = sub.add_parser(
+        "experiment", help="reproduce a paper table or figure"
+    )
+    experiment.add_argument(
+        "which",
+        choices=("intro", "figure3", "figure4", "single-column", "table1"),
+    )
+    experiment.add_argument("--scale", type=float, default=0.002)
+    experiment.add_argument(
+        "--z", default=None, help="restrict to one skew setting"
+    )
+    experiment.add_argument("--queries", type=int, default=30)
+
+    ablation = sub.add_parser(
+        "ablation", help="run one of the design-choice ablations"
+    )
+    ablation.add_argument(
+        "which",
+        choices=(
+            "threshold",
+            "next-stat",
+            "shrinking",
+            "equivalence",
+            "histograms",
+            "sampling",
+            "joint",
+            "join-estimation",
+            "aging",
+            "maintenance",
+        ),
+    )
+    ablation.add_argument("--scale", type=float, default=0.002)
+    ablation.add_argument("--z", default="2")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "generate": _cmd_generate,
+        "query": _cmd_query,
+        "workload": _cmd_workload,
+        "tune": _cmd_tune,
+        "experiment": _cmd_experiment,
+        "ablation": _cmd_ablation,
+    }[args.command]
+    return handler(args)
+
+
+# ----------------------------------------------------------------------
+
+
+def _parse_z(text):
+    return text if text == "mix" else float(text)
+
+
+def _cmd_generate(args) -> int:
+    from repro.datagen import make_tpcd_database
+    from repro.storage.persistence import save_database
+
+    db = make_tpcd_database(
+        scale=args.scale, z=_parse_z(args.z), seed=args.seed
+    )
+    save_database(db, args.out)
+    rows = [[t, f"{db.row_count(t):,}"] for t in db.table_names()]
+    print(f"wrote {db.name} (scale {args.scale}) to {args.out}")
+    print(format_table(["table", "rows"], rows))
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from repro.executor import Executor
+    from repro.optimizer import Optimizer
+    from repro.sql.binder import parse_and_bind
+    from repro.sql.query import Query
+    from repro.storage.persistence import load_database
+
+    db = load_database(args.db)
+    statement = parse_and_bind(args.sql, db.schema)
+    if not isinstance(statement, Query):
+        from repro.executor.dml import apply_dml
+
+        affected = apply_dml(db, statement)
+        print(f"{affected} row(s) affected (database on disk unchanged)")
+        return 0
+    optimizer = Optimizer(db)
+    result = optimizer.optimize(statement)
+    print(result.plan.pretty())
+    if args.explain:
+        return 0
+    executed = Executor(db).execute(result.plan, statement)
+    print(
+        f"\n{executed.row_count} row(s); actual cost "
+        f"{executed.actual_cost:,.1f}"
+    )
+    for row in executed.rows(limit=args.limit):
+        print(f"  {row}")
+    if executed.row_count > args.limit:
+        print(f"  ... ({executed.row_count - args.limit} more)")
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    from repro.sql.render import render_workload
+    from repro.storage.persistence import load_database
+    from repro.workload import generate_workload
+
+    db = load_database(args.db)
+    workload = generate_workload(db, args.name, seed=args.seed)
+    with open(args.out, "w") as handle:
+        handle.write(render_workload(workload, db.schema) + "\n")
+    print(
+        f"wrote {len(workload)} statements "
+        f"({len(workload.queries())} queries) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.core.advisor import StatisticsAdvisor
+    from repro.core.mnsa import MnsaConfig
+    from repro.core.policy import CreationPolicy
+    from repro.sql.render import load_workload
+    from repro.storage.persistence import load_database
+
+    db = load_database(args.db)
+    with open(args.workload) as handle:
+        workload = load_workload(handle.read(), db.schema)
+
+    config = MnsaConfig(t_percent=args.t)
+    if args.mode == "offline":
+        advisor = StatisticsAdvisor(db, CreationPolicy.NONE, config)
+        shrink = advisor.offline_tune(workload.queries())
+        print(
+            f"offline tuning: MNSA created "
+            f"{len(advisor.report.created)} statistics, Shrinking Set "
+            f"retained {len(shrink.essential)}"
+        )
+        for key in shrink.essential:
+            print(f"  keep {key}")
+        return 0
+    policy = {
+        "mnsa": CreationPolicy.MNSA,
+        "mnsad": CreationPolicy.MNSAD,
+        "syntactic": CreationPolicy.SYNTACTIC,
+    }[args.mode]
+    advisor = StatisticsAdvisor(db, policy, config)
+    report = advisor.run_workload(workload.statements)
+    print(
+        f"{args.mode}: processed {report.statements} statements, created "
+        f"{len(report.created)} statistics "
+        f"(creation cost {report.creation_cost:,.0f}), execution cost "
+        f"{report.execution_cost:,.0f}"
+    )
+    for key in db.stats.visible_keys():
+        print(f"  visible {key}")
+    drop_list = db.stats.drop_list()
+    if drop_list:
+        print(f"  drop-list: {', '.join(str(k) for k in drop_list)}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import (
+        run_figure3,
+        run_figure4,
+        run_intro_experiment,
+        run_single_column_mnsa,
+        run_table1,
+    )
+    from repro.experiments.common import default_database_factory
+
+    factory = default_database_factory(scale=args.scale)
+    specs = DATABASE_SPECS
+    if args.z is not None:
+        z = _parse_z(args.z)
+        specs = [(f"z={args.z}", z)]
+
+    if args.which == "intro":
+        result = run_intro_experiment(factory(_parse_z(args.z or "2")))
+        rows = [
+            [qid, "changed" if c else "same", f"{b:.0f}", f"{a:.0f}"]
+            for qid, c, b, a in zip(
+                result.query_ids,
+                result.plan_changed,
+                result.cost_before,
+                result.cost_after,
+            )
+        ]
+        print(
+            format_table(
+                ["query", "plan", "cost before", "cost after"], rows
+            )
+        )
+        print(
+            f"\n{result.changed_count}/17 plans changed "
+            "(paper: 15/17)"
+        )
+        return 0
+
+    runner = {
+        "figure3": run_figure3,
+        "figure4": run_figure4,
+        "single-column": run_single_column_mnsa,
+        "table1": run_table1,
+    }[args.which]
+    rows = []
+    for _, z in specs:
+        result = runner(factory, z, max_queries=args.queries)
+        if args.which == "figure3":
+            rows.append(
+                [
+                    result.database,
+                    f"{result.creation_reduction_percent:.0f}%",
+                    f"{result.execution_increase_percent:+.1f}%",
+                ]
+            )
+        elif args.which == "table1":
+            rows.append(
+                [
+                    result.database,
+                    f"{result.update_cost_reduction_percent:.0f}%",
+                    f"{result.execution_increase_percent:+.1f}%",
+                ]
+            )
+        else:
+            rows.append(
+                [
+                    result.database,
+                    f"{result.creation_reduction_percent:.0f}%",
+                    f"{result.execution_increase_percent:+.1f}%",
+                ]
+            )
+    metric = (
+        "update-cost reduction"
+        if args.which == "table1"
+        else "creation reduction"
+    )
+    print(format_table(["database", metric, "exec increase"], rows))
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    from repro.experiments import (
+        run_aging_experiment,
+        run_equivalence_ablation,
+        run_histogram_kind_ablation,
+        run_joint_histogram_ablation,
+        run_next_stat_ablation,
+        run_sampling_ablation,
+        run_shrinking_ablation,
+        run_threshold_sweep,
+    )
+    from repro.experiments.common import default_database_factory
+
+    factory = default_database_factory(scale=args.scale)
+    z = _parse_z(args.z)
+
+    if args.which == "threshold":
+        rows = run_threshold_sweep(factory, z)
+        print(
+            format_table(
+                ["t", "stats built", "creation cost", "execution cost"],
+                [
+                    [
+                        f"{r.t_percent:g}%",
+                        r.created_count,
+                        f"{r.creation_cost:.0f}",
+                        f"{r.execution_cost:.0f}",
+                    ]
+                    for r in rows
+                ],
+            )
+        )
+    elif args.which == "next-stat":
+        result = run_next_stat_ablation(factory, z)
+        print(
+            format_table(
+                ["strategy", "stats built", "creation cost"],
+                [
+                    [
+                        "costliest-operator",
+                        result.heuristic_created,
+                        f"{result.heuristic_creation_cost:.0f}",
+                    ],
+                    [
+                        "arbitrary",
+                        result.arbitrary_created,
+                        f"{result.arbitrary_creation_cost:.0f}",
+                    ],
+                ],
+            )
+        )
+    elif args.which == "shrinking":
+        result = run_shrinking_ablation(factory, z)
+        print(
+            format_table(
+                ["strategy", "retained", "update cost", "optimizer calls"],
+                [
+                    [
+                        "MNSA + Shrinking Set",
+                        result.shrink_retained,
+                        f"{result.shrink_update_cost:.0f}",
+                        result.shrink_optimizer_calls,
+                    ],
+                    [
+                        "MNSA/D",
+                        result.mnsad_retained,
+                        f"{result.mnsad_update_cost:.0f}",
+                        result.mnsad_optimizer_calls,
+                    ],
+                ],
+            )
+        )
+    elif args.which == "equivalence":
+        rows = run_equivalence_ablation(factory, z)
+        print(
+            format_table(
+                ["criterion", "retained", "update cost"],
+                [
+                    [r.criterion, r.retained, f"{r.update_cost:.0f}"]
+                    for r in rows
+                ],
+            )
+        )
+    elif args.which == "histograms":
+        rows = run_histogram_kind_ablation(factory, z)
+        print(
+            format_table(
+                ["kind", "q-error geomean", "q-error max", "exec cost"],
+                [
+                    [
+                        r.kind,
+                        f"{r.q_error_geomean:.2f}",
+                        f"{r.q_error_max:.1f}",
+                        f"{r.execution_cost:.0f}",
+                    ]
+                    for r in rows
+                ],
+            )
+        )
+    elif args.which == "sampling":
+        rows = run_sampling_ablation(factory, z)
+        print(
+            format_table(
+                ["sample rows", "creation cost", "q-error geomean"],
+                [
+                    [
+                        "full" if r.sample_rows is None else r.sample_rows,
+                        f"{r.creation_cost:.0f}",
+                        f"{r.q_error_geomean:.2f}",
+                    ]
+                    for r in rows
+                ],
+            )
+        )
+    elif args.which == "joint":
+        rows = run_joint_histogram_ablation(factory, z)
+        print(
+            format_table(
+                ["configuration", "q-error geomean", "q-error max"],
+                [
+                    [
+                        r.configuration,
+                        f"{r.q_error_geomean:.2f}",
+                        f"{r.q_error_max:.1f}",
+                    ]
+                    for r in rows
+                ],
+            )
+        )
+    elif args.which == "join-estimation":
+        from repro.experiments import run_join_estimation_ablation
+
+        rows = run_join_estimation_ablation(factory, z)
+        print(
+            format_table(
+                ["configuration", "q-error geomean", "q-error max"],
+                [
+                    [
+                        r.configuration,
+                        f"{r.q_error_geomean:.2f}",
+                        f"{r.q_error_max:.1f}",
+                    ]
+                    for r in rows
+                ],
+            )
+        )
+    elif args.which == "maintenance":
+        from repro.experiments import run_incremental_maintenance_experiment
+
+        rows = run_incremental_maintenance_experiment(factory, z)
+        print(
+            format_table(
+                [
+                    "scenario",
+                    "strategy",
+                    "maintenance cost",
+                    "rebuilds",
+                    "q-error",
+                ],
+                [
+                    [
+                        r.scenario,
+                        r.strategy,
+                        f"{r.maintenance_cost:.0f}",
+                        r.full_rebuilds,
+                        f"{r.q_error_geomean:.2f}",
+                    ]
+                    for r in rows
+                ],
+            )
+        )
+    else:  # aging
+        rows = run_aging_experiment(factory, z)
+        print(
+            format_table(
+                ["configuration", "created", "creation cost", "exec cost"],
+                [
+                    [
+                        "aging on" if r.aging_enabled else "aging off",
+                        r.statistics_created,
+                        f"{r.creation_cost:.0f}",
+                        f"{r.execution_cost:.0f}",
+                    ]
+                    for r in rows
+                ],
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

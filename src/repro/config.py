@@ -1,0 +1,168 @@
+"""Tunable constants for the optimizer, statistics, and MNSA algorithms.
+
+The paper treats several values as system-wide constants of the database
+engine (Sec 4.1: "Magic numbers are system wide constants between 0 and 1
+that are predetermined for various kinds of predicates").  We gather them
+here so experiments can vary them explicitly instead of monkey-patching.
+
+Three config dataclasses exist:
+
+* :class:`MagicNumbers` — the default selectivities an optimizer falls back
+  to when no statistic covers a predicate.
+* :class:`CostModelConfig` — per-row / per-page constants of the physical
+  cost model, plus statistics build/update cost constants.
+* :class:`OptimizerConfig` — everything the optimizer needs, including the
+  two above plus histogram resolution and sampling defaults.
+
+``MnsaConfig`` (the paper's epsilon and t) lives in :mod:`repro.core.mnsa`
+next to the algorithm it parameterizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MagicNumbers:
+    """Default selectivities used when no applicable statistic exists.
+
+    These follow the System-R lineage the paper alludes to (it quotes 0.30
+    for a range predicate in Sec 4.1).  All values are fractions in (0, 1).
+
+    Attributes:
+        equality: selectivity of ``col = const`` without statistics.
+        range_: selectivity of ``col < const`` / ``col > const`` etc.
+        between: selectivity of ``col BETWEEN lo AND hi``.
+        inequality: selectivity of ``col <> const``.
+        in_list_per_item: per-item selectivity for ``col IN (...)``; the
+            predicate selectivity is ``min(1, n_items * in_list_per_item)``.
+        join: selectivity of an equijoin predicate with no statistics on
+            either side (fraction of the cross product retained).
+        group_by_fraction: assumed fraction of rows that are distinct in the
+            grouping column(s) — the paper's Sec 4.1 example uses 0.01.
+        like: selectivity of a LIKE pattern predicate.
+    """
+
+    equality: float = 0.10
+    range_: float = 0.30
+    between: float = 0.25
+    inequality: float = 0.90
+    in_list_per_item: float = 0.10
+    join: float = 0.10
+    group_by_fraction: float = 0.01
+    like: float = 0.10
+
+    def __post_init__(self) -> None:
+        for name in (
+            "equality",
+            "range_",
+            "between",
+            "inequality",
+            "in_list_per_item",
+            "join",
+            "group_by_fraction",
+            "like",
+        ):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(
+                    f"magic number {name!r} must be in (0, 1], got {value}"
+                )
+
+
+@dataclass(frozen=True)
+class CostModelConfig:
+    """Constants of the physical cost model (arbitrary "work units").
+
+    The absolute scale is meaningless; only ratios matter, exactly as in a
+    real optimizer.  Statistics build/update costs use the same units so the
+    Figure 3/4 and Table 1 reductions are directly comparable.
+
+    Attributes:
+        page_size_bytes: bytes per page for I/O cost computation.
+        io_page_cost: cost to read or write one page sequentially.
+        random_io_factor: multiplier for a random page access (index lookup).
+        cpu_tuple_cost: cost to process one tuple through an operator.
+        cpu_compare_cost: cost of one comparison (sorting, probing).
+        hash_build_cost: per-tuple cost of inserting into a hash table.
+        hash_probe_cost: per-tuple cost of probing a hash table.
+        sort_constant: multiplier on ``n * log2(n)`` comparisons for sorts.
+        stat_scan_cost_per_row: per-row cost of scanning a table to build a
+            statistic (per column included in the statistic).
+        stat_sort_constant: multiplier on ``n * log2(n)`` for the sort that
+            histogram construction performs.
+        stat_fixed_cost: fixed per-statistic overhead (catalog writes etc.).
+        optimizer_call_cost: cost charged for one optimizer invocation; MNSA
+            pays three of these per statistic created (Sec 4.3).
+        stat_incremental_cost_per_row: per-inserted-row cost of folding a
+            value into an existing histogram (incremental maintenance,
+            paper ref [8]); orders of magnitude below a full rebuild.
+    """
+
+    page_size_bytes: int = 8192
+    io_page_cost: float = 1.0
+    random_io_factor: float = 4.0
+    cpu_tuple_cost: float = 0.01
+    cpu_compare_cost: float = 0.005
+    hash_build_cost: float = 0.02
+    hash_probe_cost: float = 0.01
+    sort_constant: float = 0.012
+    stat_scan_cost_per_row: float = 0.02
+    stat_sort_constant: float = 0.01
+    stat_fixed_cost: float = 50.0
+    optimizer_call_cost: float = 5.0
+    stat_incremental_cost_per_row: float = 0.002
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Aggregate configuration handed to :class:`repro.optimizer.Optimizer`.
+
+    Attributes:
+        magic: the magic-number table.
+        cost: the cost-model constants.
+        histogram_buckets: number of buckets built per histogram.
+        sample_rows: if not ``None``, statistics are built from a random
+            sample of at most this many rows instead of a full scan.
+        max_in_list_items: IN lists longer than this are estimated as a
+            range predicate rather than a union of equalities.
+        enable_index_paths: whether index access paths are considered.
+        enable_merge_join: whether sort-merge joins are considered.
+        enable_hash_join: whether hash joins are considered.
+        enable_bushy_joins: whether bushy join trees are enumerated in
+            addition to left-deep ones (System R's default is left-deep;
+            bushy enlarges the plan space at extra optimization cost).
+        enable_joint_histograms: build a 2-D joint histogram (paper
+            Sec 3's Phased strategy) inside every two-column statistic,
+            improving range-conjunction estimates on correlated columns.
+            Off by default: SQL Server 7.0's statistics carry only
+            prefix densities, and fidelity to it is the baseline.
+        joint_histogram_cells: cell budget per joint histogram.
+        joint_histogram_kind: construction strategy, ``"mhist"`` or
+            ``"phased"`` (paper Sec 3's two named strategies).
+        enable_histogram_join_estimation: estimate single-column equijoin
+            selectivity by aligning the two sides' histograms (exact on
+            disjoint/partially-overlapping domains) instead of the global
+            ``1 / max(ndv)`` containment rule.  Off by default: the ndv
+            rule is the baseline the paper's experiments imply, and the
+            reproduction benches are calibrated against it.
+    """
+
+    magic: MagicNumbers = field(default_factory=MagicNumbers)
+    cost: CostModelConfig = field(default_factory=CostModelConfig)
+    histogram_buckets: int = 50
+    sample_rows: int | None = None
+    max_in_list_items: int = 16
+    enable_index_paths: bool = True
+    enable_merge_join: bool = True
+    enable_hash_join: bool = True
+    enable_bushy_joins: bool = False
+    enable_joint_histograms: bool = False
+    joint_histogram_cells: int = 256
+    joint_histogram_kind: str = "mhist"
+    enable_histogram_join_estimation: bool = False
+
+
+DEFAULT_CONFIG = OptimizerConfig()
+"""Shared default configuration; treat as immutable."""

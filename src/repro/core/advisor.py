@@ -1,0 +1,253 @@
+"""The end-to-end automation facade.
+
+:class:`StatisticsAdvisor` strings the paper's mechanisms and policies
+together the way a self-tuning server would:
+
+* **online** operation: each incoming statement flows through
+  :meth:`process_statement` — queries trigger the configured creation
+  policy (SQL Server-style syntactic, MNSA, or MNSA/D, with aging
+  applied), get optimized, and optionally executed; DML advances the
+  modification counters and may trigger the refresh/drop policy;
+* **offline** operation: :meth:`offline_tune` runs MNSA over a workload
+  and then the Shrinking Set algorithm, the conservative Sec 6 regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.candidates import (
+    CandidateMode,
+    candidate_statistics,
+)
+from repro.core.mnsa import MnsaConfig, mnsa_for_query
+from repro.core.mnsad import mnsad_for_query
+from repro.core.policy import (
+    AgingPolicy,
+    AutoDropPolicy,
+    CreationPolicy,
+    DropPolicyActions,
+)
+from repro.core.shrinking import ShrinkingSetResult, shrinking_set
+from repro.errors import PolicyError
+from repro.executor.dml import apply_dml
+from repro.executor.executor import Executor
+from repro.optimizer.optimizer import Optimizer
+from repro.sql.query import DmlStatement, Query
+from repro.stats.statistic import StatKey
+
+
+@dataclass
+class AdvisorReport:
+    """Accumulated activity of one advisor session.
+
+    Attributes:
+        statements: statements processed.
+        created: statistics created (deduplicated, in first-creation order).
+        dropped: statistics physically dropped by policy.
+        refreshed_tables: statistics refreshes triggered by DML counters.
+        creation_cost: statistic-build + optimizer-overhead work units.
+        update_cost: refresh work units spent by the drop policy.
+        execution_cost: total actual cost of executed queries.
+        optimizer_calls: total optimizer invocations.
+    """
+
+    statements: int = 0
+    created: List[StatKey] = field(default_factory=list)
+    dropped: List[StatKey] = field(default_factory=list)
+    refreshed_tables: List[str] = field(default_factory=list)
+    creation_cost: float = 0.0
+    update_cost: float = 0.0
+    execution_cost: float = 0.0
+    optimizer_calls: int = 0
+
+
+class StatisticsAdvisor:
+    """Drives automated statistics management over one database."""
+
+    def __init__(
+        self,
+        database,
+        creation_policy: CreationPolicy = CreationPolicy.MNSAD,
+        mnsa_config: Optional[MnsaConfig] = None,
+        drop_policy: Optional[AutoDropPolicy] = None,
+        aging: Optional[AgingPolicy] = None,
+        execute_queries: bool = True,
+        incremental_maintenance: bool = False,
+    ) -> None:
+        self._db = database
+        self._optimizer = Optimizer(database)
+        self._executor = Executor(database)
+        self.creation_policy = creation_policy
+        self.mnsa_config = mnsa_config or MnsaConfig()
+        self.drop_policy = drop_policy or AutoDropPolicy()
+        self.aging = aging
+        self.execute_queries = execute_queries
+        #: maintain histograms incrementally on INSERT streams (paper ref
+        #: [8]) instead of waiting for the modification counter to force
+        #: full refreshes; degraded histograms still get rebuilt.
+        self.incremental_maintenance = incremental_maintenance
+        self.report = AdvisorReport()
+        self._clock = 0  # logical time for aging
+
+    # ------------------------------------------------------------------
+    # online path
+    # ------------------------------------------------------------------
+
+    def process_statement(self, statement):
+        """Process one incoming statement; returns the execution result
+        for queries (or the affected row count for DML)."""
+        self._clock += 1
+        self.report.statements += 1
+        if isinstance(statement, Query):
+            return self._process_query(statement)
+        if isinstance(statement, DmlStatement):
+            return self._process_dml(statement)
+        raise PolicyError(
+            f"cannot process statement of type {type(statement).__name__}"
+        )
+
+    def run_workload(self, statements) -> AdvisorReport:
+        """Process a sequence of statements; returns the session report."""
+        for statement in statements:
+            self.process_statement(statement)
+        return self.report
+
+    def _process_query(self, query: Query):
+        self._create_statistics_for(query)
+        result = self._optimizer.optimize(query)
+        self.report.optimizer_calls = self._optimizer.call_count
+        if not self.execute_queries:
+            return result
+        executed = self._executor.execute(result.plan, query)
+        self.report.execution_cost += executed.actual_cost
+        return executed
+
+    def _create_statistics_for(self, query: Query) -> None:
+        policy = self.creation_policy
+        if policy == CreationPolicy.NONE:
+            return
+        candidates = candidate_statistics(
+            query,
+            CandidateMode.SINGLE_COLUMN
+            if policy == CreationPolicy.SYNTACTIC
+            else self.mnsa_config.candidate_mode,
+        )
+        candidates = self._apply_aging(query, candidates)
+        if policy == CreationPolicy.SYNTACTIC:
+            # SQL Server 7.0: create every syntactically relevant
+            # single-column statistic on the fly.
+            before = self._db.stats.creation_cost_total
+            for key in candidates:
+                if not self._db.stats.is_visible(key):
+                    self._db.stats.create(key)
+                    self.report.created.append(key)
+            self.report.creation_cost += (
+                self._db.stats.creation_cost_total - before
+            )
+            return
+        if policy == CreationPolicy.MNSA:
+            result = mnsa_for_query(
+                self._db,
+                self._optimizer,
+                query,
+                candidates=candidates,
+                config=self.mnsa_config,
+            )
+        else:  # MNSAD
+            result = mnsad_for_query(
+                self._db,
+                self._optimizer,
+                query,
+                candidates=candidates,
+                config=self.mnsa_config,
+            )
+        for key in result.created:
+            if key not in self.report.created:
+                self.report.created.append(key)
+        self.report.creation_cost += result.creation_cost
+
+    def _apply_aging(self, query: Query, candidates):
+        if self.aging is None:
+            return candidates
+        # estimate the query's cost once to decide if it is "expensive"
+        estimate = self._optimizer.optimize(query).cost
+        return [
+            key
+            for key in candidates
+            if not self.aging.suppresses(key, self._clock, estimate)
+        ]
+
+    def _process_dml(self, statement: DmlStatement) -> int:
+        if self.incremental_maintenance and statement.kind == "insert":
+            return self._process_insert_incrementally(statement)
+        affected = apply_dml(self._db, statement)
+        actions = self.drop_policy.apply(self._db)
+        self._note_drop_actions(actions)
+        return affected
+
+    def _process_insert_incrementally(self, statement: DmlStatement) -> int:
+        """INSERT path with ref-[8]-style histogram maintenance."""
+        table = self._db.table(statement.table)
+        rows_before = table.row_count
+        affected = apply_dml(self._db, statement)
+        if affected:
+            inserted = {
+                name: table.column_array(name)[rows_before:]
+                for name in table.schema.column_names()
+            }
+            cost = self._db.stats.apply_incremental_inserts(
+                statement.table, inserted
+            )
+            self.report.update_cost += cost
+            for key in self._db.stats.keys_needing_rebuild(statement.table):
+                self.report.update_cost += self._db.stats.rebuild(key)
+                self.report.refreshed_tables.append(statement.table)
+            # incremental maintenance covered these inserts
+            table.rows_modified_since_stats = max(
+                0, table.rows_modified_since_stats - affected
+            )
+        return affected
+
+    def _note_drop_actions(self, actions: DropPolicyActions) -> None:
+        self.report.refreshed_tables.extend(actions.refreshed_tables)
+        self.report.update_cost += actions.update_cost
+        for key in actions.dropped:
+            self.report.dropped.append(key)
+            if self.aging is not None:
+                self.aging.record_drop(key, self._clock)
+
+    # ------------------------------------------------------------------
+    # offline path
+    # ------------------------------------------------------------------
+
+    def offline_tune(self, queries) -> ShrinkingSetResult:
+        """The conservative Sec 6 regime: MNSA per query over the whole
+        workload, then Shrinking Set to eliminate non-essential statistics."""
+        queries = [q for q in queries if isinstance(q, Query)]
+        for query in queries:
+            result = mnsa_for_query(
+                self._db, self._optimizer, query, config=self.mnsa_config
+            )
+            for key in result.created:
+                if key not in self.report.created:
+                    self.report.created.append(key)
+            self.report.creation_cost += result.creation_cost
+        shrink = shrinking_set(self._db, self._optimizer, queries)
+        for key in shrink.removed:
+            self.report.dropped.append(key)
+            if self.aging is not None:
+                self.aging.record_drop(key, self._clock)
+        self.report.optimizer_calls = self._optimizer.call_count
+        return shrink
+
+    # ------------------------------------------------------------------
+
+    @property
+    def optimizer(self) -> Optimizer:
+        return self._optimizer
+
+    @property
+    def executor(self) -> Executor:
+        return self._executor

@@ -1,0 +1,139 @@
+"""Candidate statistics for queries and workloads (paper Sec 3.1 / 7.1).
+
+Three modes:
+
+* ``HEURISTIC`` — the paper's implemented algorithm (Sec 7.1): for a query,
+  (a) a single-column statistic on each relevant column, (b) one
+  multi-column statistic per table on the columns in selection predicates,
+  (c) one multi-column statistic per table on the join columns, (d) one
+  multi-column statistic per table on the GROUP BY columns.
+* ``EXHAUSTIVE`` — the Figure 3 baseline: every syntactically relevant
+  statistic, i.e. all single columns plus a multi-column statistic for
+  *every* subset (size >= 2) of each table's relevant columns.
+* ``SINGLE_COLUMN`` — only (a); the Sec 8.2 "single-column statistics
+  only" experiment and SQL Server 7.0's auto-statistics behaviour.
+
+Example 3 of the paper is reproduced in the tests, with one documented
+deviation: the paper's list omits the single-column statistic on ``g``
+even though ``R1.g = 25`` makes g relevant under the paper's own Sec 3.1
+definition; we include it (see DESIGN.md §5).
+
+Column order in multi-column candidates follows first appearance in the
+query, which makes candidates deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Iterable, List
+
+from repro.stats.statistic import StatKey
+from repro.sql.query import Query
+
+#: Exhaustive mode explodes combinatorially; subsets above this size add
+#: nothing but cost, so we cap (documented in EXPERIMENTS.md).
+EXHAUSTIVE_MAX_WIDTH = 4
+
+
+class CandidateMode(enum.Enum):
+    HEURISTIC = "heuristic"
+    EXHAUSTIVE = "exhaustive"
+    SINGLE_COLUMN = "single_column"
+
+
+def candidate_statistics(
+    query: Query,
+    mode: CandidateMode = CandidateMode.HEURISTIC,
+    equality_first: bool = False,
+) -> List[StatKey]:
+    """Candidate statistics for one query, in deterministic order.
+
+    Args:
+        query: the bound query.
+        mode: candidate-set strategy (see module docstring).
+        equality_first: order the columns of the per-table *selection*
+            multi-column candidate so equality-predicate columns lead.
+            SQL Server statistics are asymmetric (Sec 7.1) — densities
+            exist only for leading prefixes — so leading with equality
+            columns lets the density path cover equality conjunctions
+            even when range predicates share the statistic.
+    """
+    if mode == CandidateMode.SINGLE_COLUMN:
+        return _single_column_candidates(query)
+    if mode == CandidateMode.HEURISTIC:
+        return _heuristic_candidates(query, equality_first)
+    if mode == CandidateMode.EXHAUSTIVE:
+        return _exhaustive_candidates(query)
+    raise ValueError(f"unknown candidate mode {mode!r}")
+
+
+def workload_candidate_statistics(
+    queries: Iterable[Query], mode: CandidateMode = CandidateMode.HEURISTIC
+) -> List[StatKey]:
+    """Union of per-query candidates, first-appearance order (Def. 2)."""
+    seen = []
+    for query in queries:
+        for key in candidate_statistics(query, mode):
+            if key not in seen:
+                seen.append(key)
+    return seen
+
+
+# ----------------------------------------------------------------------
+
+
+def _single_column_candidates(query: Query) -> List[StatKey]:
+    return [StatKey.single(ref) for ref in query.relevant_columns()]
+
+
+def _selection_columns_ordered(
+    query: Query, table: str, equality_first: bool
+):
+    columns = query.selection_columns_of(table)
+    if not equality_first or len(columns) < 2:
+        return columns
+    from repro.sql.predicates import ComparisonPredicate
+
+    equality_columns = {
+        p.column
+        for p in query.predicates_of(table)
+        if isinstance(p, ComparisonPredicate) and p.op == "="
+    }
+    leading = [ref for ref in columns if ref in equality_columns]
+    trailing = [ref for ref in columns if ref not in equality_columns]
+    return tuple(leading + trailing)
+
+
+def _heuristic_candidates(
+    query: Query, equality_first: bool = False
+) -> List[StatKey]:
+    candidates = _single_column_candidates(query)
+    for table in query.tables:
+        for group in (
+            _selection_columns_ordered(query, table, equality_first),
+            query.join_columns_of(table),
+            query.group_by_columns_of(table),
+        ):
+            if len(group) >= 2:
+                key = StatKey.of(group)
+                if key not in candidates:
+                    candidates.append(key)
+    return candidates
+
+
+def _exhaustive_candidates(query: Query) -> List[StatKey]:
+    candidates = _single_column_candidates(query)
+    relevant_by_table = {}
+    for ref in query.relevant_columns():
+        relevant_by_table.setdefault(ref.table, []).append(ref)
+    for table in query.tables:
+        # canonical (sorted) column order so subsets are deterministic
+        refs = sorted(relevant_by_table.get(table, []))
+        max_width = min(len(refs), EXHAUSTIVE_MAX_WIDTH)
+        for width in range(2, max_width + 1):
+            for combo in itertools.combinations(refs, width):
+                key = StatKey.of(combo)
+                if key not in candidates:
+                    candidates.append(key)
+    return candidates

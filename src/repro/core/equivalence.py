@@ -1,0 +1,89 @@
+"""Equivalence of sets of statistics (paper Sec 3.2).
+
+Two statistics sets S and S' are compared through the optimizer's output
+for a query Q:
+
+* **Execution-Tree equivalence** — same execution tree (plan signature);
+  the strongest notion.
+* **Optimizer-Cost equivalence** — same optimizer-estimated cost (plans
+  may differ).
+* **t-Optimizer-Cost equivalence** — costs within t% of each other,
+  footnote 2's formula: ``|c - c'| / min(c, c') < t/100``.  The paper's
+  pragmatic choice, with t = 20% found conservative (Sec 8.2).
+
+Criteria compare :class:`~repro.optimizer.optimizer.OptimizationResult`
+objects so callers optimize once per statistics set and reuse results.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyError
+from repro.optimizer.optimizer import OptimizationResult
+
+_COST_REL_TOLERANCE = 1e-9
+
+
+class EquivalenceCriterion:
+    """Abstract equivalence test over two optimization results."""
+
+    name = "abstract"
+
+    def equivalent(
+        self, a: OptimizationResult, b: OptimizationResult
+    ) -> bool:
+        raise NotImplementedError
+
+    def costs_equivalent(self, cost_a: float, cost_b: float) -> bool:
+        """Cost-only form, used where plans are not materialized."""
+        raise NotImplementedError
+
+
+class ExecutionTreeEquivalence(EquivalenceCriterion):
+    """Same execution tree => same execution cost (strongest)."""
+
+    name = "execution_tree"
+
+    def equivalent(self, a, b) -> bool:
+        return a.signature == b.signature
+
+    def costs_equivalent(self, cost_a: float, cost_b: float) -> bool:
+        raise PolicyError(
+            "execution-tree equivalence cannot be decided from costs alone"
+        )
+
+
+class TOptimizerCostEquivalence(EquivalenceCriterion):
+    """Estimated costs within t% of each other (footnote 2)."""
+
+    name = "t_optimizer_cost"
+
+    def __init__(self, t_percent: float = 20.0) -> None:
+        if t_percent < 0:
+            raise PolicyError(f"t must be >= 0, got {t_percent}")
+        self.t_percent = float(t_percent)
+
+    def equivalent(self, a, b) -> bool:
+        return self.costs_equivalent(a.cost, b.cost)
+
+    def costs_equivalent(self, cost_a: float, cost_b: float) -> bool:
+        low, high = sorted((float(cost_a), float(cost_b)))
+        if high == low:
+            return True
+        if low <= 0.0:
+            return high <= 0.0
+        return (high - low) / low < self.t_percent / 100.0
+
+
+class OptimizerCostEquivalence(TOptimizerCostEquivalence):
+    """Exactly equal estimated costs — the t = 0 special case."""
+
+    name = "optimizer_cost"
+
+    def __init__(self) -> None:
+        super().__init__(t_percent=0.0)
+
+    def costs_equivalent(self, cost_a: float, cost_b: float) -> bool:
+        low, high = sorted((float(cost_a), float(cost_b)))
+        if low <= 0.0:
+            return high <= 0.0
+        return (high - low) / low <= _COST_REL_TOLERANCE

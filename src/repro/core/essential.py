@@ -1,0 +1,120 @@
+"""Essential sets of statistics (paper Sec 3.3, Definitions 1 and 2).
+
+An *essential set* for query Q w.r.t. candidate set C is a subset S ⊆ C
+such that S is equivalent to C for Q, but no proper subset of S is.
+
+These checkers need every candidate statistic physically built (that is
+the whole point of the paper: you can rarely afford this!), so they are
+used in tests, in the Shrinking Set algorithm's correctness arguments,
+and in small-scale validation experiments — not on the hot path.
+
+``plan_with_stats`` realizes the paper's ``Plan(Q, X)`` notation through
+the ``Ignore_Statistics_Subset`` extension: everything but X is hidden.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.equivalence import (
+    EquivalenceCriterion,
+    ExecutionTreeEquivalence,
+)
+from repro.errors import StatisticsError
+from repro.optimizer.optimizer import OptimizationResult, Optimizer
+from repro.sql.query import Query
+from repro.stats.statistic import StatKey
+
+
+def plan_with_stats(
+    optimizer: Optimizer, database, query: Query, keys: Iterable[StatKey]
+) -> OptimizationResult:
+    """The paper's ``Plan(Q, X)``: optimize with exactly ``keys`` available.
+
+    All other physically present statistics are hidden via the
+    ``Ignore_Statistics_Subset`` mechanism.  Statistics already on the
+    drop-list stay hidden regardless (callers doing essential-set analysis
+    should not have an active drop-list).
+    """
+    available = set(keys)
+    for key in available:
+        if not database.stats.has(key):
+            raise StatisticsError(
+                f"plan_with_stats: statistic {key} is not built"
+            )
+    hidden = [key for key in database.stats.keys() if key not in available]
+    return optimizer.optimize(query, ignore_statistics=hidden)
+
+
+def is_equivalent_to_candidates(
+    optimizer: Optimizer,
+    database,
+    query: Query,
+    subset: Sequence[StatKey],
+    candidates: Sequence[StatKey],
+    criterion: Optional[EquivalenceCriterion] = None,
+) -> bool:
+    """Is ``subset`` equivalent to the full candidate set for ``query``?"""
+    criterion = criterion or ExecutionTreeEquivalence()
+    with_all = plan_with_stats(optimizer, database, query, candidates)
+    with_subset = plan_with_stats(optimizer, database, query, subset)
+    return criterion.equivalent(with_subset, with_all)
+
+
+def is_essential_set(
+    optimizer: Optimizer,
+    database,
+    query: Query,
+    subset: Sequence[StatKey],
+    candidates: Sequence[StatKey],
+    criterion: Optional[EquivalenceCriterion] = None,
+) -> bool:
+    """Definition 1: equivalent to C, and minimally so.
+
+    Minimality is checked against all subsets of ``subset`` lacking one
+    element, which suffices for the monotone optimizers this library
+    models (and mirrors Example 1's conditions (2)-(4)).
+    """
+    criterion = criterion or ExecutionTreeEquivalence()
+    if not is_equivalent_to_candidates(
+        optimizer, database, query, subset, candidates, criterion
+    ):
+        return False
+    for removed in subset:
+        smaller = [key for key in subset if key != removed]
+        if is_equivalent_to_candidates(
+            optimizer, database, query, smaller, candidates, criterion
+        ):
+            return False
+    return True
+
+
+def find_minimal_essential_set(
+    optimizer: Optimizer,
+    database,
+    query: Query,
+    candidates: Sequence[StatKey],
+    criterion: Optional[EquivalenceCriterion] = None,
+    max_candidates: int = 12,
+) -> List[StatKey]:
+    """Brute-force smallest essential set (exponential; tests only).
+
+    Enumerates subsets by increasing size and returns the first subset
+    equivalent to the full candidate set.  Guarded by ``max_candidates``
+    because the search is O(2^|C|).
+    """
+    candidates = list(candidates)
+    if len(candidates) > max_candidates:
+        raise StatisticsError(
+            f"brute-force search over {len(candidates)} candidates refused "
+            f"(max {max_candidates})"
+        )
+    criterion = criterion or ExecutionTreeEquivalence()
+    reference = plan_with_stats(optimizer, database, query, candidates)
+    for size in range(0, len(candidates) + 1):
+        for combo in itertools.combinations(candidates, size):
+            attempt = plan_with_stats(optimizer, database, query, combo)
+            if criterion.equivalent(attempt, reference):
+                return list(combo)
+    return candidates

@@ -1,0 +1,227 @@
+"""Magic Number Sensitivity Analysis — MNSA (paper Sec 4, Figure 1).
+
+The chicken-and-egg problem: a statistic's usefulness can only be judged
+after building it.  MNSA sidesteps it: pin every statistics-less
+selectivity variable to ε, optimize (P_low); pin to 1-ε, optimize
+(P_high).  Under cost-monotonicity the true cost lies between the two, so
+if Cost(P_low) and Cost(P_high) are t-Optimizer-Cost equivalent, *no*
+remaining statistic can change the picture and creation stops.  Otherwise
+``FindNextStatToBuild`` proposes the next statistic from the most
+expensive operator of the default plan, and the loop repeats.
+
+Overhead: three optimizer calls per statistic created (Sec 4.3), charged
+to the creation-cost ledger via ``optimizer_call_cost``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.candidates import CandidateMode, candidate_statistics
+from repro.core.equivalence import TOptimizerCostEquivalence
+from repro.core.next_stat import find_next_stat_to_build
+from repro.optimizer.optimizer import Optimizer
+from repro.sql.query import Query
+from repro.stats.statistic import StatKey
+
+
+@dataclass(frozen=True)
+class MnsaConfig:
+    """Knobs of the MNSA loop.
+
+    Attributes:
+        epsilon: the ε pinning value; the paper uses 0.0005 (Sec 4.1).
+        t_percent: the t-Optimizer-Cost equivalence threshold; the paper
+            recommends 20% as conservative (Sec 8.2).
+        min_table_rows: Sec 4.3's augmentation — candidates on tables
+            smaller than this are created outright without analysis
+            (creating statistics on small tables is inexpensive).
+        candidate_mode: where candidates come from when the caller does
+            not supply them.
+        equivalence: ``"t_cost"`` (the paper's pragmatic choice) or
+            ``"execution_tree"`` — the variant the paper mentions but
+            defers (Sec 4.1, last paragraph): stop only when P_low and
+            P_high are the *same execution tree*, a stricter test that
+            builds more statistics.
+        min_query_cost_fraction: Sec 6's workload optimization — in
+            ``mnsa_for_workload``, skip queries whose estimated cost is
+            below this fraction of the total workload estimated cost
+            ("only consider building statistics that would potentially
+            serve a significant fraction of the workload cost").
+        mnsad_drop_equivalence: how MNSA/D decides a new statistic
+            "leaves the plan equivalent" (Sec 5.1): ``"execution_tree"``
+            compares plan trees, the paper's literal wording;
+            ``"t_cost"`` treats cost-t-equivalent plans as unchanged,
+            matching the equivalence the paper's implementation used
+            throughout (Sec 3.2) and dropping more aggressively.
+    """
+
+    epsilon: float = 0.0005
+    t_percent: float = 20.0
+    min_table_rows: int = 0
+    candidate_mode: CandidateMode = CandidateMode.HEURISTIC
+    equivalence: str = "t_cost"
+    min_query_cost_fraction: float = 0.0
+    mnsad_drop_equivalence: str = "execution_tree"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.epsilon < 0.5:
+            raise ValueError(f"epsilon must be in (0, 0.5), got {self.epsilon}")
+        if self.t_percent < 0:
+            raise ValueError(f"t must be >= 0, got {self.t_percent}")
+        if self.equivalence not in ("t_cost", "execution_tree"):
+            raise ValueError(
+                f"equivalence must be 't_cost' or 'execution_tree', "
+                f"got {self.equivalence!r}"
+            )
+        if not 0.0 <= self.min_query_cost_fraction < 1.0:
+            raise ValueError(
+                "min_query_cost_fraction must be in [0, 1), got "
+                f"{self.min_query_cost_fraction}"
+            )
+        if self.mnsad_drop_equivalence not in ("execution_tree", "t_cost"):
+            raise ValueError(
+                "mnsad_drop_equivalence must be 'execution_tree' or "
+                f"'t_cost', got {self.mnsad_drop_equivalence!r}"
+            )
+
+
+@dataclass
+class MnsaResult:
+    """Outcome of one MNSA run.
+
+    Attributes:
+        created: statistics created, in creation order.
+        skipped: candidates left unbuilt when the loop terminated.
+        iterations: loop iterations executed.
+        optimizer_calls: optimize() invocations attributable to this run.
+        stop_reason: why the loop ended — ``"no_missing_variables"``,
+            ``"insensitive"`` (the Sec 4.1 test passed), or ``"exhausted"``
+            (FindNextStatToBuild ran dry).
+        creation_cost: work units: statistic builds + optimizer-call
+            overhead (the Figure 4 creation-time metric).
+    """
+
+    created: List[StatKey] = field(default_factory=list)
+    skipped: List[StatKey] = field(default_factory=list)
+    iterations: int = 0
+    optimizer_calls: int = 0
+    stop_reason: str = ""
+    creation_cost: float = 0.0
+
+    def merge(self, other: "MnsaResult") -> None:
+        """Fold a per-query result into a workload-level accumulator."""
+        for key in other.created:
+            if key not in self.created:
+                self.created.append(key)
+        self.iterations += other.iterations
+        self.optimizer_calls += other.optimizer_calls
+        self.creation_cost += other.creation_cost
+        for key in other.skipped:
+            if key not in self.skipped and key not in self.created:
+                self.skipped.append(key)
+        self.stop_reason = "workload"
+
+
+def mnsa_for_query(
+    database,
+    optimizer: Optimizer,
+    query: Query,
+    candidates: Optional[Sequence[StatKey]] = None,
+    config: MnsaConfig = MnsaConfig(),
+) -> MnsaResult:
+    """Run Figure 1's algorithm for one query.
+
+    Statistics already present (and visible) are treated as existing set S;
+    only missing candidates are considered for creation.
+    """
+    result = MnsaResult()
+    criterion = TOptimizerCostEquivalence(config.t_percent)
+    calls_before = optimizer.call_count
+    build_cost_before = database.stats.creation_cost_total
+
+    if candidates is None:
+        candidates = candidate_statistics(query, config.candidate_mode)
+    remaining = [
+        key for key in candidates if not database.stats.is_visible(key)
+    ]
+
+    # Sec 4.3 augmentation: small tables skip the analysis entirely.
+    if config.min_table_rows > 0:
+        for key in list(remaining):
+            if database.row_count(key.table) < config.min_table_rows:
+                database.stats.create(key)
+                result.created.append(key)
+                remaining.remove(key)
+
+    plan = optimizer.optimize(query)  # step 2: default magic numbers
+    max_iterations = len(remaining) + 1
+    for _ in range(max_iterations):
+        result.iterations += 1
+        missing = optimizer.magic_variables(query)  # step 4
+        if not missing:
+            result.stop_reason = "no_missing_variables"
+            break
+        low = optimizer.optimize(
+            query,
+            selectivity_overrides={v: config.epsilon for v in missing},
+        )
+        high = optimizer.optimize(
+            query,
+            selectivity_overrides={v: 1.0 - config.epsilon for v in missing},
+        )
+        if config.equivalence == "execution_tree":
+            insensitive = low.signature == high.signature
+        else:
+            insensitive = criterion.costs_equivalent(low.cost, high.cost)
+        if insensitive:  # step 7
+            result.stop_reason = "insensitive"
+            break
+        group = find_next_stat_to_build(plan.plan, query, remaining)  # step 8
+        if not group:
+            result.stop_reason = "exhausted"
+            break
+        for key in group:  # step 10 (pairs for join dependencies)
+            database.stats.create(key)
+            result.created.append(key)
+            remaining.remove(key)
+        plan = optimizer.optimize(query)  # steps 11-12
+    else:
+        result.stop_reason = "iteration_limit"
+
+    result.skipped = list(remaining)
+    result.optimizer_calls = optimizer.call_count - calls_before
+    build_cost = database.stats.creation_cost_total - build_cost_before
+    overhead = (
+        result.optimizer_calls * optimizer.config.cost.optimizer_call_cost
+    )
+    result.creation_cost = build_cost + overhead
+    return result
+
+
+def mnsa_for_workload(
+    database,
+    optimizer: Optimizer,
+    queries: Iterable[Query],
+    config: MnsaConfig = MnsaConfig(),
+) -> MnsaResult:
+    """Create a sufficient statistics set for a workload (Sec 4.3):
+    invoke MNSA for each query in turn.
+
+    With ``config.min_query_cost_fraction > 0``, queries whose estimated
+    cost (under current statistics) falls below that fraction of the
+    total are skipped — the Sec 6 off-line workload optimization.
+    """
+    queries = list(queries)
+    if config.min_query_cost_fraction > 0.0 and queries:
+        estimates = [optimizer.optimize(q).cost for q in queries]
+        total_cost = sum(estimates) or 1.0
+        threshold = config.min_query_cost_fraction * total_cost
+        queries = [
+            q for q, cost in zip(queries, estimates) if cost >= threshold
+        ]
+    total = MnsaResult()
+    for query in queries:
+        total.merge(mnsa_for_query(database, optimizer, query, config=config))
+    return total

@@ -1,0 +1,163 @@
+"""MNSA with Drop — MNSA/D (paper Sec 5.1).
+
+A simple adaptation of Figure 1: after creating statistic(s) *s* (step 10)
+and recomputing the default plan (step 11), compare the new plan tree with
+the previous one.  If the plan is unchanged, *s* is heuristically
+non-essential and goes onto the drop-list.
+
+Per the paper, MNSA/D is *erroneously aggressive*: a statistic g may be
+dropped because S and S ∪ {g} give the same plan even though S ∪ {g, h}
+would differ — and greedy inclusion means retained statistics are never
+reconsidered.  Both behaviours are preserved faithfully here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.candidates import candidate_statistics
+from repro.core.equivalence import TOptimizerCostEquivalence
+from repro.core.mnsa import MnsaConfig
+from repro.core.next_stat import find_next_stat_to_build
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.plans import plan_signature
+from repro.sql.query import Query
+from repro.stats.statistic import StatKey
+
+
+@dataclass
+class MnsadResult:
+    """Outcome of an MNSA/D run.
+
+    Attributes:
+        created: statistics created (including later-dropped ones).
+        retained: created statistics kept visible.
+        dropped: created statistics moved to the drop-list.
+        iterations, optimizer_calls, creation_cost, stop_reason: as in
+            :class:`~repro.core.mnsa.MnsaResult`.
+    """
+
+    created: List[StatKey] = field(default_factory=list)
+    retained: List[StatKey] = field(default_factory=list)
+    dropped: List[StatKey] = field(default_factory=list)
+    iterations: int = 0
+    optimizer_calls: int = 0
+    creation_cost: float = 0.0
+    stop_reason: str = ""
+
+    def merge(self, other: "MnsadResult") -> None:
+        for name in ("created", "retained", "dropped"):
+            ours = getattr(self, name)
+            for key in getattr(other, name):
+                if key not in ours:
+                    ours.append(key)
+        # a statistic dropped for one query but retained for another stays
+        self.dropped = [k for k in self.dropped if k not in self.retained]
+        self.iterations += other.iterations
+        self.optimizer_calls += other.optimizer_calls
+        self.creation_cost += other.creation_cost
+        self.stop_reason = "workload"
+
+
+def mnsad_for_query(
+    database,
+    optimizer: Optimizer,
+    query: Query,
+    candidates: Optional[Sequence[StatKey]] = None,
+    config: MnsaConfig = MnsaConfig(),
+) -> MnsadResult:
+    """Run MNSA/D for one query."""
+    result = MnsadResult()
+    criterion = TOptimizerCostEquivalence(config.t_percent)
+    calls_before = optimizer.call_count
+    build_cost_before = database.stats.creation_cost_total
+
+    if candidates is None:
+        candidates = candidate_statistics(query, config.candidate_mode)
+    remaining = [
+        key for key in candidates if not database.stats.is_visible(key)
+    ]
+
+    if config.min_table_rows > 0:
+        for key in list(remaining):
+            if database.row_count(key.table) < config.min_table_rows:
+                database.stats.create(key)
+                result.created.append(key)
+                result.retained.append(key)
+                remaining.remove(key)
+
+    plan = optimizer.optimize(query)
+    max_iterations = len(remaining) + 1
+    for _ in range(max_iterations):
+        result.iterations += 1
+        missing = optimizer.magic_variables(query)
+        if not missing:
+            result.stop_reason = "no_missing_variables"
+            break
+        low = optimizer.optimize(
+            query,
+            selectivity_overrides={v: config.epsilon for v in missing},
+        )
+        high = optimizer.optimize(
+            query,
+            selectivity_overrides={v: 1.0 - config.epsilon for v in missing},
+        )
+        if criterion.costs_equivalent(low.cost, high.cost):
+            result.stop_reason = "insensitive"
+            break
+        group = find_next_stat_to_build(plan.plan, query, remaining)
+        if not group:
+            result.stop_reason = "exhausted"
+            break
+        for key in group:
+            database.stats.create(key)
+            result.created.append(key)
+            remaining.remove(key)
+        new_plan = optimizer.optimize(query)
+        if config.mnsad_drop_equivalence == "t_cost":
+            unchanged = criterion.costs_equivalent(new_plan.cost, plan.cost)
+        else:
+            unchanged = plan_signature(new_plan.plan) == plan_signature(
+                plan.plan
+            )
+        if unchanged:
+            # the new statistics changed nothing: heuristically non-essential
+            for key in group:
+                database.stats.mark_droppable(key)
+                result.dropped.append(key)
+        else:
+            result.retained.extend(group)
+        plan = new_plan
+    else:
+        result.stop_reason = "iteration_limit"
+
+    result.optimizer_calls = optimizer.call_count - calls_before
+    build_cost = database.stats.creation_cost_total - build_cost_before
+    result.creation_cost = build_cost + (
+        result.optimizer_calls * optimizer.config.cost.optimizer_call_cost
+    )
+    return result
+
+
+def mnsad_for_workload(
+    database,
+    optimizer: Optimizer,
+    queries: Iterable[Query],
+    config: MnsaConfig = MnsaConfig(),
+) -> MnsadResult:
+    """Run MNSA/D over a workload, query by query.
+
+    A statistic dropped while processing one query is *revived* if a later
+    query creates (and retains) it — the paper's motivation for the
+    drop-list over physical deletion.
+    """
+    total = MnsadResult()
+    for query in queries:
+        partial = mnsad_for_query(database, optimizer, query, config=config)
+        total.merge(partial)
+    # reconcile the manager's drop-list with the merged view
+    for key in total.retained:
+        if database.stats.is_droppable(key):
+            database.stats.revive(key)
+    return total

@@ -1,0 +1,153 @@
+"""FindNextStatToBuild (paper Sec 4.2).
+
+"We identify the most expensive operator in the plan tree for which one or
+more candidate statistics have not yet been built, and consider those
+statistics."  Node expense is the *local* cost:
+``cost(subtree rooted at n) - Σ cost(children(n))``.
+
+Join nodes introduce the paper's statistics *dependency*: statistics on
+the two sides of a join predicate must be created as a pair, so this
+function returns a *group* of keys to build together (usually of size 1,
+size >= 2 for joins).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.optimizer.plans import (
+    AggregateNode,
+    IndexSeekNode,
+    JoinNode,
+    PlanNode,
+    ScanNode,
+)
+from repro.sql.query import Query
+from repro.stats.statistic import StatKey
+
+
+def find_next_stat_to_build(
+    plan: PlanNode,
+    query: Query,
+    remaining: Sequence[StatKey],
+) -> Optional[List[StatKey]]:
+    """The next statistic (or dependent pair) to create, or ``None``.
+
+    Args:
+        plan: the current plan of the query under default magic numbers
+            (Figure 1 uses P, not P_low/P_high, for this step).
+        query: the query being analyzed.
+        remaining: candidate statistics not yet built, in candidate order.
+
+    Returns:
+        A non-empty list of keys from ``remaining`` to build together, or
+        ``None`` when no node has unbuilt relevant candidates.
+    """
+    remaining = list(remaining)
+    if not remaining:
+        return None
+    nodes = sorted(plan.walk(), key=lambda n: -n.local_cost)
+    for node in nodes:
+        group = _relevant_remaining(node, query, remaining)
+        if group:
+            return group
+    return None
+
+
+def _relevant_remaining(
+    node: PlanNode, query: Query, remaining: List[StatKey]
+) -> Optional[List[StatKey]]:
+    if isinstance(node, (ScanNode, IndexSeekNode)):
+        return _for_scan(node, remaining)
+    if isinstance(node, JoinNode):
+        return _for_join(node, remaining)
+    if isinstance(node, AggregateNode):
+        return _for_aggregate(node, remaining)
+    return None
+
+
+def _for_scan(node, remaining: List[StatKey]) -> Optional[List[StatKey]]:
+    """Statistics over the columns of the node's selection predicates."""
+    predicate_columns = {
+        ref.column for pred in node.predicates for ref in pred.columns()
+    }
+    for key in remaining:
+        if key.table == node.tables()[0] and (
+            set(key.columns) <= predicate_columns
+        ):
+            return [key]
+    return None
+
+
+def _for_join(node: JoinNode, remaining: List[StatKey]) -> Optional[List]:
+    """Statistics on the join columns of both sides, built as a pair.
+
+    Picks the first remaining key that covers some side's join columns,
+    then adds the matching key for the opposite side if it is also still
+    unbuilt (the Sec 4.2 dependency).
+    """
+    if not node.join_predicates:
+        return None
+    side_columns = {}
+    for predicate in node.join_predicates:
+        for ref in predicate.columns():
+            side_columns.setdefault(ref.table, set()).add(ref.column)
+    tables = list(side_columns)
+
+    def relevant(key: StatKey) -> bool:
+        return key.table in side_columns and (
+            set(key.columns) <= side_columns[key.table]
+        )
+
+    first = next((key for key in remaining if relevant(key)), None)
+    if first is None:
+        return None
+    group = [first]
+    # the dependent statistic: same shape on the opposite side(s)
+    for other_table in tables:
+        if other_table == first.table:
+            continue
+        partner = _matching_partner(
+            first, other_table, side_columns, node.join_predicates, remaining
+        )
+        if partner is not None and partner not in group:
+            group.append(partner)
+    return group
+
+
+def _matching_partner(
+    first: StatKey, other_table: str, side_columns, join_predicates, remaining
+) -> Optional[StatKey]:
+    """The opposite-side key mirroring ``first`` through the join."""
+    # translate first's columns through the join predicates
+    translated = []
+    for column in first.columns:
+        for predicate in join_predicates:
+            refs = {ref.table: ref.column for ref in predicate.columns()}
+            if refs.get(first.table) == column and other_table in refs:
+                translated.append(refs[other_table])
+                break
+    if len(translated) != len(first.columns):
+        return None
+    for key in remaining:
+        if key.table == other_table and key.columns == tuple(translated):
+            return key
+    # fall back to any remaining stat over the same column set
+    wanted = set(translated)
+    for key in remaining:
+        if key.table == other_table and set(key.columns) == wanted:
+            return key
+    return None
+
+
+def _for_aggregate(
+    node: AggregateNode, remaining: List[StatKey]
+) -> Optional[List[StatKey]]:
+    """Statistics over the grouping columns."""
+    by_table = {}
+    for ref in node.group_by:
+        by_table.setdefault(ref.table, set()).add(ref.column)
+    for key in remaining:
+        if key.table in by_table and set(key.columns) <= by_table[key.table]:
+            return [key]
+    return None

@@ -1,0 +1,33 @@
+"""Skewed TPC-D data generation.
+
+Reimplements the authors' downloadable "TPC-D data generation with skew"
+tool (paper Sec 8.1 and reference [17]): the standard 8-table TPC-D schema,
+with every generated column drawn from a Zipfian distribution whose
+parameter z ranges from 0 (uniform) to 4 (highly skewed), and a MIX mode
+that assigns each column a random z in [0, 4].
+
+Public API::
+
+    from repro.datagen import (
+        zipf_probabilities, zipf_sample, SkewSpec,
+        tpcd_schema, TpcdGenerator, make_tpcd_database,
+        date_to_daynum, daynum_to_date,
+    )
+"""
+
+from repro.datagen.zipf import zipf_probabilities, zipf_sample
+from repro.datagen.dates import date_to_daynum, daynum_to_date
+from repro.datagen.tpcd import tpcd_schema, TPCD_TABLE_CARDINALITIES
+from repro.datagen.generator import SkewSpec, TpcdGenerator, make_tpcd_database
+
+__all__ = [
+    "zipf_probabilities",
+    "zipf_sample",
+    "SkewSpec",
+    "tpcd_schema",
+    "TPCD_TABLE_CARDINALITIES",
+    "TpcdGenerator",
+    "make_tpcd_database",
+    "date_to_daynum",
+    "daynum_to_date",
+]

@@ -1,0 +1,34 @@
+"""DATE columns are stored as integer day numbers.
+
+Day 0 is 1992-01-01 (the start of the TPC-D order-date range); the helpers
+here convert between ISO date strings and day numbers so that queries can
+be written with readable literals.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+EPOCH = datetime.date(1992, 1, 1)
+"""Day number 0."""
+
+TPCD_DATE_MIN = 0
+"""First order date in generated data (1992-01-01)."""
+
+TPCD_DATE_MAX = (datetime.date(1998, 12, 31) - EPOCH).days
+"""Last date in generated data (1998-12-31)."""
+
+
+def date_to_daynum(iso_date: str) -> int:
+    """Convert an ISO ``YYYY-MM-DD`` string to a day number.
+
+    Raises:
+        ValueError: if the string is not a valid ISO date.
+    """
+    parsed = datetime.date.fromisoformat(iso_date)
+    return (parsed - EPOCH).days
+
+
+def daynum_to_date(daynum: int) -> str:
+    """Convert a day number back to an ISO date string."""
+    return (EPOCH + datetime.timedelta(days=int(daynum))).isoformat()

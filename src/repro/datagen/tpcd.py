@@ -1,0 +1,231 @@
+"""The TPC-D schema (paper Sec 8.1).
+
+TPC-D is the decision-support benchmark the paper evaluates on (the direct
+ancestor of TPC-H): eight tables connected by foreign keys.  Cardinalities
+scale linearly with the scale factor except the two fixed dimension tables
+REGION (5 rows) and NATION (25 rows).
+"""
+
+from __future__ import annotations
+
+from repro.catalog import Column, ColumnType, ForeignKey, Schema, TableSchema
+
+I = ColumnType.INT
+F = ColumnType.FLOAT
+S = ColumnType.STRING
+D = ColumnType.DATE
+
+TPCD_TABLE_CARDINALITIES = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+"""Base cardinalities at scale factor 1.0 (the paper uses SF=1, 1 GB)."""
+
+
+def _table(name, cols, pk):
+    return TableSchema(
+        name, [Column(cname, ctype) for cname, ctype in cols], primary_key=pk
+    )
+
+
+def tpcd_schema() -> Schema:
+    """Build the TPC-D schema with all foreign keys registered."""
+    region = _table(
+        "region",
+        [("r_regionkey", I), ("r_name", S), ("r_comment", S)],
+        ("r_regionkey",),
+    )
+    nation = _table(
+        "nation",
+        [
+            ("n_nationkey", I),
+            ("n_name", S),
+            ("n_regionkey", I),
+            ("n_comment", S),
+        ],
+        ("n_nationkey",),
+    )
+    supplier = _table(
+        "supplier",
+        [
+            ("s_suppkey", I),
+            ("s_name", S),
+            ("s_address", S),
+            ("s_nationkey", I),
+            ("s_phone", S),
+            ("s_acctbal", F),
+            ("s_comment", S),
+        ],
+        ("s_suppkey",),
+    )
+    customer = _table(
+        "customer",
+        [
+            ("c_custkey", I),
+            ("c_name", S),
+            ("c_address", S),
+            ("c_nationkey", I),
+            ("c_phone", S),
+            ("c_acctbal", F),
+            ("c_mktsegment", S),
+            ("c_comment", S),
+        ],
+        ("c_custkey",),
+    )
+    part = _table(
+        "part",
+        [
+            ("p_partkey", I),
+            ("p_name", S),
+            ("p_mfgr", S),
+            ("p_brand", S),
+            ("p_type", S),
+            ("p_size", I),
+            ("p_container", S),
+            ("p_retailprice", F),
+            ("p_comment", S),
+        ],
+        ("p_partkey",),
+    )
+    partsupp = _table(
+        "partsupp",
+        [
+            ("ps_partkey", I),
+            ("ps_suppkey", I),
+            ("ps_availqty", I),
+            ("ps_supplycost", F),
+            ("ps_comment", S),
+        ],
+        ("ps_partkey", "ps_suppkey"),
+    )
+    orders = _table(
+        "orders",
+        [
+            ("o_orderkey", I),
+            ("o_custkey", I),
+            ("o_orderstatus", S),
+            ("o_totalprice", F),
+            ("o_orderdate", D),
+            ("o_orderpriority", S),
+            ("o_clerk", S),
+            ("o_shippriority", I),
+            ("o_comment", S),
+        ],
+        ("o_orderkey",),
+    )
+    lineitem = _table(
+        "lineitem",
+        [
+            ("l_orderkey", I),
+            ("l_partkey", I),
+            ("l_suppkey", I),
+            ("l_linenumber", I),
+            ("l_quantity", I),
+            ("l_extendedprice", F),
+            ("l_discount", F),
+            ("l_tax", F),
+            ("l_returnflag", S),
+            ("l_linestatus", S),
+            ("l_shipdate", D),
+            ("l_commitdate", D),
+            ("l_receiptdate", D),
+            ("l_shipinstruct", S),
+            ("l_shipmode", S),
+            ("l_comment", S),
+        ],
+        ("l_orderkey", "l_linenumber"),
+    )
+
+    fks = [
+        ForeignKey("nation", ("n_regionkey",), "region", ("r_regionkey",)),
+        ForeignKey("supplier", ("s_nationkey",), "nation", ("n_nationkey",)),
+        ForeignKey("customer", ("c_nationkey",), "nation", ("n_nationkey",)),
+        ForeignKey("partsupp", ("ps_partkey",), "part", ("p_partkey",)),
+        ForeignKey("partsupp", ("ps_suppkey",), "supplier", ("s_suppkey",)),
+        ForeignKey("orders", ("o_custkey",), "customer", ("c_custkey",)),
+        ForeignKey("lineitem", ("l_orderkey",), "orders", ("o_orderkey",)),
+        ForeignKey("lineitem", ("l_partkey",), "part", ("p_partkey",)),
+        ForeignKey("lineitem", ("l_suppkey",), "supplier", ("s_suppkey",)),
+        ForeignKey(
+            "lineitem",
+            ("l_partkey", "l_suppkey"),
+            "partsupp",
+            ("ps_partkey", "ps_suppkey"),
+        ),
+    ]
+    return Schema(
+        [
+            region,
+            nation,
+            supplier,
+            customer,
+            part,
+            partsupp,
+            orders,
+            lineitem,
+        ],
+        fks,
+    )
+
+
+REGION_NAMES = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+NATION_NAMES = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT",
+    "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA",
+    "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+]
+
+# region of each nation, aligned with NATION_NAMES
+NATION_REGIONS = [
+    0, 1, 1, 1, 4,
+    0, 3, 3, 2, 2,
+    4, 4, 2, 4, 0,
+    0, 0, 1, 2, 3,
+    4, 2, 3, 3, 1,
+]
+
+MARKET_SEGMENTS = [
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD",
+]
+
+ORDER_STATUSES = ["F", "O", "P"]
+
+ORDER_PRIORITIES = [
+    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW",
+]
+
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+
+SHIP_INSTRUCTIONS = [
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN",
+]
+
+RETURN_FLAGS = ["R", "A", "N"]
+
+LINE_STATUSES = ["O", "F"]
+
+PART_TYPES = [
+    f"{size} {finish} {material}"
+    for size in ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+    for finish in ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+    for material in ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+]
+
+PART_CONTAINERS = [
+    f"{size} {kind}"
+    for size in ("SM", "LG", "MED", "JUMBO", "WRAP")
+    for kind in ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM")
+]
+
+PART_BRANDS = [f"Brand#{m}{n}" for m in range(1, 6) for n in range(1, 6)]
+
+MANUFACTURERS = [f"Manufacturer#{m}" for m in range(1, 6)]

@@ -1,0 +1,159 @@
+"""Vectorized join and grouping primitives."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.catalog import ColumnType
+from repro.errors import ExecutionError
+
+
+def equi_join_indices(
+    left_keys: np.ndarray, right_keys: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Matching row-index pairs of an equijoin on single key arrays.
+
+    Sort-probe implementation: sort the right side once, binary-search
+    each left key, and expand the matching ranges.  Returns parallel
+    ``(left_idx, right_idx)`` arrays.
+    """
+    left_keys = np.asarray(left_keys)
+    right_keys = np.asarray(right_keys)
+    if left_keys.shape[0] == 0 or right_keys.shape[0] == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    order = np.argsort(right_keys, kind="stable")
+    sorted_right = right_keys[order]
+    lo = np.searchsorted(sorted_right, left_keys, side="left")
+    hi = np.searchsorted(sorted_right, left_keys, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    left_idx = np.repeat(np.arange(left_keys.shape[0]), counts)
+    starts = np.repeat(lo, counts)
+    offsets = np.arange(total) - np.repeat(
+        np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+    )
+    right_idx = order[starts + offsets]
+    return left_idx.astype(np.int64), right_idx.astype(np.int64)
+
+
+def composite_keys(arrays: List[np.ndarray]) -> np.ndarray:
+    """Collapse parallel key columns into a single int64 key array.
+
+    Columns are jointly factorized, then mixed base-|domain| — exact (no
+    collisions) for the domain sizes we handle.
+    """
+    if len(arrays) == 1:
+        return np.asarray(arrays[0])
+    stacked = np.stack([np.asarray(a, dtype=np.float64) for a in arrays])
+    # factorize each column, then combine positionally
+    combined = np.zeros(stacked.shape[1], dtype=np.int64)
+    multiplier = 1
+    for row in stacked:
+        _, inverse = np.unique(row, return_inverse=True)
+        domain = int(inverse.max()) + 1 if inverse.size else 1
+        combined = combined + inverse.astype(np.int64) * multiplier
+        multiplier *= max(1, domain)
+        if multiplier > 2**62:
+            raise ExecutionError("composite join key domain overflow")
+    return combined
+
+
+def translate_string_codes(
+    left_dict, right_dict, right_codes: np.ndarray
+) -> np.ndarray:
+    """Re-encode right-side string codes into the left side's dictionary.
+
+    Strings absent from the left dictionary map to -1 (matches nothing,
+    because codes are non-negative).
+    """
+    mapping = np.full(max(1, len(right_dict)), -1, dtype=np.int64)
+    for code, value in enumerate(right_dict.values()):
+        left_code = left_dict.lookup(value)
+        if left_code is not None:
+            mapping[code] = left_code
+    if right_codes.shape[0] == 0:
+        return right_codes.astype(np.int64)
+    return mapping[np.asarray(right_codes, dtype=np.int64)]
+
+
+def align_join_keys(database, relation_left, relation_right, join_predicates):
+    """Key arrays for both sides of a join, in comparable domains.
+
+    STRING join columns are translated into a shared code space via their
+    dictionaries; other types compare natively.
+    """
+    left_tables = set(relation_left_tables(relation_left))
+    left_arrays, right_arrays = [], []
+    for predicate in join_predicates:
+        left_ref, right_ref = predicate.left, predicate.right
+        if left_ref.table not in left_tables:
+            left_ref, right_ref = right_ref, left_ref
+        left_values = relation_left.column(left_ref)
+        right_values = relation_right.column(right_ref)
+        if database.schema.column(left_ref).type == ColumnType.STRING:
+            left_dict = database.table(left_ref.table).string_dictionary(
+                left_ref.column
+            )
+            right_dict = database.table(right_ref.table).string_dictionary(
+                right_ref.column
+            )
+            right_values = translate_string_codes(
+                left_dict, right_dict, right_values
+            )
+        left_arrays.append(left_values)
+        right_arrays.append(right_values)
+    return left_arrays, right_arrays
+
+
+def joint_composite_keys(
+    left_arrays: List[np.ndarray], right_arrays: List[np.ndarray]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Single comparable key per row for both join sides.
+
+    The factorization must be *joint* (over the concatenation of both
+    sides) so that equal values get equal codes on both sides.
+    """
+    if len(left_arrays) != len(right_arrays):
+        raise ExecutionError("join sides must have equal key column counts")
+    n_left = int(np.asarray(left_arrays[0]).shape[0]) if left_arrays else 0
+    if len(left_arrays) == 1:
+        return np.asarray(left_arrays[0]), np.asarray(right_arrays[0])
+    combined = [
+        np.concatenate([np.asarray(l), np.asarray(r)])
+        for l, r in zip(left_arrays, right_arrays)
+    ]
+    keys = composite_keys(combined)
+    return keys[:n_left], keys[n_left:]
+
+
+def relation_left_tables(relation) -> list:
+    """Distinct tables represented in a relation's ColumnRef keys."""
+    tables = []
+    for key in relation.keys():
+        table = getattr(key, "table", None)
+        if table and table not in tables:
+            tables.append(table)
+    return tables
+
+
+def group_indices(arrays: List[np.ndarray]):
+    """Group rows by the composite of ``arrays``.
+
+    Returns:
+        (group_ids, representative_indices): ``group_ids[i]`` is the dense
+        group number of row *i*; ``representative_indices[g]`` is the first
+        row of group *g* (useful for emitting group key values).
+    """
+    if not arrays:
+        raise ExecutionError("group_indices requires at least one column")
+    keys = composite_keys(arrays)
+    _, representative, inverse = np.unique(
+        keys, return_index=True, return_inverse=True
+    )
+    return inverse.astype(np.int64), representative.astype(np.int64)

@@ -1,0 +1,94 @@
+"""Intermediate results: a bag of aligned column arrays."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.catalog import ColumnRef
+from repro.errors import ExecutionError
+
+
+class Relation:
+    """Row-aligned columns keyed by :class:`ColumnRef` (or string labels).
+
+    STRING columns stay dictionary-encoded throughout execution; decoding
+    happens only when final results are rendered, via the owning table's
+    dictionary.
+    """
+
+    def __init__(self, columns: Dict[object, np.ndarray]) -> None:
+        self._columns: Dict[object, np.ndarray] = {}
+        self._row_count: Optional[int] = None
+        for key, array in columns.items():
+            self._set(key, np.asarray(array))
+
+    def _set(self, key, array: np.ndarray) -> None:
+        if self._row_count is None:
+            self._row_count = int(array.shape[0])
+        elif array.shape[0] != self._row_count:
+            raise ExecutionError(
+                f"column {key} has {array.shape[0]} rows, expected "
+                f"{self._row_count}"
+            )
+        self._columns[key] = array
+
+    @property
+    def row_count(self) -> int:
+        return self._row_count or 0
+
+    def __contains__(self, key) -> bool:
+        return key in self._columns
+
+    def column(self, key) -> np.ndarray:
+        try:
+            return self._columns[key]
+        except KeyError:
+            raise ExecutionError(
+                f"no column {key} in relation "
+                f"(have {list(self._columns)})"
+            ) from None
+
+    def keys(self) -> list:
+        return list(self._columns)
+
+    def take(self, indices: np.ndarray) -> "Relation":
+        """Row subset / reorder by positional indices."""
+        return Relation(
+            {key: arr[indices] for key, arr in self._columns.items()}
+        )
+
+    def filter(self, mask: np.ndarray) -> "Relation":
+        """Row subset by boolean mask."""
+        return Relation({key: arr[mask] for key, arr in self._columns.items()})
+
+    def merged_with(self, other: "Relation") -> "Relation":
+        """Column-wise union of two row-aligned relations."""
+        if other.row_count != self.row_count:
+            raise ExecutionError(
+                "cannot merge relations with different row counts: "
+                f"{self.row_count} vs {other.row_count}"
+            )
+        combined = dict(self._columns)
+        combined.update(other._columns)
+        return Relation(combined)
+
+    @classmethod
+    def from_table(
+        cls, table_data, table_name: str, columns: Iterable[str]
+    ) -> "Relation":
+        """Relation view over a base table's stored arrays."""
+        return cls(
+            {
+                ColumnRef(table_name, name): table_data.column_array(name)
+                for name in columns
+            }
+        )
+
+    @classmethod
+    def empty(cls) -> "Relation":
+        return cls({})
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation(rows={self.row_count}, cols={len(self._columns)})"

@@ -1,0 +1,76 @@
+"""The aging experiment (paper Sec 6, details deferred to its ref [5]).
+
+"The basic idea behind aging is that statistics with high creation/update
+cost that have been dropped after being found non-essential for a
+workload should not be recreated immediately if the same (or similar)
+workload repeats on the server."
+
+Scenario: an update-heavy workload runs twice through the online advisor
+with an aggressive drop policy in between, so statistics found
+non-essential get physically dropped.  Without aging the repeat run
+rebuilds them immediately; with aging the rebuilds are dampened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.advisor import StatisticsAdvisor
+from repro.core.mnsa import MnsaConfig
+from repro.core.policy import AgingPolicy, AutoDropPolicy, CreationPolicy
+from repro.workload import generate_workload
+
+
+@dataclass
+class AgingRow:
+    """One arm (with or without aging) of the repeat-workload scenario."""
+
+    aging_enabled: bool
+    statistics_created: int
+    creation_cost: float
+    execution_cost: float
+    statistics_dropped: int
+
+
+def run_aging_experiment(
+    database_factory: Callable,
+    z,
+    workload_name: str = "U50-S-100",
+    repeats: int = 2,
+    aging_window: int = 500,
+    expensive_query_cost: float = float("inf"),
+):
+    """Run the repeat-workload scenario with and without aging.
+
+    Returns ``(without_aging, with_aging)`` :class:`AgingRow` pairs.
+    """
+    rows = []
+    for aging in (None, AgingPolicy(
+        window=aging_window, expensive_query_cost=expensive_query_cost
+    )):
+        db = database_factory(z)
+        workload = generate_workload(db, workload_name)
+        advisor = StatisticsAdvisor(
+            db,
+            creation_policy=CreationPolicy.MNSAD,
+            mnsa_config=MnsaConfig(),
+            drop_policy=AutoDropPolicy(
+                refresh_fraction=0.05,
+                max_updates_before_drop=1,
+                drop_list_only=True,
+            ),
+            aging=aging,
+        )
+        for _ in range(repeats):
+            advisor.run_workload(workload.statements)
+        rows.append(
+            AgingRow(
+                aging_enabled=aging is not None,
+                statistics_created=len(advisor.report.created),
+                creation_cost=advisor.report.creation_cost,
+                execution_cost=advisor.report.execution_cost,
+                statistics_dropped=len(advisor.report.dropped),
+            )
+        )
+    return tuple(rows)

@@ -1,0 +1,25 @@
+"""Secondary indexes.
+
+Indexes matter to the reproduction for one reason the paper states in its
+introduction: SQL Server automatically keeps statistics on *indexed*
+columns, so the intro experiment's baseline is "statistics on indexed
+columns only".  We provide sorted-array indexes (the moral equivalent of a
+read-only B-tree), an index manager, and the 13-index "tuned TPC-D"
+configuration.
+
+Public API::
+
+    from repro.index import SortedIndex, IndexManager, tuned_tpcd_indexes
+"""
+
+from repro.index.sorted_index import SortedIndex
+from repro.index.manager import IndexDefinition, IndexManager
+from repro.index.tuned_tpcd import tuned_tpcd_indexes, apply_tuned_tpcd_indexes
+
+__all__ = [
+    "SortedIndex",
+    "IndexDefinition",
+    "IndexManager",
+    "tuned_tpcd_indexes",
+    "apply_tuned_tpcd_indexes",
+]

@@ -1,0 +1,516 @@
+"""The optimizer facade: access paths, join enumeration, aggregation.
+
+``Optimizer.optimize(query, selectivity_overrides=..., ignore_statistics=...)``
+is the complete interface the paper's algorithms need:
+
+* ``selectivity_overrides`` — the Sec 7.2 extension that feeds MNSA's
+  ε / 1-ε pinning of statistics-less selectivity variables;
+* ``ignore_statistics`` — the ``Ignore_Statistics_Subset`` extension the
+  Shrinking Set algorithm uses to obtain ``Plan(Q, S')`` for S' ⊂ S;
+* ``magic_variables(query)`` — which selectivity variables currently fall
+  back to magic numbers (step (a) of the Sec 4.1 test).
+
+Join enumeration is left-deep dynamic programming (System R): states are
+table subsets; each extension joins one more base-table access path using
+the cheapest of index nested loops, naive nested loops, hash, and
+sort-merge.  Ties break on the plan signature so optimization is fully
+deterministic — essential for Execution-Tree equivalence experiments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.config import DEFAULT_CONFIG, OptimizerConfig
+from repro.errors import OptimizerError
+from repro.optimizer.cost_model import CostModel
+from repro.optimizer.plans import (
+    AggregateNode,
+    HavingNode,
+    IndexSeekNode,
+    JoinAlgorithm,
+    JoinNode,
+    PlanNode,
+    ScanNode,
+    SortNode,
+)
+from repro.optimizer.selectivity import SelectivityEstimator
+from repro.optimizer.variables import (
+    GroupByVariable,
+    JoinVariable,
+    SelectivityVariable,
+)
+from repro.sql.expressions import Aggregate
+from repro.sql.predicates import ComparisonPredicate, Predicate
+from repro.sql.query import Query
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one optimizer call.
+
+    Attributes:
+        plan: the chosen physical plan.
+        cost: the plan's optimizer-estimated cost — the paper's
+            ``Estimated-Cost(Q, S)``.
+        rows: estimated output rows.
+    """
+
+    plan: PlanNode
+    cost: float
+    rows: float
+
+    @property
+    def signature(self) -> tuple:
+        return self.plan.signature()
+
+
+class Optimizer:
+    """Cost-based optimizer over one database."""
+
+    def __init__(
+        self, database, config: OptimizerConfig = DEFAULT_CONFIG
+    ) -> None:
+        self._db = database
+        self._config = config
+        self._cost = CostModel(config)
+        self.call_count = 0
+        """Number of optimize() invocations (MNSA charges 3 per statistic)."""
+
+    @property
+    def config(self) -> OptimizerConfig:
+        return self._config
+
+    # ------------------------------------------------------------------
+    # public interface
+    # ------------------------------------------------------------------
+
+    def optimize(
+        self,
+        query: Query,
+        selectivity_overrides: Optional[Dict[SelectivityVariable, float]] = None,
+        ignore_statistics: Optional[Iterable] = None,
+    ) -> OptimizationResult:
+        """Choose the cheapest plan for ``query``.
+
+        Args:
+            query: a bound :class:`~repro.sql.query.Query`.
+            selectivity_overrides: forced selectivities for variables that
+                lack statistics (MNSA's ε / 1-ε pinning).
+            ignore_statistics: statistics to hide for this call (the
+                ``Ignore_Statistics_Subset`` extension).
+        """
+        self.call_count += 1
+        if ignore_statistics is not None:
+            with self._db.stats.ignore_subset(ignore_statistics):
+                return self._optimize(query, selectivity_overrides)
+        return self._optimize(query, selectivity_overrides)
+
+    def magic_variables(self, query: Query) -> List[SelectivityVariable]:
+        """Selectivity variables of ``query`` forced onto magic numbers."""
+        estimator = SelectivityEstimator(self._db, self._config)
+        return estimator.missing_variables(query)
+
+    # ------------------------------------------------------------------
+    # plan construction
+    # ------------------------------------------------------------------
+
+    def _optimize(self, query, overrides) -> OptimizationResult:
+        estimator = SelectivityEstimator(self._db, self._config, overrides)
+        best = self._enumerate_joins(query, estimator)
+        plan = self._add_aggregation(query, estimator, best)
+        plan = self._add_order_by(query, plan)
+        return OptimizationResult(plan=plan, cost=plan.cost, rows=plan.rows)
+
+    # ----- base table access paths ------------------------------------
+
+    def _access_paths(
+        self, table: str, query: Query, estimator: SelectivityEstimator
+    ) -> List[PlanNode]:
+        """All candidate access paths for one base table."""
+        data = self._db.table(table)
+        schema = data.schema
+        predicates = query.predicates_of(table)
+        filter_sel = estimator.table_filter_selectivity(table, predicates)
+        out_rows = data.row_count * filter_sel
+
+        paths: List[PlanNode] = []
+        scan_cost = self._cost.table_scan(
+            data.row_count, schema.row_width_bytes, len(predicates)
+        )
+        paths.append(ScanNode(table, predicates, out_rows, scan_cost))
+
+        if self._config.enable_index_paths:
+            for seek_pred in predicates:
+                if not self._seekable(seek_pred):
+                    continue
+                index = self._db.indexes.index_on(seek_pred.columns()[0])
+                if index is None:
+                    continue
+                seek_sel = estimator.predicate_selectivity(seek_pred)
+                matching = data.row_count * seek_sel
+                residual = tuple(
+                    p for p in predicates if p is not seek_pred
+                )
+                cost = self._cost.index_seek(matching, len(residual))
+                paths.append(
+                    IndexSeekNode(
+                        table, index.name, seek_pred, residual, out_rows, cost
+                    )
+                )
+        return paths
+
+    @staticmethod
+    def _seekable(predicate: Predicate) -> bool:
+        """Predicates our sorted indexes can seek on."""
+        from repro.sql.predicates import BetweenPredicate, InPredicate
+
+        if isinstance(predicate, ComparisonPredicate):
+            return predicate.op in ("=", "<", "<=", ">", ">=")
+        return isinstance(predicate, (BetweenPredicate, InPredicate))
+
+    def _best_access_path(self, table, query, estimator) -> PlanNode:
+        paths = self._access_paths(table, query, estimator)
+        return min(paths, key=lambda p: (p.cost, str(p.signature())))
+
+    # ----- join enumeration -------------------------------------------
+
+    def _enumerate_joins(
+        self, query: Query, estimator: SelectivityEstimator
+    ) -> PlanNode:
+        tables = list(query.tables)
+        access: Dict[str, PlanNode] = {
+            t: self._best_access_path(t, query, estimator) for t in tables
+        }
+        if len(tables) == 1:
+            return access[tables[0]]
+
+        # dp over table subsets; left-deep extensions only
+        dp: Dict[FrozenSet[str], PlanNode] = {
+            frozenset((t,)): access[t] for t in tables
+        }
+        for size in range(2, len(tables) + 1):
+            for combo in itertools.combinations(tables, size):
+                subset = frozenset(combo)
+                best = self._best_extension(
+                    subset, dp, access, query, estimator, allow_cartesian=False
+                )
+                if self._config.enable_bushy_joins:
+                    bushy = self._best_bushy(
+                        subset, dp, query, estimator
+                    )
+                    if bushy is not None and (
+                        best is None or self._better(bushy, best)
+                    ):
+                        best = bushy
+                if best is None:
+                    # disconnected join graph: fall back to a cross product
+                    best = self._best_extension(
+                        subset,
+                        dp,
+                        access,
+                        query,
+                        estimator,
+                        allow_cartesian=True,
+                    )
+                if best is not None:
+                    dp[subset] = best
+        final = dp.get(frozenset(tables))
+        if final is None:
+            raise OptimizerError(f"no join order found for tables {tables}")
+        return final
+
+    def _best_extension(
+        self,
+        subset: FrozenSet[str],
+        dp,
+        access,
+        query: Query,
+        estimator: SelectivityEstimator,
+        allow_cartesian: bool,
+    ) -> Optional[PlanNode]:
+        """Cheapest left-deep plan for ``subset`` (one extension step)."""
+        best: Optional[PlanNode] = None
+        for inner in sorted(subset):
+            rest = subset - {inner}
+            left = dp.get(rest)
+            if left is None:
+                continue
+            joins = query.joins_between(rest, (inner,))
+            if not joins and not allow_cartesian:
+                continue
+            candidate = self._best_join(left, access[inner], joins, estimator)
+            if best is None or self._better(candidate, best):
+                best = candidate
+        return best
+
+    @staticmethod
+    def _better(a: PlanNode, b: PlanNode) -> bool:
+        """Deterministic plan comparison: cost, then signature."""
+        if a.cost != b.cost:
+            return a.cost < b.cost
+        return str(a.signature()) < str(b.signature())
+
+    def _best_bushy(
+        self,
+        subset: FrozenSet[str],
+        dp,
+        query: Query,
+        estimator: SelectivityEstimator,
+    ) -> Optional[PlanNode]:
+        """Cheapest bushy decomposition of ``subset`` into two joined
+        sub-plans of size >= 2 each (left-deep shapes are handled by
+        ``_best_extension``; considering both here would double work)."""
+        if len(subset) < 4:
+            return None
+        members = sorted(subset)
+        best: Optional[PlanNode] = None
+        # enumerate one side; fix members[0] on the left to halve the work
+        others = members[1:]
+        for size in range(1, len(others)):
+            for combo in itertools.combinations(others, size):
+                left_set = frozenset((members[0],) + combo)
+                right_set = subset - left_set
+                if len(left_set) < 2 or len(right_set) < 2:
+                    continue
+                left = dp.get(left_set)
+                right = dp.get(right_set)
+                if left is None or right is None:
+                    continue
+                joins = query.joins_between(left_set, right_set)
+                if not joins:
+                    continue
+                candidate = self._best_join(left, right, joins, estimator)
+                if best is None or self._better(candidate, best):
+                    best = candidate
+        return best
+
+    def _join_selectivity(
+        self, joins, estimator: SelectivityEstimator
+    ) -> float:
+        """Combined selectivity of join predicates (grouped per pair)."""
+        if not joins:
+            return 1.0
+        groups: Dict[tuple, list] = {}
+        for join in joins:
+            pair = tuple(sorted(join.tables()))
+            groups.setdefault(pair, []).append(join)
+        selectivity = 1.0
+        for _, preds in sorted(groups.items()):
+            variable = JoinVariable(tuple(preds))
+            selectivity *= estimator.join_group_selectivity(variable)
+        return selectivity
+
+    def _best_join(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        joins,
+        estimator: SelectivityEstimator,
+    ) -> PlanNode:
+        """Cheapest algorithm for joining ``left`` with base-path ``right``."""
+        selectivity = self._join_selectivity(joins, estimator)
+        out_rows = max(0.0, left.rows * right.rows * selectivity)
+        children_cost = left.cost + right.cost
+        candidates: List[PlanNode] = []
+
+        if self._config.enable_hash_join and joins:
+            build_rows = min(left.rows, right.rows)
+            probe_rows = max(left.rows, right.rows)
+            build_side = "right" if right.rows <= left.rows else "left"
+            cost = children_cost + self._cost.hash_join(
+                build_rows, probe_rows, out_rows
+            )
+            candidates.append(
+                JoinNode(
+                    JoinAlgorithm.HASH,
+                    left,
+                    right,
+                    joins,
+                    out_rows,
+                    cost,
+                    build_side=build_side,
+                )
+            )
+
+        if self._config.enable_merge_join and joins:
+            cost = children_cost + self._cost.merge_join(
+                left.rows, right.rows, out_rows
+            )
+            candidates.append(
+                JoinNode(
+                    JoinAlgorithm.MERGE, left, right, joins, out_rows, cost
+                )
+            )
+
+        # index nested loops: seek the inner table's join column per outer row
+        inner_index = self._usable_inner_index(right, joins)
+        if inner_index is not None:
+            matches_per_outer = (
+                right.rows * selectivity if left.rows > 0 else 0.0
+            )
+            cost = left.cost + self._cost.nested_loop_index(
+                left.rows, matches_per_outer
+            )
+            candidates.append(
+                JoinNode(
+                    JoinAlgorithm.NESTED_LOOP_INDEX,
+                    left,
+                    right,
+                    joins,
+                    out_rows,
+                    cost,
+                    inner_index=inner_index,
+                )
+            )
+
+        # naive nested loops (also the only option for cartesian products)
+        rescan_cost = right.cost  # re-derive the inner side per outer row
+        cost = left.cost + self._cost.nested_loop_scan(
+            max(1.0, left.rows), rescan_cost
+        )
+        candidates.append(
+            JoinNode(
+                JoinAlgorithm.NESTED_LOOP_SCAN,
+                left,
+                right,
+                joins,
+                out_rows,
+                cost,
+            )
+        )
+
+        best = candidates[0]
+        for candidate in candidates[1:]:
+            if self._better(candidate, best):
+                best = candidate
+        return best
+
+    def _usable_inner_index(self, right: PlanNode, joins) -> Optional[str]:
+        """Name of an index on the inner side's join column, if usable.
+
+        Index nested loops requires the inner side to be a bare base table
+        (we seek instead of using its access path) with an index on one of
+        the join columns.
+        """
+        if not joins:
+            return None
+        if not isinstance(right, (ScanNode, IndexSeekNode)):
+            return None
+        table = right.tables()[0]
+        if not self._config.enable_index_paths:
+            return None
+        for join in joins:
+            try:
+                inner_col = join.side_for(table)
+            except ValueError:
+                continue
+            index = self._db.indexes.index_on(inner_col)
+            if index is not None:
+                return index.name
+        return None
+
+    # ----- aggregation and ordering -----------------------------------
+
+    def _add_aggregation(
+        self, query: Query, estimator: SelectivityEstimator, plan: PlanNode
+    ) -> PlanNode:
+        if not query.has_aggregation:
+            return plan
+        aggregates = query.all_aggregates()
+        if not query.group_by:
+            groups = 1.0
+            cost = plan.cost + self._cost.hash_aggregate(plan.rows, groups)
+            return AggregateNode(plan, (), aggregates, groups, cost)
+
+        groups = 1.0
+        for table in query.tables:
+            cols = query.group_by_columns_of(table)
+            if not cols:
+                continue
+            variable = GroupByVariable(
+                table, tuple(ref.column for ref in cols)
+            )
+            fraction = estimator.group_by_fraction(variable)
+            groups *= max(1.0, fraction * self._db.row_count(table))
+        groups = min(groups, max(1.0, plan.rows))
+
+        # hash aggregation pays a downstream sort for ORDER BY; stream
+        # aggregation pays an upstream sort but delivers grouped order.
+        # The choice hinges on the *estimated* group count, making it
+        # statistics-sensitive.
+        hash_plan = AggregateNode(
+            plan,
+            query.group_by,
+            aggregates,
+            groups,
+            plan.cost + self._cost.hash_aggregate(plan.rows, groups),
+            method="hash",
+        )
+        hash_full = self._add_order_by(
+            query, self._add_having(query, hash_plan)
+        )
+        stream_plan = AggregateNode(
+            plan,
+            query.group_by,
+            aggregates,
+            groups,
+            plan.cost + self._cost.stream_aggregate(plan.rows, groups),
+            method="stream",
+        )
+        stream_full = self._add_order_by(
+            query, self._add_having(query, stream_plan)
+        )
+        best = (
+            stream_full
+            if self._better(stream_full, hash_full)
+            else hash_full
+        )
+        # mark so the caller does not add ORDER BY twice
+        best._order_by_applied = True
+        return best
+
+    def _add_having(self, query: Query, plan: PlanNode) -> PlanNode:
+        """Group filter after aggregation.
+
+        HAVING selectivity cannot come from base-table statistics, so it
+        is costed with the corresponding magic numbers and introduces no
+        selectivity variable.
+        """
+        if not query.having:
+            return plan
+        magic = self._config.magic
+        selectivity = 1.0
+        for condition in query.having:
+            if condition.op == "=":
+                selectivity *= magic.equality
+            elif condition.op == "<>":
+                selectivity *= magic.inequality
+            else:
+                selectivity *= magic.range_
+        rows = plan.rows * selectivity
+        cost = plan.cost + plan.rows * (
+            len(query.having) * self._config.cost.cpu_compare_cost
+        )
+        return HavingNode(plan, query.having, rows, cost)
+
+    def _order_by_satisfied(self, query: Query, plan: PlanNode) -> bool:
+        """True if ``plan`` already delivers the requested order."""
+        if isinstance(plan, HavingNode):
+            return self._order_by_satisfied(query, plan.child)
+        if isinstance(plan, AggregateNode) and plan.method == "stream":
+            prefix = plan.group_by[: len(query.order_by)]
+            return tuple(query.order_by) == prefix
+        return False
+
+    def _add_order_by(self, query: Query, plan: PlanNode) -> PlanNode:
+        if getattr(plan, "_order_by_applied", False):
+            return plan
+        if not query.order_by or plan.rows <= 1.0:
+            return plan
+        if self._order_by_satisfied(query, plan):
+            return plan
+        cost = plan.cost + self._cost.sort(plan.rows)
+        return SortNode(plan, query.order_by, cost)

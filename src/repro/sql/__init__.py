@@ -1,0 +1,79 @@
+"""SQL front end: lexer, parser, binder, and the normalized query model.
+
+The supported subset matches what the paper's techniques target (Sec 4.1):
+Select-Project-Join queries with conjunctive WHERE clauses, GROUP BY /
+aggregation, and ORDER BY, plus the INSERT / DELETE / UPDATE statements the
+Rags-style workloads contain.  Multi-block queries (subqueries, UNION) are
+out of scope, as in the paper's core algorithm.
+
+Typical usage::
+
+    from repro.sql import parse_statement, bind
+    query = bind(parse_statement("SELECT * FROM orders WHERE ..."), schema)
+
+or programmatically::
+
+    from repro.sql import QueryBuilder
+    query = (QueryBuilder(schema).table("orders")
+             .where("o_totalprice", ">", 1000).build())
+"""
+
+from repro.sql.predicates import (
+    BetweenPredicate,
+    ComparisonPredicate,
+    InPredicate,
+    JoinPredicate,
+    LikePredicate,
+    Predicate,
+    PredicateKind,
+)
+from repro.sql.expressions import (
+    Aggregate,
+    AggregateFunction,
+    ArithmeticExpression,
+    ColumnExpression,
+    HavingPredicate,
+    LiteralExpression,
+    ScalarExpression,
+)
+from repro.sql.query import DmlStatement, Query, Statement
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.ast import (
+    DeleteAst,
+    InsertAst,
+    SelectAst,
+    UpdateAst,
+)
+from repro.sql.parser import parse_statement
+from repro.sql.binder import bind
+from repro.sql.builder import QueryBuilder
+
+__all__ = [
+    "Predicate",
+    "PredicateKind",
+    "ComparisonPredicate",
+    "BetweenPredicate",
+    "InPredicate",
+    "LikePredicate",
+    "JoinPredicate",
+    "ScalarExpression",
+    "ColumnExpression",
+    "LiteralExpression",
+    "ArithmeticExpression",
+    "Aggregate",
+    "AggregateFunction",
+    "HavingPredicate",
+    "Query",
+    "Statement",
+    "DmlStatement",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "SelectAst",
+    "InsertAst",
+    "DeleteAst",
+    "UpdateAst",
+    "parse_statement",
+    "bind",
+    "QueryBuilder",
+]

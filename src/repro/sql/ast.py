@@ -1,0 +1,140 @@
+"""Unbound parse-tree nodes produced by the parser.
+
+These carry raw names (possibly alias-qualified) and untyped literals; the
+binder resolves them against a :class:`~repro.catalog.Schema` into the
+normalized :mod:`repro.sql.query` model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+# ----------------------------------------------------------------------
+# raw scalar expressions
+# ----------------------------------------------------------------------
+
+
+class RawExpression:
+    """Base class for unbound scalar expressions."""
+
+
+@dataclass(frozen=True)
+class RawColumn(RawExpression):
+    """A column reference, optionally qualified: ``name`` or ``qualifier.name``."""
+
+    name: str
+    qualifier: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.qualifier:
+            return f"{self.qualifier}.{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class RawLiteral(RawExpression):
+    """A number or string constant; ``is_date`` marks ``DATE '...'`` literals."""
+
+    value: object
+    is_date: bool = False
+
+
+@dataclass(frozen=True)
+class RawArithmetic(RawExpression):
+    """``left op right`` with op in ``+ - * /``."""
+
+    op: str
+    left: RawExpression
+    right: RawExpression
+
+
+@dataclass(frozen=True)
+class RawAggregate(RawExpression):
+    """``FUNC(expr)`` or ``COUNT(*)`` (argument None)."""
+
+    function: str
+    argument: Optional[RawExpression]
+
+
+# ----------------------------------------------------------------------
+# raw conditions (conjuncts of the WHERE clause)
+# ----------------------------------------------------------------------
+
+
+class RawCondition:
+    """Base class for one conjunct of a WHERE clause."""
+
+
+@dataclass(frozen=True)
+class RawComparison(RawCondition):
+    """``left op right`` where either side may be a column or literal."""
+
+    op: str
+    left: RawExpression
+    right: RawExpression
+
+
+@dataclass(frozen=True)
+class RawBetween(RawCondition):
+    column: RawColumn
+    low: RawLiteral
+    high: RawLiteral
+
+
+@dataclass(frozen=True)
+class RawIn(RawCondition):
+    column: RawColumn
+    values: Tuple[RawLiteral, ...]
+
+
+@dataclass(frozen=True)
+class RawLike(RawCondition):
+    column: RawColumn
+    pattern: str
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SelectAst:
+    """An unbound SELECT statement.
+
+    ``select_items`` empty means ``SELECT *``.
+    """
+
+    select_items: List[RawExpression] = field(default_factory=list)
+    distinct: bool = False
+    from_tables: List[Tuple[str, Optional[str]]] = field(default_factory=list)
+    where: List[RawCondition] = field(default_factory=list)
+    group_by: List[RawColumn] = field(default_factory=list)
+    having: List[RawComparison] = field(default_factory=list)
+    order_by: List[RawColumn] = field(default_factory=list)
+    text: Optional[str] = None
+
+
+@dataclass
+class InsertAst:
+    table: str
+    columns: List[str]
+    rows: List[Tuple[RawLiteral, ...]]
+    text: Optional[str] = None
+
+
+@dataclass
+class DeleteAst:
+    table: str
+    where: List[RawCondition] = field(default_factory=list)
+    text: Optional[str] = None
+
+
+@dataclass
+class UpdateAst:
+    table: str
+    assignments: List[Tuple[str, RawLiteral]] = field(default_factory=list)
+    where: List[RawCondition] = field(default_factory=list)
+    text: Optional[str] = None

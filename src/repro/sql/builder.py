@@ -1,0 +1,194 @@
+"""Fluent programmatic construction of bound queries.
+
+The Rags-style workload generator and many tests build queries directly
+rather than via SQL text::
+
+    query = (QueryBuilder(schema)
+             .table("orders").table("customer")
+             .join("orders.o_custkey", "customer.c_custkey")
+             .where("orders.o_totalprice", ">", 1000.0)
+             .group_by("customer.c_mktsegment")
+             .aggregate("count")
+             .build())
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.catalog import ColumnRef, ColumnType, Schema
+from repro.datagen.dates import date_to_daynum
+from repro.errors import SqlBindError
+from repro.sql.expressions import (
+    Aggregate,
+    AggregateFunction,
+    ColumnExpression,
+    HavingPredicate,
+    ScalarExpression,
+)
+from repro.sql.predicates import (
+    BetweenPredicate,
+    ComparisonPredicate,
+    InPredicate,
+    JoinPredicate,
+    LikePredicate,
+)
+from repro.sql.query import Query
+
+
+class QueryBuilder:
+    """Accumulates query pieces and validates them on :meth:`build`."""
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._tables: List[str] = []
+        self._predicates = []
+        self._joins = []
+        self._group_by: List[ColumnRef] = []
+        self._order_by: List[ColumnRef] = []
+        self._projections = []
+        self._having = []
+
+    # ------------------------------------------------------------------
+
+    def _ref(self, column: object) -> ColumnRef:
+        if isinstance(column, ColumnRef):
+            ref = column
+        else:
+            ref = ColumnRef.parse(str(column))
+        self._schema.column(ref)  # validates table and column exist
+        return ref
+
+    def _coerce(self, ref: ColumnRef, value):
+        ctype = self._schema.column(ref).type
+        if ctype == ColumnType.DATE and isinstance(value, str):
+            return date_to_daynum(value)
+        if ctype == ColumnType.STRING and not isinstance(value, str):
+            raise SqlBindError(f"expected string literal for {ref}")
+        if ctype in (ColumnType.INT, ColumnType.FLOAT) and isinstance(
+            value, str
+        ):
+            raise SqlBindError(f"expected numeric literal for {ref}")
+        return value
+
+    def _auto_add_table(self, ref: ColumnRef) -> None:
+        if ref.table not in self._tables:
+            self._tables.append(ref.table)
+
+    # ------------------------------------------------------------------
+    # fluent pieces
+    # ------------------------------------------------------------------
+
+    def table(self, name: str) -> "QueryBuilder":
+        """Add a table to the FROM clause."""
+        self._schema.table(name)
+        if name not in self._tables:
+            self._tables.append(name)
+        return self
+
+    def where(self, column, op: str, value) -> "QueryBuilder":
+        """Add a ``column op literal`` selection predicate."""
+        ref = self._ref(column)
+        self._auto_add_table(ref)
+        self._predicates.append(
+            ComparisonPredicate(ref, op, self._coerce(ref, value))
+        )
+        return self
+
+    def between(self, column, low, high) -> "QueryBuilder":
+        ref = self._ref(column)
+        self._auto_add_table(ref)
+        self._predicates.append(
+            BetweenPredicate(ref, self._coerce(ref, low), self._coerce(ref, high))
+        )
+        return self
+
+    def in_list(self, column, values) -> "QueryBuilder":
+        ref = self._ref(column)
+        self._auto_add_table(ref)
+        coerced = tuple(self._coerce(ref, v) for v in values)
+        self._predicates.append(InPredicate(ref, coerced))
+        return self
+
+    def like(self, column, pattern: str) -> "QueryBuilder":
+        ref = self._ref(column)
+        self._auto_add_table(ref)
+        if self._schema.column(ref).type != ColumnType.STRING:
+            raise SqlBindError(f"LIKE requires a STRING column, got {ref}")
+        self._predicates.append(LikePredicate(ref, pattern))
+        return self
+
+    def join(self, left, right) -> "QueryBuilder":
+        """Add an equijoin predicate between two tables."""
+        left_ref, right_ref = self._ref(left), self._ref(right)
+        self._auto_add_table(left_ref)
+        self._auto_add_table(right_ref)
+        join = JoinPredicate(left_ref, right_ref)
+        if join not in self._joins:
+            self._joins.append(join)
+        return self
+
+    def group_by(self, *columns) -> "QueryBuilder":
+        for column in columns:
+            ref = self._ref(column)
+            self._auto_add_table(ref)
+            if ref not in self._group_by:
+                self._group_by.append(ref)
+        return self
+
+    def order_by(self, *columns) -> "QueryBuilder":
+        for column in columns:
+            ref = self._ref(column)
+            self._auto_add_table(ref)
+            if ref not in self._order_by:
+                self._order_by.append(ref)
+        return self
+
+    def select(self, *columns) -> "QueryBuilder":
+        """Project plain columns (or pre-built scalar expressions)."""
+        for column in columns:
+            if isinstance(column, (ScalarExpression, Aggregate)):
+                self._projections.append(column)
+            else:
+                ref = self._ref(column)
+                self._auto_add_table(ref)
+                self._projections.append(ColumnExpression(ref))
+        return self
+
+    def aggregate(
+        self, function: str, column: Optional[object] = None
+    ) -> "QueryBuilder":
+        """Add an aggregate to the SELECT list (``column=None`` → COUNT(*))."""
+        self._projections.append(self._make_aggregate(function, column))
+        return self
+
+    def having(
+        self, function: str, column: Optional[object], op: str, value
+    ) -> "QueryBuilder":
+        """Add a ``HAVING AGG(column) op value`` group filter."""
+        aggregate = self._make_aggregate(function, column)
+        self._having.append(HavingPredicate(aggregate, op, value))
+        return self
+
+    def _make_aggregate(self, function, column) -> Aggregate:
+        func = AggregateFunction(function.lower())
+        argument = None
+        if column is not None:
+            ref = self._ref(column)
+            self._auto_add_table(ref)
+            argument = ColumnExpression(ref)
+        return Aggregate(func, argument)
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> Query:
+        """Validate and return the immutable :class:`Query`."""
+        return Query(
+            tables=tuple(self._tables),
+            predicates=tuple(self._predicates),
+            joins=tuple(self._joins),
+            group_by=tuple(self._group_by),
+            order_by=tuple(self._order_by),
+            projections=tuple(self._projections),
+            having=tuple(self._having),
+        )

@@ -1,0 +1,137 @@
+"""Scalar expressions and aggregates for SELECT lists.
+
+TPC-D projections need small arithmetic expressions over columns, e.g.
+``SUM(l_extendedprice * (1 - l_discount))``; this module models them as an
+immutable expression tree the executor evaluates vectorized over numpy
+columns.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.catalog import ColumnRef
+
+ARITHMETIC_OPS = ("+", "-", "*", "/")
+
+
+class ScalarExpression:
+    """Abstract base of the scalar expression tree."""
+
+    def columns(self) -> Tuple[ColumnRef, ...]:
+        """Distinct column references in the expression (in-order)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ColumnExpression(ScalarExpression):
+    """A bare column reference."""
+
+    column: ColumnRef
+
+    def columns(self) -> Tuple[ColumnRef, ...]:
+        return (self.column,)
+
+    def __str__(self) -> str:
+        return str(self.column)
+
+
+@dataclass(frozen=True)
+class LiteralExpression(ScalarExpression):
+    """A numeric or string constant."""
+
+    value: object
+
+    def columns(self) -> Tuple[ColumnRef, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class ArithmeticExpression(ScalarExpression):
+    """``left op right`` with op in ``+ - * /``."""
+
+    op: str
+    left: ScalarExpression
+    right: ScalarExpression
+
+    def __post_init__(self) -> None:
+        if self.op not in ARITHMETIC_OPS:
+            raise ValueError(f"unsupported arithmetic operator {self.op!r}")
+
+    def columns(self) -> Tuple[ColumnRef, ...]:
+        seen = []
+        for part in (self.left, self.right):
+            for ref in part.columns():
+                if ref not in seen:
+                    seen.append(ref)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class HavingPredicate:
+    """``AGG(expr) op literal`` — one conjunct of a HAVING clause.
+
+    HAVING filters *groups* after aggregation; its selectivity cannot be
+    estimated from base-table statistics, so the optimizer costs it with
+    a magic number and it contributes no selectivity variable.
+    """
+
+    aggregate: "Aggregate"
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in ("=", "<>", "<", "<=", ">", ">="):
+            raise ValueError(f"unsupported HAVING operator {self.op!r}")
+        if isinstance(self.value, str):
+            raise ValueError("HAVING compares aggregates to numbers")
+
+    def columns(self) -> Tuple[ColumnRef, ...]:
+        return self.aggregate.columns()
+
+    def __str__(self) -> str:
+        return f"{self.aggregate} {self.op} {self.value!r}"
+
+
+class AggregateFunction(enum.Enum):
+    """Aggregate functions the executor implements."""
+
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate call in a SELECT list.
+
+    ``argument is None`` only for ``COUNT(*)``.
+    """
+
+    function: AggregateFunction
+    argument: Optional[ScalarExpression] = None
+
+    def __post_init__(self) -> None:
+        if self.argument is None and self.function != AggregateFunction.COUNT:
+            raise ValueError(
+                f"{self.function.value.upper()} requires an argument"
+            )
+
+    def columns(self) -> Tuple[ColumnRef, ...]:
+        if self.argument is None:
+            return ()
+        return self.argument.columns()
+
+    def __str__(self) -> str:
+        arg = "*" if self.argument is None else str(self.argument)
+        return f"{self.function.value.upper()}({arg})"

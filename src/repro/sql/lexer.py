@@ -1,0 +1,124 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import SqlLexError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "OR", "NOT",
+    "GROUP", "ORDER", "BY", "HAVING", "ASC", "DESC", "AS",
+    "BETWEEN", "IN", "LIKE", "DATE",
+    "INSERT", "INTO", "VALUES", "DELETE", "UPDATE", "SET",
+    "COUNT", "SUM", "AVG", "MIN", "MAX",
+}
+
+_OPERATORS = ("<>", "<=", ">=", "=", "<", ">", "+", "-", "*", "/")
+
+_PUNCT = {",", "(", ")", ".", ";"}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset (for error messages)."""
+
+    type: TokenType
+    value: object
+    position: int
+
+    def matches(self, token_type: TokenType, value: object = None) -> bool:
+        if self.type != token_type:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL text into a list ending with an EOF token.
+
+    Raises:
+        SqlLexError: on unterminated strings or unexpected characters.
+    """
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        char = text[i]
+        if char.isspace():
+            i += 1
+            continue
+        if char == "'":
+            # '' inside a literal is an escaped single quote
+            pieces = []
+            j = i + 1
+            while True:
+                end = text.find("'", j)
+                if end == -1:
+                    raise SqlLexError("unterminated string literal", i)
+                pieces.append(text[j:end])
+                if end + 1 < n and text[end + 1] == "'":
+                    pieces.append("'")
+                    j = end + 2
+                else:
+                    j = end + 1
+                    break
+            tokens.append(Token(TokenType.STRING, "".join(pieces), i))
+            i = j
+            continue
+        if char.isdigit() or (
+            char == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # a dot not followed by a digit is punctuation (t.col)
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            literal = text[i:j]
+            value = float(literal) if "." in literal else int(literal)
+            tokens.append(Token(TokenType.NUMBER, value, i))
+            i = j
+            continue
+        if char.isalpha() or char == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, i))
+            i = j
+            continue
+        two = text[i : i + 2]
+        if two in _OPERATORS:
+            tokens.append(Token(TokenType.OP, two, i))
+            i += 2
+            continue
+        if char in _OPERATORS:
+            tokens.append(Token(TokenType.OP, char, i))
+            i += 1
+            continue
+        if char in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, char, i))
+            i += 1
+            continue
+        raise SqlLexError(f"unexpected character {char!r}", i)
+    tokens.append(Token(TokenType.EOF, None, n))
+    return tokens

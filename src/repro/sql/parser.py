@@ -1,0 +1,403 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar (conjunctive WHERE only — the paper's normalized SPJ form)::
+
+    statement   := select | insert | delete | update
+    select      := SELECT [DISTINCT] items FROM tables [WHERE conj]
+                   [GROUP BY cols] [ORDER BY cols [ASC|DESC]]
+    items       := '*' | item (',' item)*
+    item        := aggregate | expr
+    aggregate   := (COUNT|SUM|AVG|MIN|MAX) '(' ('*' | expr) ')'
+    expr        := term (('+'|'-') term)*
+    term        := factor (('*'|'/') factor)*
+    factor      := literal | column | '(' expr ')'
+    conj        := condition (AND condition)*
+    condition   := operand cmp operand | column [NOT] BETWEEN lit AND lit
+                 | column [NOT] IN '(' lit (',' lit)* ')'
+                 | column [NOT] LIKE string
+    literal     := NUMBER | STRING | DATE STRING
+
+OR and subqueries are rejected with a clear error (out of the supported
+subset, as in the paper's SPJ focus).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SqlParseError
+from repro.sql.ast import (
+    DeleteAst,
+    InsertAst,
+    RawAggregate,
+    RawArithmetic,
+    RawBetween,
+    RawColumn,
+    RawComparison,
+    RawCondition,
+    RawExpression,
+    RawIn,
+    RawLike,
+    RawLiteral,
+    SelectAst,
+    UpdateAst,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+_AGG_KEYWORDS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+_CMP_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+def parse_statement(text: str):
+    """Parse one SQL statement into an unbound AST.
+
+    Returns:
+        One of :class:`SelectAst`, :class:`InsertAst`, :class:`DeleteAst`,
+        :class:`UpdateAst`.
+
+    Raises:
+        SqlParseError: on any syntax outside the supported subset.
+    """
+    return _Parser(text).parse()
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = tokenize(text)
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._pos += 1
+        return token
+
+    def _check(self, token_type: TokenType, value=None) -> bool:
+        return self._current.matches(token_type, value)
+
+    def _accept(self, token_type: TokenType, value=None) -> Optional[Token]:
+        if self._check(token_type, value):
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, value=None) -> Token:
+        if not self._check(token_type, value):
+            wanted = value if value is not None else token_type.value
+            raise SqlParseError(
+                f"expected {wanted!r} but found {self._current.value!r} "
+                f"at offset {self._current.position}"
+            )
+        return self._advance()
+
+    def _fail(self, message: str):
+        raise SqlParseError(
+            f"{message} at offset {self._current.position} "
+            f"(near {self._current.value!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # entry
+    # ------------------------------------------------------------------
+
+    def parse(self):
+        if self._check(TokenType.KEYWORD, "SELECT"):
+            ast = self._parse_select()
+        elif self._check(TokenType.KEYWORD, "INSERT"):
+            ast = self._parse_insert()
+        elif self._check(TokenType.KEYWORD, "DELETE"):
+            ast = self._parse_delete()
+        elif self._check(TokenType.KEYWORD, "UPDATE"):
+            ast = self._parse_update()
+        else:
+            self._fail("expected SELECT, INSERT, DELETE or UPDATE")
+        self._accept(TokenType.PUNCT, ";")
+        if not self._check(TokenType.EOF):
+            self._fail("unexpected trailing input")
+        ast.text = self._text.strip()
+        return ast
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+
+    def _parse_select(self) -> SelectAst:
+        self._expect(TokenType.KEYWORD, "SELECT")
+        ast = SelectAst()
+        ast.distinct = bool(self._accept(TokenType.KEYWORD, "DISTINCT"))
+        if self._accept(TokenType.OP, "*"):
+            pass  # SELECT * -> empty select_items
+        else:
+            ast.select_items.append(self._parse_select_item())
+            while self._accept(TokenType.PUNCT, ","):
+                ast.select_items.append(self._parse_select_item())
+        self._expect(TokenType.KEYWORD, "FROM")
+        ast.from_tables.append(self._parse_table_ref())
+        while self._accept(TokenType.PUNCT, ","):
+            ast.from_tables.append(self._parse_table_ref())
+        if self._accept(TokenType.KEYWORD, "WHERE"):
+            ast.where = self._parse_conjunction()
+        if self._accept(TokenType.KEYWORD, "GROUP"):
+            self._expect(TokenType.KEYWORD, "BY")
+            ast.group_by.append(self._parse_column())
+            while self._accept(TokenType.PUNCT, ","):
+                ast.group_by.append(self._parse_column())
+        if self._accept(TokenType.KEYWORD, "HAVING"):
+            ast.having.append(self._parse_having_condition())
+            while self._accept(TokenType.KEYWORD, "AND"):
+                ast.having.append(self._parse_having_condition())
+        if self._accept(TokenType.KEYWORD, "ORDER"):
+            self._expect(TokenType.KEYWORD, "BY")
+            ast.order_by.append(self._parse_order_item())
+            while self._accept(TokenType.PUNCT, ","):
+                ast.order_by.append(self._parse_order_item())
+        return ast
+
+    def _parse_order_item(self) -> RawColumn:
+        column = self._parse_column()
+        # direction is accepted and ignored (plans sort ascending)
+        if not self._accept(TokenType.KEYWORD, "ASC"):
+            self._accept(TokenType.KEYWORD, "DESC")
+        return column
+
+    def _parse_having_condition(self) -> RawComparison:
+        """``AGG(expr) op literal`` — the HAVING subset we support."""
+        if not (
+            self._current.type == TokenType.KEYWORD
+            and self._current.value in _AGG_KEYWORDS
+        ):
+            self._fail("HAVING conditions must start with an aggregate")
+        aggregate = self._parse_aggregate()
+        if self._current.type != TokenType.OP or (
+            self._current.value not in _CMP_OPS
+        ):
+            self._fail("expected a comparison operator in HAVING")
+        op = self._advance().value
+        literal = self._expect_literal()
+        return RawComparison(op, aggregate, literal)
+
+    def _parse_table_ref(self) -> Tuple[str, Optional[str]]:
+        name = self._expect(TokenType.IDENT).value
+        alias = None
+        if self._accept(TokenType.KEYWORD, "AS"):
+            alias = self._expect(TokenType.IDENT).value
+        elif self._check(TokenType.IDENT):
+            alias = self._advance().value
+        return (name, alias)
+
+    def _parse_select_item(self) -> RawExpression:
+        if self._current.type == TokenType.KEYWORD and (
+            self._current.value in _AGG_KEYWORDS
+        ):
+            return self._parse_aggregate()
+        return self._parse_expression()
+
+    def _parse_aggregate(self) -> RawAggregate:
+        func = self._advance().value
+        self._expect(TokenType.PUNCT, "(")
+        if self._accept(TokenType.OP, "*"):
+            if func != "COUNT":
+                self._fail(f"{func}(*) is not valid")
+            argument = None
+        else:
+            argument = self._parse_expression()
+        self._expect(TokenType.PUNCT, ")")
+        return RawAggregate(func, argument)
+
+    # ------------------------------------------------------------------
+    # scalar expressions
+    # ------------------------------------------------------------------
+
+    def _parse_expression(self) -> RawExpression:
+        left = self._parse_term()
+        while self._check(TokenType.OP, "+") or self._check(TokenType.OP, "-"):
+            op = self._advance().value
+            right = self._parse_term()
+            left = RawArithmetic(op, left, right)
+        return left
+
+    def _parse_term(self) -> RawExpression:
+        left = self._parse_factor()
+        while self._check(TokenType.OP, "*") or self._check(TokenType.OP, "/"):
+            op = self._advance().value
+            right = self._parse_factor()
+            left = RawArithmetic(op, left, right)
+        return left
+
+    def _parse_factor(self) -> RawExpression:
+        if self._accept(TokenType.PUNCT, "("):
+            inner = self._parse_expression()
+            self._expect(TokenType.PUNCT, ")")
+            return inner
+        literal = self._try_parse_literal()
+        if literal is not None:
+            return literal
+        if self._check(TokenType.IDENT):
+            return self._parse_column()
+        self._fail("expected literal, column, or parenthesized expression")
+
+    def _try_parse_literal(self) -> Optional[RawLiteral]:
+        if self._check(TokenType.NUMBER):
+            return RawLiteral(self._advance().value)
+        if self._check(TokenType.STRING):
+            return RawLiteral(self._advance().value)
+        if self._check(TokenType.KEYWORD, "DATE"):
+            self._advance()
+            value = self._expect(TokenType.STRING).value
+            return RawLiteral(value, is_date=True)
+        if self._check(TokenType.OP, "-"):
+            # negative numeric literal
+            save = self._pos
+            self._advance()
+            if self._check(TokenType.NUMBER):
+                return RawLiteral(-self._advance().value)
+            self._pos = save
+        return None
+
+    def _parse_column(self) -> RawColumn:
+        first = self._expect(TokenType.IDENT).value
+        if self._accept(TokenType.PUNCT, "."):
+            second = self._expect(TokenType.IDENT).value
+            return RawColumn(second, qualifier=first)
+        return RawColumn(first)
+
+    # ------------------------------------------------------------------
+    # WHERE conjunctions
+    # ------------------------------------------------------------------
+
+    def _parse_conjunction(self) -> List[RawCondition]:
+        conditions = [self._parse_condition()]
+        while True:
+            if self._accept(TokenType.KEYWORD, "AND"):
+                conditions.append(self._parse_condition())
+            elif self._check(TokenType.KEYWORD, "OR"):
+                self._fail(
+                    "OR is outside the supported subset "
+                    "(conjunctive SPJ queries only)"
+                )
+            else:
+                return conditions
+
+    def _parse_condition(self) -> RawCondition:
+        if self._accept(TokenType.PUNCT, "("):
+            # parenthesized sub-conjunction of exactly one condition
+            condition = self._parse_condition()
+            self._expect(TokenType.PUNCT, ")")
+            return condition
+        if self._check(TokenType.KEYWORD, "NOT"):
+            self._fail(
+                "NOT is outside the supported subset "
+                "(the paper assumes normalized, NOT-free SPJ queries)"
+            )
+        left = self._parse_expression()
+        if self._check(TokenType.KEYWORD, "BETWEEN"):
+            return self._parse_between(left)
+        if self._check(TokenType.KEYWORD, "IN"):
+            return self._parse_in(left)
+        if self._check(TokenType.KEYWORD, "LIKE"):
+            return self._parse_like(left)
+        if self._current.type == TokenType.OP and (
+            self._current.value in _CMP_OPS
+        ):
+            op = self._advance().value
+            right = self._parse_expression()
+            return RawComparison(op, left, right)
+        self._fail("expected a comparison, BETWEEN, IN, or LIKE")
+
+    def _require_column(self, expr: RawExpression, context: str) -> RawColumn:
+        if not isinstance(expr, RawColumn):
+            raise SqlParseError(
+                f"{context} requires a plain column reference, got {expr}"
+            )
+        return expr
+
+    def _parse_between(self, left: RawExpression) -> RawBetween:
+        column = self._require_column(left, "BETWEEN")
+        self._expect(TokenType.KEYWORD, "BETWEEN")
+        low = self._expect_literal()
+        self._expect(TokenType.KEYWORD, "AND")
+        high = self._expect_literal()
+        return RawBetween(column, low, high)
+
+    def _parse_in(self, left: RawExpression) -> RawIn:
+        column = self._require_column(left, "IN")
+        self._expect(TokenType.KEYWORD, "IN")
+        self._expect(TokenType.PUNCT, "(")
+        values = [self._expect_literal()]
+        while self._accept(TokenType.PUNCT, ","):
+            values.append(self._expect_literal())
+        self._expect(TokenType.PUNCT, ")")
+        return RawIn(column, tuple(values))
+
+    def _parse_like(self, left: RawExpression) -> RawLike:
+        column = self._require_column(left, "LIKE")
+        self._expect(TokenType.KEYWORD, "LIKE")
+        pattern = self._expect(TokenType.STRING).value
+        return RawLike(column, pattern)
+
+    def _expect_literal(self) -> RawLiteral:
+        literal = self._try_parse_literal()
+        if literal is None:
+            self._fail("expected a literal")
+        return literal
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def _parse_insert(self) -> InsertAst:
+        self._expect(TokenType.KEYWORD, "INSERT")
+        self._expect(TokenType.KEYWORD, "INTO")
+        table = self._expect(TokenType.IDENT).value
+        columns: List[str] = []
+        if self._accept(TokenType.PUNCT, "("):
+            columns.append(self._expect(TokenType.IDENT).value)
+            while self._accept(TokenType.PUNCT, ","):
+                columns.append(self._expect(TokenType.IDENT).value)
+            self._expect(TokenType.PUNCT, ")")
+        self._expect(TokenType.KEYWORD, "VALUES")
+        rows = [self._parse_value_row()]
+        while self._accept(TokenType.PUNCT, ","):
+            rows.append(self._parse_value_row())
+        return InsertAst(table, columns, rows)
+
+    def _parse_value_row(self) -> Tuple[RawLiteral, ...]:
+        self._expect(TokenType.PUNCT, "(")
+        values = [self._expect_literal()]
+        while self._accept(TokenType.PUNCT, ","):
+            values.append(self._expect_literal())
+        self._expect(TokenType.PUNCT, ")")
+        return tuple(values)
+
+    def _parse_delete(self) -> DeleteAst:
+        self._expect(TokenType.KEYWORD, "DELETE")
+        self._expect(TokenType.KEYWORD, "FROM")
+        table = self._expect(TokenType.IDENT).value
+        where: List[RawCondition] = []
+        if self._accept(TokenType.KEYWORD, "WHERE"):
+            where = self._parse_conjunction()
+        return DeleteAst(table, where)
+
+    def _parse_update(self) -> UpdateAst:
+        self._expect(TokenType.KEYWORD, "UPDATE")
+        table = self._expect(TokenType.IDENT).value
+        self._expect(TokenType.KEYWORD, "SET")
+        assignments = [self._parse_assignment()]
+        while self._accept(TokenType.PUNCT, ","):
+            assignments.append(self._parse_assignment())
+        where: List[RawCondition] = []
+        if self._accept(TokenType.KEYWORD, "WHERE"):
+            where = self._parse_conjunction()
+        return UpdateAst(table, assignments, where)
+
+    def _parse_assignment(self) -> Tuple[str, RawLiteral]:
+        column = self._expect(TokenType.IDENT).value
+        self._expect(TokenType.OP, "=")
+        return (column, self._expect_literal())

@@ -1,0 +1,186 @@
+"""Bound predicate objects.
+
+A normalized query's WHERE clause is a conjunction of these predicates.
+Each predicate knows:
+
+* which columns it references (:meth:`columns`) — this feeds the paper's
+  "relevant columns" definition (Sec 3.1);
+* its :class:`PredicateKind`, which selects the magic number the optimizer
+  falls back to when no statistic applies (Sec 4.1).
+
+Predicates are immutable and hashable so sets of them behave sanely.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.catalog import ColumnRef
+
+COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+
+class PredicateKind(enum.Enum):
+    """Classification used to pick a default (magic-number) selectivity."""
+
+    EQUALITY = "equality"
+    RANGE = "range"
+    BETWEEN = "between"
+    INEQUALITY = "inequality"
+    IN_LIST = "in"
+    LIKE = "like"
+    JOIN = "join"
+
+
+class Predicate:
+    """Abstract base for all predicates."""
+
+    @property
+    def kind(self) -> PredicateKind:
+        raise NotImplementedError
+
+    def columns(self) -> Tuple[ColumnRef, ...]:
+        """All column references appearing in the predicate."""
+        raise NotImplementedError
+
+    def tables(self) -> Tuple[str, ...]:
+        """Distinct tables referenced, in first-appearance order."""
+        seen = []
+        for ref in self.columns():
+            if ref.table not in seen:
+                seen.append(ref.table)
+        return tuple(seen)
+
+
+@dataclass(frozen=True)
+class ComparisonPredicate(Predicate):
+    """``column op literal`` for op in ``=, <>, <, <=, >, >=``."""
+
+    column: ColumnRef
+    op: str
+    value: object
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unsupported comparison operator {self.op!r}")
+
+    @property
+    def kind(self) -> PredicateKind:
+        if self.op == "=":
+            return PredicateKind.EQUALITY
+        if self.op == "<>":
+            return PredicateKind.INEQUALITY
+        return PredicateKind.RANGE
+
+    def columns(self) -> Tuple[ColumnRef, ...]:
+        return (self.column,)
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class BetweenPredicate(Predicate):
+    """``column BETWEEN low AND high`` (inclusive both ends)."""
+
+    column: ColumnRef
+    low: object
+    high: object
+
+    @property
+    def kind(self) -> PredicateKind:
+        return PredicateKind.BETWEEN
+
+    def columns(self) -> Tuple[ColumnRef, ...]:
+        return (self.column,)
+
+    def __str__(self) -> str:
+        return f"{self.column} BETWEEN {self.low!r} AND {self.high!r}"
+
+
+@dataclass(frozen=True)
+class InPredicate(Predicate):
+    """``column IN (v1, v2, ...)``."""
+
+    column: ColumnRef
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("IN list must not be empty")
+
+    @property
+    def kind(self) -> PredicateKind:
+        return PredicateKind.IN_LIST
+
+    def columns(self) -> Tuple[ColumnRef, ...]:
+        return (self.column,)
+
+    def __str__(self) -> str:
+        inner = ", ".join(repr(v) for v in self.values)
+        return f"{self.column} IN ({inner})"
+
+
+@dataclass(frozen=True)
+class LikePredicate(Predicate):
+    """``column LIKE 'pattern'`` over a STRING column."""
+
+    column: ColumnRef
+    pattern: str
+
+    @property
+    def kind(self) -> PredicateKind:
+        return PredicateKind.LIKE
+
+    def columns(self) -> Tuple[ColumnRef, ...]:
+        return (self.column,)
+
+    def __str__(self) -> str:
+        return f"{self.column} LIKE {self.pattern!r}"
+
+
+@dataclass(frozen=True)
+class JoinPredicate(Predicate):
+    """Equijoin ``left = right`` between columns of two different tables.
+
+    The pair is stored in a canonical order (sorted by the string form) so
+    that ``JoinPredicate(a, b) == JoinPredicate(b, a)``.
+    """
+
+    left: ColumnRef
+    right: ColumnRef
+
+    def __post_init__(self) -> None:
+        if self.left.table == self.right.table:
+            raise ValueError(
+                "join predicate must span two tables, got "
+                f"{self.left} = {self.right}"
+            )
+        if str(self.right) < str(self.left):
+            original_left, original_right = self.left, self.right
+            object.__setattr__(self, "left", original_right)
+            object.__setattr__(self, "right", original_left)
+
+    @property
+    def kind(self) -> PredicateKind:
+        return PredicateKind.JOIN
+
+    def columns(self) -> Tuple[ColumnRef, ...]:
+        return (self.left, self.right)
+
+    def side_for(self, table: str) -> ColumnRef:
+        """The join column belonging to ``table``.
+
+        Raises:
+            ValueError: if the predicate does not touch ``table``.
+        """
+        if self.left.table == table:
+            return self.left
+        if self.right.table == table:
+            return self.right
+        raise ValueError(f"join {self} does not reference table {table!r}")
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"

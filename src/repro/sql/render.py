@@ -1,0 +1,205 @@
+"""Rendering bound statements back to SQL text.
+
+Round-trip property: ``bind(parse_statement(render(q)), schema) == q``
+for every query in the supported subset (asserted in
+``tests/sql/test_render.py``).  Workloads use this to serialize to plain
+``.sql`` files that can be re-loaded later or inspected by humans.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.catalog import ColumnRef, ColumnType, Schema
+from repro.datagen.dates import daynum_to_date
+from repro.errors import SqlError
+from repro.sql.expressions import (
+    Aggregate,
+    ArithmeticExpression,
+    ColumnExpression,
+    LiteralExpression,
+    ScalarExpression,
+)
+from repro.sql.predicates import (
+    BetweenPredicate,
+    ComparisonPredicate,
+    InPredicate,
+    JoinPredicate,
+    LikePredicate,
+    Predicate,
+)
+from repro.sql.query import DmlStatement, Query, Statement
+
+
+def render_statement(statement: Statement, schema: Schema) -> str:
+    """Render a bound statement to SQL text."""
+    if isinstance(statement, Query):
+        return render_query(statement, schema)
+    if isinstance(statement, DmlStatement):
+        return _render_dml(statement, schema)
+    raise SqlError(
+        f"cannot render statement of type {type(statement).__name__}"
+    )
+
+
+def render_query(query: Query, schema: Schema) -> str:
+    """Render a bound SELECT statement to SQL text."""
+    renderer = _Renderer(schema)
+    parts = [f"SELECT {renderer.select_list(query)}"]
+    parts.append(f"FROM {', '.join(query.tables)}")
+    conjuncts: List[str] = [
+        renderer.predicate(p) for p in query.predicates
+    ] + [renderer.join(j) for j in query.joins]
+    if conjuncts:
+        parts.append("WHERE " + " AND ".join(conjuncts))
+    if query.group_by:
+        parts.append(
+            "GROUP BY " + ", ".join(str(c) for c in query.group_by)
+        )
+    if query.having:
+        conditions = " AND ".join(
+            f"{renderer.select_item(c.aggregate)} {c.op} {c.value!r}"
+            for c in query.having
+        )
+        parts.append(f"HAVING {conditions}")
+    if query.order_by:
+        parts.append(
+            "ORDER BY " + ", ".join(str(c) for c in query.order_by)
+        )
+    return " ".join(parts)
+
+
+class _Renderer:
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+
+    # ------------------------------------------------------------------
+
+    def literal(self, ref: ColumnRef, value) -> str:
+        """Render a literal in the column's logical domain."""
+        ctype = self._schema.column(ref).type
+        if ctype == ColumnType.DATE:
+            return f"DATE '{daynum_to_date(int(value))}'"
+        if isinstance(value, str):
+            escaped = value.replace("'", "''")
+            return f"'{escaped}'"
+        if isinstance(value, float) and value.is_integer():
+            return f"{value:.1f}"
+        return repr(value)
+
+    def predicate(self, predicate: Predicate) -> str:
+        if isinstance(predicate, ComparisonPredicate):
+            ref = predicate.column
+            return f"{ref} {predicate.op} {self.literal(ref, predicate.value)}"
+        if isinstance(predicate, BetweenPredicate):
+            ref = predicate.column
+            return (
+                f"{ref} BETWEEN {self.literal(ref, predicate.low)} "
+                f"AND {self.literal(ref, predicate.high)}"
+            )
+        if isinstance(predicate, InPredicate):
+            ref = predicate.column
+            inner = ", ".join(
+                self.literal(ref, v) for v in predicate.values
+            )
+            return f"{ref} IN ({inner})"
+        if isinstance(predicate, LikePredicate):
+            escaped = predicate.pattern.replace("'", "''")
+            return f"{predicate.column} LIKE '{escaped}'"
+        raise SqlError(f"cannot render predicate {predicate!r}")
+
+    def join(self, join: JoinPredicate) -> str:
+        return f"{join.left} = {join.right}"
+
+    # ------------------------------------------------------------------
+
+    def scalar(self, expression: ScalarExpression) -> str:
+        if isinstance(expression, ColumnExpression):
+            return str(expression.column)
+        if isinstance(expression, LiteralExpression):
+            value = expression.value
+            if isinstance(value, str):
+                return f"'{value}'"
+            return repr(value)
+        if isinstance(expression, ArithmeticExpression):
+            return (
+                f"({self.scalar(expression.left)} {expression.op} "
+                f"{self.scalar(expression.right)})"
+            )
+        raise SqlError(f"cannot render expression {expression!r}")
+
+    def select_item(self, item) -> str:
+        if isinstance(item, Aggregate):
+            if item.argument is None:
+                return "COUNT(*)"
+            name = item.function.value.upper()
+            return f"{name}({self.scalar(item.argument)})"
+        return self.scalar(item)
+
+    def select_list(self, query: Query) -> str:
+        if not query.projections:
+            return "*"
+        return ", ".join(self.select_item(i) for i in query.projections)
+
+
+def _render_dml(statement: DmlStatement, schema: Schema) -> str:
+    renderer = _Renderer(schema)
+    table = statement.table
+    if statement.kind == "insert":
+        table_schema = schema.table(table)
+        names = table_schema.column_names()
+        first = statement.rows[0]
+        if isinstance(first, dict):
+            columns = [n for n in names if n in first]
+        else:
+            columns = names
+        row_texts = []
+        for row in statement.rows:
+            if isinstance(row, dict):
+                values = [row[name] for name in columns]
+            else:
+                values = list(row)
+            rendered = ", ".join(
+                renderer.literal(ColumnRef(table, c), v)
+                for c, v in zip(columns, values)
+            )
+            row_texts.append(f"({rendered})")
+        column_list = ", ".join(columns)
+        return (
+            f"INSERT INTO {table} ({column_list}) "
+            f"VALUES {', '.join(row_texts)}"
+        )
+    if statement.kind == "delete":
+        sql = f"DELETE FROM {table}"
+        if statement.predicate is not None:
+            sql += f" WHERE {renderer.predicate(statement.predicate)}"
+        return sql
+    # update
+    assignments = ", ".join(
+        f"{name} = {renderer.literal(ColumnRef(table, name), value)}"
+        for name, value in statement.assignments.items()
+    )
+    sql = f"UPDATE {table} SET {assignments}"
+    if statement.predicate is not None:
+        sql += f" WHERE {renderer.predicate(statement.predicate)}"
+    return sql
+
+
+def render_workload(workload, schema: Schema) -> str:
+    """Serialize a workload to newline-separated SQL statements."""
+    return "\n".join(
+        render_statement(stmt, schema) + ";" for stmt in workload
+    )
+
+
+def load_workload(text: str, schema: Schema, name: str = "workload"):
+    """Parse a ``render_workload`` dump back into a Workload."""
+    from repro.sql.binder import parse_and_bind
+    from repro.workload.workload import Workload
+
+    statements = []
+    for piece in text.split(";"):
+        piece = piece.strip()
+        if piece:
+            statements.append(parse_and_bind(piece, schema))
+    return Workload(statements, name=name)

@@ -1,0 +1,48 @@
+"""Statistics: histograms, densities, multi-column statistics, manager.
+
+A *statistic* (paper Sec 3) is a summary structure over one or more columns
+of a relation.  Ours mirror Microsoft SQL Server 7.0's (paper Sec 7.1):
+
+* a histogram over the **leading** column, and
+* density information (1 / #distinct) over each **leading prefix** of the
+  column list,
+
+so a statistic on ``(a, b, c)`` is *asymmetric*: it tells you a lot about
+``a``, something about ``(a, b)`` and ``(a, b, c)``, and nothing about
+``b`` alone.  That asymmetry is why the candidate-statistics algorithm has
+to pick column orders deliberately.
+
+Public API::
+
+    from repro.stats import (
+        Histogram, EquiDepthHistogram, MaxDiffHistogram,
+        StatKey, Statistic, build_statistic,
+        StatisticsManager, statistic_build_cost,
+    )
+"""
+
+from repro.stats.histogram import (
+    EquiDepthHistogram,
+    Histogram,
+    HistogramKind,
+    MaxDiffHistogram,
+    build_histogram,
+)
+from repro.stats.statistic import StatKey, Statistic
+from repro.stats.builder import build_statistic
+from repro.stats.cost import statistic_build_cost, statistic_update_cost
+from repro.stats.manager import StatisticsManager
+
+__all__ = [
+    "Histogram",
+    "HistogramKind",
+    "EquiDepthHistogram",
+    "MaxDiffHistogram",
+    "build_histogram",
+    "StatKey",
+    "Statistic",
+    "build_statistic",
+    "statistic_build_cost",
+    "statistic_update_cost",
+    "StatisticsManager",
+]

@@ -1,0 +1,88 @@
+"""Construction of :class:`~repro.stats.statistic.Statistic` objects from data."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.config import OptimizerConfig
+from repro.stats.cost import statistic_build_cost
+from repro.stats.histogram import HistogramKind, build_histogram
+from repro.stats.statistic import StatKey, Statistic
+from repro.storage.table_data import TableData
+
+
+def _prefix_density(arrays) -> float:
+    """1 / (number of distinct tuples) over the given parallel arrays."""
+    if not arrays or arrays[0].shape[0] == 0:
+        return 1.0
+    stacked = np.stack([np.asarray(a, dtype=np.float64) for a in arrays])
+    distinct = np.unique(stacked, axis=1).shape[1]
+    return 1.0 / max(1, distinct)
+
+
+def build_statistic(
+    table: TableData,
+    key: StatKey,
+    config: OptimizerConfig,
+    histogram_kind: HistogramKind = HistogramKind.MAXDIFF,
+    rng: Optional[np.random.Generator] = None,
+) -> Statistic:
+    """Build a statistic over ``key``'s columns from the stored data.
+
+    If ``config.sample_rows`` is set, the histogram and densities come
+    from a uniform row sample (scaled back to the full table), otherwise
+    from a full scan.
+
+    The returned statistic's ``build_cost`` is the work-unit charge from
+    :func:`~repro.stats.cost.statistic_build_cost`.
+    """
+    row_count = table.row_count
+    if config.sample_rows is not None and row_count > config.sample_rows:
+        sampled = table.sample_rows(config.sample_rows, rng=rng)
+        arrays = [sampled[name] for name in key.columns]
+        scale = row_count / max(1, arrays[0].shape[0])
+    else:
+        arrays = [table.column_array(name) for name in key.columns]
+        scale = 1.0
+
+    histogram = build_histogram(
+        arrays[0], config.histogram_buckets, kind=histogram_kind
+    )
+    if scale != 1.0:
+        # scale bucket counts back up to full-table cardinality
+        histogram.counts = histogram.counts * scale
+        histogram.row_count = row_count
+
+    densities = tuple(
+        _prefix_density(arrays[: i + 1]) for i in range(len(arrays))
+    )
+    joint = None
+    if config.enable_joint_histograms and len(arrays) >= 2:
+        from repro.stats.multidim import (
+            JointHistogramKind,
+            build_joint_histogram,
+        )
+
+        joint = build_joint_histogram(
+            arrays[0],
+            arrays[1],
+            kind=JointHistogramKind(config.joint_histogram_kind),
+            budget=config.joint_histogram_cells,
+        )
+        if scale != 1.0:
+            for cell in joint.cells:
+                cell.count *= scale
+            joint.row_count = row_count
+    build_cost = statistic_build_cost(
+        row_count, key, config.cost, config.sample_rows
+    )
+    return Statistic(
+        key=key,
+        histogram=histogram,
+        prefix_densities=densities,
+        row_count=row_count,
+        build_cost=build_cost,
+        joint_histogram=joint,
+    )

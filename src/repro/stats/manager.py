@@ -1,0 +1,408 @@
+"""The statistics manager: lifecycle, drop-list, and the ignore interface.
+
+One :class:`StatisticsManager` is attached to each database.  It provides:
+
+* creation / physical drop / refresh of statistics, with a work-unit cost
+  ledger (feeding Figures 3-4 and Table 1);
+* the **drop-list** of Sec 5: statistics *marked* non-essential are hidden
+  from the optimizer but kept physically, so a later query can revive them
+  at zero cost instead of rebuilding;
+* ``ignore_subset(...)`` — the paper's ``Ignore_Statistics_Subset`` server
+  extension (Sec 7.2), as a context manager scoping the "connection
+  specific buffer" the paper describes;
+* lookups the selectivity estimator uses (leading-column histogram, prefix
+  densities), honouring both the ignore set and the drop-list;
+* the SQL Server 7.0 refresh trigger: a per-table row-modification counter
+  compared against a fraction of the table size (Sec 2, Sec 6).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.catalog import ColumnRef
+from repro.config import DEFAULT_CONFIG, OptimizerConfig
+from repro.errors import StatisticsError
+from repro.stats.builder import build_statistic
+from repro.stats.cost import statistic_update_cost
+from repro.stats.histogram import HistogramKind
+from repro.stats.statistic import StatKey, Statistic
+
+
+class StatisticsManager:
+    """Owns all statistics of one :class:`~repro.storage.Database`."""
+
+    def __init__(
+        self, database, config: OptimizerConfig = DEFAULT_CONFIG
+    ) -> None:
+        self._db = database
+        self.config = config
+        self._statistics: Dict[StatKey, Statistic] = {}
+        self._drop_list: Set[StatKey] = set()
+        self._ignored: Set[StatKey] = set()
+        self.creation_cost_total = 0.0
+        self.update_cost_total = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        key_or_refs,
+        histogram_kind: HistogramKind = HistogramKind.MAXDIFF,
+    ) -> Statistic:
+        """Build and register a statistic.
+
+        Accepts a :class:`StatKey`, a single :class:`ColumnRef`, or an
+        ordered iterable of refs.  Creating an existing statistic is an
+        error; creating one that sits on the drop-list revives it instead
+        of rebuilding (paper Sec 5).
+        """
+        key = self._as_key(key_or_refs)
+        if key in self._statistics:
+            if key in self._drop_list:
+                self.revive(key)
+                return self._statistics[key]
+            raise StatisticsError(f"statistic {key} already exists")
+        table = self._db.table(key.table)
+        for column in key.columns:
+            table.schema.column(column)  # validates
+        statistic = build_statistic(
+            table, key, self.config, histogram_kind=histogram_kind
+        )
+        self._statistics[key] = statistic
+        self.creation_cost_total += statistic.build_cost
+        return statistic
+
+    def drop(self, key_or_refs) -> None:
+        """Physically remove a statistic.
+
+        Raises:
+            StatisticsError: if the statistic does not exist.
+        """
+        key = self._as_key(key_or_refs)
+        if key not in self._statistics:
+            raise StatisticsError(f"no statistic {key}")
+        del self._statistics[key]
+        self._drop_list.discard(key)
+        self._ignored.discard(key)
+
+    def drop_all(self) -> None:
+        """Remove every statistic (used between experiment arms)."""
+        self._statistics.clear()
+        self._drop_list.clear()
+        self._ignored.clear()
+
+    def reset_cost_ledger(self) -> None:
+        self.creation_cost_total = 0.0
+        self.update_cost_total = 0.0
+
+    def has(self, key_or_refs) -> bool:
+        return self._as_key(key_or_refs) in self._statistics
+
+    def get(self, key_or_refs) -> Statistic:
+        key = self._as_key(key_or_refs)
+        try:
+            return self._statistics[key]
+        except KeyError:
+            raise StatisticsError(f"no statistic {key}") from None
+
+    def keys(self) -> List[StatKey]:
+        """All physically present statistics (including drop-listed)."""
+        return list(self._statistics)
+
+    def statistics(self) -> List[Statistic]:
+        return list(self._statistics.values())
+
+    def keys_on_table(self, table: str) -> List[StatKey]:
+        return [key for key in self._statistics if key.table == table]
+
+    # ------------------------------------------------------------------
+    # drop-list (Sec 5)
+    # ------------------------------------------------------------------
+
+    def mark_droppable(self, key_or_refs) -> None:
+        """Put a statistic on the drop-list (hidden from the optimizer)."""
+        key = self._as_key(key_or_refs)
+        if key not in self._statistics:
+            raise StatisticsError(f"no statistic {key}")
+        self._drop_list.add(key)
+
+    def revive(self, key_or_refs) -> None:
+        """Remove a statistic from the drop-list, making it visible again."""
+        key = self._as_key(key_or_refs)
+        if key not in self._statistics:
+            raise StatisticsError(f"no statistic {key}")
+        self._drop_list.discard(key)
+
+    def drop_list(self) -> List[StatKey]:
+        return sorted(self._drop_list)
+
+    def is_droppable(self, key_or_refs) -> bool:
+        return self._as_key(key_or_refs) in self._drop_list
+
+    def purge_drop_list(self) -> List[StatKey]:
+        """Physically delete every drop-listed statistic (a Sec 6 policy)."""
+        purged = sorted(self._drop_list)
+        for key in purged:
+            del self._statistics[key]
+        self._drop_list.clear()
+        return purged
+
+    # ------------------------------------------------------------------
+    # Ignore_Statistics_Subset (Sec 7.2)
+    # ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def ignore_subset(self, keys: Iterable):
+        """Hide a subset of statistics from the optimizer within a scope.
+
+        This is the paper's ``Ignore_Statistics_Subset(db_id, stat_id_list)``
+        server extension: the Shrinking Set algorithm needs ``Plan(Q, S')``
+        for S' ⊂ S without physically dropping statistics.
+        """
+        added = {self._as_key(k) for k in keys}
+        previous = set(self._ignored)
+        self._ignored |= added
+        try:
+            yield
+        finally:
+            self._ignored = previous
+
+    def set_ignored(self, keys: Iterable) -> None:
+        """Non-scoped variant used by long-running experiments."""
+        self._ignored = {self._as_key(k) for k in keys}
+
+    def clear_ignored(self) -> None:
+        self._ignored = set()
+
+    # ------------------------------------------------------------------
+    # visibility and estimator lookups
+    # ------------------------------------------------------------------
+
+    def is_visible(self, key: StatKey) -> bool:
+        return (
+            key in self._statistics
+            and key not in self._ignored
+            and key not in self._drop_list
+        )
+
+    def visible_keys(self) -> List[StatKey]:
+        return [key for key in self._statistics if self.is_visible(key)]
+
+    def visible_statistics(self) -> List[Statistic]:
+        return [
+            stat
+            for key, stat in self._statistics.items()
+            if self.is_visible(key)
+        ]
+
+    def histogram_for(self, ref: ColumnRef):
+        """Histogram usable for predicates on ``ref``, or None.
+
+        Prefers a single-column statistic; falls back to any visible
+        multi-column statistic whose *leading* column is ``ref`` (SQL
+        Server's asymmetric multi-column statistics, Sec 7.1).
+        """
+        single = StatKey.single(ref)
+        if self.is_visible(single):
+            return self._statistics[single].histogram
+        for key, stat in self._statistics.items():
+            if self.is_visible(key) and key.leading_column == ref:
+                return stat.histogram
+        return None
+
+    def density_for_columns(
+        self, table: str, columns: Iterable[str]
+    ) -> Optional[float]:
+        """Density for a *set* of columns of one table, if any visible
+        statistic's leading prefix covers exactly that set (any order)."""
+        wanted = frozenset(columns)
+        size = len(wanted)
+        if size == 0:
+            return None
+        best = None
+        for key, stat in self._statistics.items():
+            if key.table != table or not self.is_visible(key):
+                continue
+            if len(key.columns) < size:
+                continue
+            if frozenset(key.columns[:size]) == wanted:
+                density = stat.prefix_densities[size - 1]
+                if best is None or density < best:
+                    best = density
+        return best
+
+    def distinct_for_columns(
+        self, table: str, columns: Iterable[str]
+    ) -> Optional[float]:
+        """Estimated distinct tuples over a column set (1 / density)."""
+        density = self.density_for_columns(table, columns)
+        if density is None or density <= 0:
+            return None
+        return 1.0 / density
+
+    def has_histogram_for(self, ref: ColumnRef) -> bool:
+        return self.histogram_for(ref) is not None
+
+    def joint_for_columns(self, table: str, columns):
+        """A joint histogram over exactly the given two columns, if any.
+
+        Returns ``(joint_histogram, x_column, y_column)`` — the x/y names
+        give the histogram's dimension orientation — or ``None``.
+        """
+        wanted = frozenset(columns)
+        if len(wanted) != 2:
+            return None
+        for key, stat in self._statistics.items():
+            if key.table != table or not self.is_visible(key):
+                continue
+            if stat.joint_histogram is None:
+                continue
+            if frozenset(key.columns[:2]) == wanted:
+                return (
+                    stat.joint_histogram,
+                    key.columns[0],
+                    key.columns[1],
+                )
+        return None
+
+    # ------------------------------------------------------------------
+    # refresh (SQL Server 7.0 trigger, Sec 2 / Sec 6)
+    # ------------------------------------------------------------------
+
+    def tables_needing_refresh(self, fraction: float = 0.2) -> List[str]:
+        """Tables whose modification counter exceeds ``fraction`` of rows."""
+        due = []
+        for name in self._db.table_names():
+            data = self._db.table(name)
+            threshold = max(1.0, fraction * data.row_count)
+            if data.rows_modified_since_stats >= threshold and (
+                self.keys_on_table(name)
+            ):
+                due.append(name)
+        return due
+
+    def refresh_table(self, table_name: str) -> float:
+        """Rebuild every statistic on a table; returns the update cost.
+
+        Refreshing includes drop-listed statistics (they are physically
+        present) — that is exactly the update overhead the drop-list is
+        meant to eliminate, so policies should purge before refreshing.
+        """
+        data = self._db.table(table_name)
+        total = 0.0
+        for key in self.keys_on_table(table_name):
+            old = self._statistics[key]
+            rebuilt = build_statistic(data, key, self.config)
+            rebuilt.update_count = old.update_count + 1
+            self._statistics[key] = rebuilt
+            cost = statistic_update_cost(
+                data.row_count, key, self.config.cost, self.config.sample_rows
+            )
+            total += cost
+        data.reset_modification_counter()
+        self.update_cost_total += total
+        return total
+
+    def apply_incremental_inserts(
+        self, table_name: str, inserted: Dict[str, "object"]
+    ) -> float:
+        """Fold freshly inserted rows into existing histograms in place.
+
+        ``inserted`` maps column name -> encoded value array for the new
+        rows.  Every physically present statistic on the table whose
+        leading column is covered gets its histogram updated at
+        ``stat_incremental_cost_per_row`` per row — the cheap alternative
+        to a counter-triggered full refresh (paper ref [8]).  Returns the
+        charged cost.  Densities are not maintained; call
+        :meth:`keys_needing_rebuild` to find degraded statistics.
+        """
+        total = 0.0
+        per_row = self.config.cost.stat_incremental_cost_per_row
+        for key in self.keys_on_table(table_name):
+            leading = key.columns[0]
+            values = inserted.get(leading)
+            if values is None:
+                continue
+            statistic = self._statistics[key]
+            statistic.histogram.add_values(values)
+            statistic.row_count += len(values)
+            total += len(values) * per_row
+        self.update_cost_total += total
+        return total
+
+    def keys_needing_rebuild(
+        self, table_name: str, divergence_threshold: float = 0.15
+    ) -> List[StatKey]:
+        """Statistics whose incrementally maintained histograms degraded."""
+        return [
+            key
+            for key in self.keys_on_table(table_name)
+            if self._statistics[key].histogram.needs_rebuild(
+                divergence_threshold
+            )
+        ]
+
+    def rebuild(self, key_or_refs) -> float:
+        """Fully rebuild one statistic; returns the update cost charged."""
+        key = self._as_key(key_or_refs)
+        if key not in self._statistics:
+            raise StatisticsError(f"no statistic {key}")
+        data = self._db.table(key.table)
+        old = self._statistics[key]
+        fresh = build_statistic(data, key, self.config)
+        fresh.update_count = old.update_count + 1
+        self._statistics[key] = fresh
+        cost = statistic_update_cost(
+            data.row_count, key, self.config.cost, self.config.sample_rows
+        )
+        self.update_cost_total += cost
+        return cost
+
+    def update_cost_of_keys(self, keys: Iterable) -> float:
+        """Work units to refresh the given statistics once (no side effects).
+
+        This is the Table 1 metric: the update cost of the set of
+        statistics a strategy leaves behind.
+        """
+        total = 0.0
+        for key_or_refs in keys:
+            key = self._as_key(key_or_refs)
+            rows = self._db.table(key.table).row_count
+            total += statistic_update_cost(
+                rows, key, self.config.cost, self.config.sample_rows
+            )
+        return total
+
+    # ------------------------------------------------------------------
+
+    def _as_key(self, key_or_refs) -> StatKey:
+        if isinstance(key_or_refs, StatKey):
+            return key_or_refs
+        if isinstance(key_or_refs, ColumnRef):
+            return StatKey.single(key_or_refs)
+        return StatKey.of(key_or_refs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StatisticsManager(stats={len(self._statistics)}, "
+            f"drop_list={len(self._drop_list)})"
+        )
+
+
+def ensure_index_statistics(database) -> List[StatKey]:
+    """Create single-column statistics on all indexed columns.
+
+    SQL Server automatically keeps statistics on indexed columns; the intro
+    experiment's baseline is exactly this set (paper Sec 1).
+    """
+    created = []
+    for ref in database.indexes.indexed_columns():
+        key = StatKey.single(ref)
+        if not database.stats.has(key):
+            database.stats.create(key)
+            created.append(key)
+    return created

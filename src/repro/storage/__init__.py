@@ -1,0 +1,18 @@
+"""In-memory, numpy-backed column-store storage engine.
+
+This is the substrate standing in for SQL Server 7.0's storage layer (see
+DESIGN.md §2).  It stores each column as a numpy array; STRING columns are
+dictionary-encoded so all stored values are numeric.  DML operations keep
+the per-table row-modification counters that SQL Server 7.0 uses to trigger
+statistics refresh (paper Sec 2 and Sec 6, "Dropping Statistics").
+
+Public API::
+
+    from repro.storage import StringDictionary, TableData, Database
+"""
+
+from repro.storage.strings import StringDictionary
+from repro.storage.table_data import TableData
+from repro.storage.database import Database
+
+__all__ = ["StringDictionary", "TableData", "Database"]

@@ -1,0 +1,128 @@
+"""Saving and loading databases to/from a directory on disk.
+
+Format (one directory per database):
+
+* ``catalog.json`` — schema: tables, columns, types, primary keys,
+  foreign keys, plus per-STRING-column dictionaries and the database
+  name;
+* ``<table>.npz`` — one compressed numpy archive per table holding the
+  raw (encoded) column arrays.
+
+Statistics and indexes are *not* persisted — they are derived state and
+the whole point of this library is deciding when to (re)build them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.catalog import Column, ColumnType, ForeignKey, Schema, TableSchema
+from repro.errors import StorageError
+from repro.storage.database import Database
+from repro.storage.strings import StringDictionary
+
+_CATALOG_FILE = "catalog.json"
+_FORMAT_VERSION = 1
+
+
+def save_database(database: Database, directory: str) -> None:
+    """Write ``database`` to ``directory`` (created if missing)."""
+    os.makedirs(directory, exist_ok=True)
+    catalog = {
+        "format_version": _FORMAT_VERSION,
+        "name": database.name,
+        "tables": [],
+        "foreign_keys": [
+            {
+                "child_table": fk.child_table,
+                "child_columns": list(fk.child_columns),
+                "parent_table": fk.parent_table,
+                "parent_columns": list(fk.parent_columns),
+            }
+            for fk in database.schema.foreign_keys()
+        ],
+    }
+    for table in database.schema.tables():
+        data = database.table(table.name)
+        entry = {
+            "name": table.name,
+            "primary_key": list(table.primary_key),
+            "columns": [
+                {"name": col.name, "type": col.type.value}
+                for col in table.columns
+            ],
+            "dictionaries": {
+                col.name: data.string_dictionary(col.name).values()
+                for col in table.columns
+                if col.type == ColumnType.STRING
+            },
+        }
+        catalog["tables"].append(entry)
+        arrays = {
+            col.name: data.column_array(col.name) for col in table.columns
+        }
+        np.savez_compressed(
+            os.path.join(directory, f"{table.name}.npz"), **arrays
+        )
+    with open(os.path.join(directory, _CATALOG_FILE), "w") as handle:
+        json.dump(catalog, handle, indent=2)
+
+
+def load_database(directory: str) -> Database:
+    """Load a database previously written by :func:`save_database`."""
+    catalog_path = os.path.join(directory, _CATALOG_FILE)
+    if not os.path.exists(catalog_path):
+        raise StorageError(f"no {_CATALOG_FILE} in {directory!r}")
+    with open(catalog_path) as handle:
+        catalog = json.load(handle)
+    version = catalog.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported database format version {version!r}"
+        )
+
+    tables = []
+    dictionaries: Dict[str, Dict[str, list]] = {}
+    for entry in catalog["tables"]:
+        columns = [
+            Column(c["name"], ColumnType(c["type"]))
+            for c in entry["columns"]
+        ]
+        tables.append(
+            TableSchema(
+                entry["name"],
+                columns,
+                primary_key=tuple(entry["primary_key"]) or None,
+            )
+        )
+        dictionaries[entry["name"]] = entry.get("dictionaries", {})
+
+    foreign_keys = [
+        ForeignKey(
+            fk["child_table"],
+            tuple(fk["child_columns"]),
+            fk["parent_table"],
+            tuple(fk["parent_columns"]),
+        )
+        for fk in catalog.get("foreign_keys", [])
+    ]
+    schema = Schema(tables, foreign_keys)
+    database = Database(schema, name=catalog.get("name", "db"))
+
+    for table in tables:
+        archive_path = os.path.join(directory, f"{table.name}.npz")
+        if not os.path.exists(archive_path):
+            raise StorageError(f"missing table archive {archive_path!r}")
+        with np.load(archive_path) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        data = database.table(table.name)
+        for column_name, values in dictionaries[table.name].items():
+            data.attach_dictionary(
+                column_name, StringDictionary(values)
+            )
+        data.load_columns(arrays)
+    return database

@@ -1,0 +1,94 @@
+"""Dictionary encoding for STRING columns.
+
+Every distinct string in a column maps to an integer code.  Codes are
+assigned in first-seen order; the storage layer therefore supports
+equality, IN, and LIKE predicates on strings (all of which reduce to code
+sets) but not order comparisons, which the SQL binder rejects for STRING
+columns.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+
+class StringDictionary:
+    """Bidirectional mapping between strings and integer codes."""
+
+    def __init__(self, values: Iterable[str] = ()) -> None:
+        self._code_of = {}
+        self._value_of: List[str] = []
+        for value in values:
+            self.encode(value)
+
+    def __len__(self) -> int:
+        return len(self._value_of)
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._code_of
+
+    def encode(self, value: str) -> int:
+        """Return the code for ``value``, assigning a new one if unseen."""
+        code = self._code_of.get(value)
+        if code is None:
+            code = len(self._value_of)
+            self._code_of[value] = code
+            self._value_of.append(value)
+        return code
+
+    def encode_many(self, values: Iterable[str]) -> np.ndarray:
+        """Encode an iterable of strings into an int64 array."""
+        return np.fromiter(
+            (self.encode(v) for v in values), dtype=np.int64, count=-1
+        )
+
+    def lookup(self, value: str) -> Optional[int]:
+        """Code for ``value`` or ``None`` if the string never occurred."""
+        return self._code_of.get(value)
+
+    def decode(self, code: int) -> str:
+        """String for ``code``.
+
+        Raises:
+            KeyError: if the code was never assigned.
+        """
+        if 0 <= code < len(self._value_of):
+            return self._value_of[code]
+        raise KeyError(f"unknown string code {code}")
+
+    def decode_many(self, codes: Iterable[int]) -> list:
+        return [self.decode(int(c)) for c in codes]
+
+    def codes_matching_like(self, pattern: str) -> np.ndarray:
+        """Codes of dictionary entries matching a SQL LIKE pattern.
+
+        ``%`` matches any sequence, ``_`` any single character; everything
+        else is literal.
+        """
+        regex = _like_to_regex(pattern)
+        matching = [
+            code
+            for code, value in enumerate(self._value_of)
+            if regex.fullmatch(value)
+        ]
+        return np.asarray(matching, dtype=np.int64)
+
+    def values(self) -> list:
+        """All dictionary strings in code order."""
+        return list(self._value_of)
+
+
+def _like_to_regex(pattern: str) -> "re.Pattern":
+    """Translate a SQL LIKE pattern into a compiled regex."""
+    parts = []
+    for char in pattern:
+        if char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+    return re.compile("".join(parts), flags=re.DOTALL)

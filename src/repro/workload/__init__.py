@@ -1,0 +1,33 @@
+"""Workloads: the Rags-style random generator and the TPC-D query set.
+
+Paper Sec 8.1: experiments use (a) the 17 TPC-D benchmark queries and
+(b) workloads from the Rags stochastic SQL generator [15], parameterized
+by update percentage (0 / 25 / 50), complexity (Simple = up to 2 tables,
+Complex = up to 8 tables), and statement count (100 / 500 / 1000), named
+e.g. ``U25-S-1000``.
+
+Public API::
+
+    from repro.workload import (
+        Workload, RagsConfig, RagsGenerator, generate_workload,
+        tpcd_queries, parse_workload_name,
+    )
+"""
+
+from repro.workload.workload import Workload
+from repro.workload.rags import (
+    RagsConfig,
+    RagsGenerator,
+    generate_workload,
+    parse_workload_name,
+)
+from repro.workload.tpcd_queries import tpcd_queries
+
+__all__ = [
+    "Workload",
+    "RagsConfig",
+    "RagsGenerator",
+    "generate_workload",
+    "parse_workload_name",
+    "tpcd_queries",
+]

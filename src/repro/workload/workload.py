@@ -1,0 +1,73 @@
+"""The Workload container."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.sql.query import DmlStatement, Query, Statement
+
+
+class Workload:
+    """An ordered sequence of bound statements (queries and DML).
+
+    The paper defines candidate/essential statistics for a workload as
+    derived from its *queries* (Definitions 1-2); the DML statements drive
+    modification counters and update-cost accounting.
+    """
+
+    def __init__(
+        self, statements: Iterable[Statement], name: Optional[str] = None
+    ) -> None:
+        self.statements: List[Statement] = list(statements)
+        self.name = name or "workload"
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __iter__(self) -> Iterator[Statement]:
+        return iter(self.statements)
+
+    def __getitem__(self, index):
+        return self.statements[index]
+
+    def queries(self) -> List[Query]:
+        """The SELECT statements, in workload order."""
+        return [s for s in self.statements if isinstance(s, Query)]
+
+    def dml(self) -> List[DmlStatement]:
+        """The INSERT/DELETE/UPDATE statements, in workload order."""
+        return [s for s in self.statements if isinstance(s, DmlStatement)]
+
+    @property
+    def update_fraction(self) -> float:
+        """Fraction of statements that are DML."""
+        if not self.statements:
+            return 0.0
+        return len(self.dml()) / len(self.statements)
+
+    # ------------------------------------------------------------------
+    # serialization (plain .sql files)
+    # ------------------------------------------------------------------
+
+    def save(self, path: str, schema) -> None:
+        """Write the workload to ``path`` as newline-separated SQL."""
+        from repro.sql.render import render_workload
+
+        with open(path, "w") as handle:
+            handle.write(render_workload(self, schema) + "\n")
+
+    @classmethod
+    def load(cls, path: str, schema, name: Optional[str] = None):
+        """Load a workload previously written by :meth:`save`."""
+        from repro.sql.render import load_workload
+
+        with open(path) as handle:
+            return load_workload(
+                handle.read(), schema, name=name or path
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Workload({self.name!r}, statements={len(self.statements)}, "
+            f"queries={len(self.queries())})"
+        )

@@ -1,0 +1,57 @@
+"""Tests for repro.catalog.column."""
+
+import pytest
+
+from repro.catalog import Column, ColumnRef, ColumnType
+
+
+class TestColumn:
+    def test_basic_construction(self):
+        col = Column("age", ColumnType.INT)
+        assert col.name == "age"
+        assert col.type is ColumnType.INT
+        assert not col.nullable
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            Column("not a name", ColumnType.INT)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Column("", ColumnType.INT)
+
+    def test_columns_are_frozen(self):
+        col = Column("age", ColumnType.INT)
+        with pytest.raises(AttributeError):
+            col.name = "other"
+
+
+class TestColumnRef:
+    def test_str_form(self):
+        assert str(ColumnRef("emp", "age")) == "emp.age"
+
+    def test_parse_round_trip(self):
+        ref = ColumnRef.parse("emp.age")
+        assert ref == ColumnRef("emp", "age")
+
+    def test_parse_rejects_missing_dot(self):
+        with pytest.raises(ValueError):
+            ColumnRef.parse("empage")
+
+    def test_parse_rejects_extra_dots(self):
+        with pytest.raises(ValueError):
+            ColumnRef.parse("db.emp.age")
+
+    def test_parse_rejects_empty_parts(self):
+        with pytest.raises(ValueError):
+            ColumnRef.parse("emp.")
+
+    def test_refs_are_hashable_and_ordered(self):
+        a = ColumnRef("emp", "age")
+        b = ColumnRef("emp", "salary")
+        assert len({a, b, ColumnRef("emp", "age")}) == 2
+        assert sorted([b, a])[0] == a
+
+    def test_equality_by_value(self):
+        assert ColumnRef("t", "c") == ColumnRef("t", "c")
+        assert ColumnRef("t", "c") != ColumnRef("t", "d")

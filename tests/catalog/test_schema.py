@@ -1,0 +1,116 @@
+"""Tests for repro.catalog.schema."""
+
+import pytest
+
+from repro.catalog import Column, ColumnRef, ColumnType, ForeignKey, Schema, TableSchema
+from repro.errors import CatalogError
+
+from tests.util import simple_schema
+
+I = ColumnType.INT
+
+
+class TestSchemaTables:
+    def test_lookup(self):
+        schema = simple_schema()
+        assert schema.table("emp").name == "emp"
+
+    def test_missing_table_raises(self):
+        with pytest.raises(CatalogError):
+            simple_schema().table("nope")
+
+    def test_duplicate_table_rejected(self):
+        schema = simple_schema()
+        with pytest.raises(CatalogError):
+            schema.add_table(TableSchema("emp", [Column("x", I)]))
+
+    def test_table_names_order(self):
+        assert simple_schema().table_names() == ["emp", "dept"]
+
+    def test_column_resolution_by_ref(self):
+        schema = simple_schema()
+        assert schema.column(ColumnRef("emp", "age")).type is I
+
+    def test_has_table(self):
+        schema = simple_schema()
+        assert schema.has_table("dept")
+        assert not schema.has_table("zzz")
+
+
+class TestResolveColumn:
+    def test_unique_resolution(self):
+        schema = simple_schema()
+        ref = schema.resolve_column("age", ["emp", "dept"])
+        assert ref == ColumnRef("emp", "age")
+
+    def test_unknown_column(self):
+        with pytest.raises(CatalogError):
+            simple_schema().resolve_column("zz", ["emp", "dept"])
+
+    def test_ambiguous_column(self):
+        schema = simple_schema()
+        # "id" exists in both tables
+        with pytest.raises(CatalogError):
+            schema.resolve_column("id", ["emp", "dept"])
+
+
+class TestForeignKeys:
+    def test_fk_validation_checks_tables(self):
+        schema = simple_schema()
+        with pytest.raises(CatalogError):
+            schema.add_foreign_key(
+                ForeignKey("emp", ("dept_id",), "missing", ("id",))
+            )
+
+    def test_fk_validation_checks_columns(self):
+        schema = simple_schema()
+        with pytest.raises(CatalogError):
+            schema.add_foreign_key(
+                ForeignKey("emp", ("zzz",), "dept", ("id",))
+            )
+
+    def test_join_neighbors(self):
+        schema = simple_schema()
+        assert schema.join_neighbors("emp") == ["dept"]
+        assert schema.join_neighbors("dept") == ["emp"]
+
+    def test_join_edges(self):
+        schema = simple_schema()
+        assert (
+            ColumnRef("emp", "dept_id"),
+            ColumnRef("dept", "id"),
+        ) in schema.join_edges()
+
+    def test_foreign_keys_of(self):
+        schema = simple_schema()
+        assert len(schema.foreign_keys_of("emp")) == 1
+        assert len(schema.foreign_keys_of("dept")) == 1
+
+
+class TestConnectedSubset:
+    def test_full_growth(self):
+        schema = simple_schema()
+        assert schema.connected_subset("emp", 2) == ["emp", "dept"]
+
+    def test_size_one(self):
+        assert simple_schema().connected_subset("dept", 1) == ["dept"]
+
+    def test_unreachable_returns_none(self):
+        schema = simple_schema()
+        schema.add_table(TableSchema("island", [Column("x", I)]))
+        assert schema.connected_subset("island", 2) is None
+
+    def test_invalid_size(self):
+        with pytest.raises(CatalogError):
+            simple_schema().connected_subset("emp", 0)
+
+    def test_choose_callback(self):
+        schema = simple_schema()
+        calls = []
+
+        def choose(frontier):
+            calls.append(list(frontier))
+            return frontier[-1]
+
+        schema.connected_subset("emp", 2, choose=choose)
+        assert calls == [["dept"]]

@@ -1,0 +1,89 @@
+"""Tests for repro.catalog.table."""
+
+import pytest
+
+from repro.catalog import Column, ColumnRef, ColumnType, ForeignKey, TableSchema
+from repro.catalog.table import make_table
+from repro.errors import CatalogError
+
+I = ColumnType.INT
+
+
+def _emp():
+    return TableSchema(
+        "emp",
+        [Column("id", I), Column("age", I)],
+        primary_key=("id",),
+    )
+
+
+class TestTableSchema:
+    def test_column_lookup(self):
+        table = _emp()
+        assert table.column("age").type is I
+
+    def test_missing_column_raises(self):
+        with pytest.raises(CatalogError):
+            _emp().column("nope")
+
+    def test_contains(self):
+        table = _emp()
+        assert "id" in table
+        assert "nope" not in table
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [Column("a", I), Column("a", I)])
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [])
+
+    def test_invalid_table_name_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("bad name", [Column("a", I)])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [Column("a", I)], primary_key=("zz",))
+
+    def test_column_names_order(self):
+        assert _emp().column_names() == ["id", "age"]
+
+    def test_ref_builds_column_ref(self):
+        assert _emp().ref("age") == ColumnRef("emp", "age")
+
+    def test_ref_validates(self):
+        with pytest.raises(CatalogError):
+            _emp().ref("nope")
+
+    def test_refs_cover_all_columns(self):
+        assert [r.column for r in _emp().refs()] == ["id", "age"]
+
+    def test_row_width(self):
+        assert _emp().row_width_bytes == 16
+
+    def test_make_table_helper(self):
+        table = make_table("t", [("a", I), ("b", I)], primary_key=("a",))
+        assert table.primary_key == ("a",)
+        assert "b" in table
+
+
+class TestForeignKey:
+    def test_column_pairs(self):
+        fk = ForeignKey("emp", ("dept_id",), "dept", ("id",))
+        assert fk.column_pairs == [
+            (ColumnRef("emp", "dept_id"), ColumnRef("dept", "id"))
+        ]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(CatalogError):
+            ForeignKey("a", ("x", "y"), "b", ("z",))
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            ForeignKey("a", (), "b", ())
+
+    def test_composite_pairs(self):
+        fk = ForeignKey("li", ("pk", "sk"), "ps", ("p", "s"))
+        assert len(fk.column_pairs) == 2

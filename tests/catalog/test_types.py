@@ -1,0 +1,30 @@
+"""Tests for repro.catalog.types."""
+
+from repro.catalog import ColumnType
+
+
+class TestColumnType:
+    def test_is_numeric_int(self):
+        assert ColumnType.INT.is_numeric
+
+    def test_is_numeric_float(self):
+        assert ColumnType.FLOAT.is_numeric
+
+    def test_string_not_numeric(self):
+        assert not ColumnType.STRING.is_numeric
+
+    def test_date_not_numeric(self):
+        assert not ColumnType.DATE.is_numeric
+
+    def test_storage_widths_positive(self):
+        for ctype in ColumnType:
+            assert ctype.storage_width_bytes > 0
+
+    def test_string_wider_than_int(self):
+        assert (
+            ColumnType.STRING.storage_width_bytes
+            > ColumnType.INT.storage_width_bytes
+        )
+
+    def test_enum_round_trip(self):
+        assert ColumnType("int") is ColumnType.INT

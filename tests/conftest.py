@@ -1,0 +1,35 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import make_tpcd_database
+
+from tests.util import simple_db
+
+
+@pytest.fixture
+def db():
+    """A fresh small two-table database (mutable per test)."""
+    return simple_db()
+
+
+@pytest.fixture(scope="session")
+def tpcd_db_readonly():
+    """A session-shared skewed TPC-D database.
+
+    Tests using this fixture MUST NOT mutate data or statistics; tests
+    that mutate should use :func:`fresh_tpcd_db`.
+    """
+    return make_tpcd_database(scale=0.002, z=2.0, seed=11)
+
+
+@pytest.fixture
+def fresh_tpcd_db():
+    """Factory for private TPC-D databases (safe to mutate)."""
+
+    def build(scale: float = 0.002, z=2.0, seed: int = 11):
+        return make_tpcd_database(scale=scale, z=z, seed=seed)
+
+    return build

@@ -1,0 +1,189 @@
+"""Tests for repro.core.candidates, including the paper's Example 3."""
+
+from repro.catalog import Column, ColumnRef, ColumnType, Schema, TableSchema
+from repro.core.candidates import (
+    CandidateMode,
+    candidate_statistics,
+    workload_candidate_statistics,
+)
+from repro.sql.builder import QueryBuilder
+from repro.sql.predicates import ComparisonPredicate, JoinPredicate
+from repro.sql.query import Query
+from repro.stats.statistic import StatKey
+
+from tests.util import simple_schema
+
+I = ColumnType.INT
+
+
+def _example3_schema() -> Schema:
+    """R1(a, c, e, f, g) and R2(b, d) from the paper's Example 3."""
+    r1 = TableSchema(
+        "R1",
+        [Column(c, I) for c in ("a", "c", "e", "f", "g")],
+    )
+    r2 = TableSchema("R2", [Column(c, I) for c in ("b", "d")])
+    return Schema([r1, r2])
+
+
+def _example3_query() -> Query:
+    """Q2 = SELECT * FROM R1, R2 WHERE R1.a = R2.b AND R1.c = R2.d
+    AND R1.e < 100 AND R1.f > 10 AND R1.g = 25."""
+    return Query(
+        tables=("R1", "R2"),
+        predicates=(
+            ComparisonPredicate(ColumnRef("R1", "e"), "<", 100),
+            ComparisonPredicate(ColumnRef("R1", "f"), ">", 10),
+            ComparisonPredicate(ColumnRef("R1", "g"), "=", 25),
+        ),
+        joins=(
+            JoinPredicate(ColumnRef("R1", "a"), ColumnRef("R2", "b")),
+            JoinPredicate(ColumnRef("R1", "c"), ColumnRef("R2", "d")),
+        ),
+    )
+
+
+class TestExample3:
+    """Sec 7.1, Example 3 — the heuristic candidate algorithm."""
+
+    def test_paper_candidates_proposed(self):
+        candidates = set(candidate_statistics(_example3_query()))
+        # paper's list: (a), (b), (c), (d), (e), (f), (a,c), (b,d), (e,f,g)
+        for single in ("a", "c", "e", "f", "g"):
+            assert StatKey("R1", (single,)) in candidates
+        for single in ("b", "d"):
+            assert StatKey("R2", (single,)) in candidates
+        assert StatKey("R1", ("a", "c")) in candidates
+        assert StatKey("R2", ("b", "d")) in candidates
+        assert StatKey("R1", ("e", "f", "g")) in candidates
+
+    def test_smaller_selection_subsets_not_proposed(self):
+        """The paper: 'We do not propose statistics (e,f), (f,g), (e,g).'"""
+        candidates = set(candidate_statistics(_example3_query()))
+        for pair in (("e", "f"), ("f", "g"), ("e", "g")):
+            assert StatKey("R1", pair) not in candidates
+            assert StatKey("R1", tuple(reversed(pair))) not in candidates
+
+    def test_single_g_included_despite_paper_typo(self):
+        """See DESIGN.md §5: the paper's list omits (g); g is relevant."""
+        assert StatKey("R1", ("g",)) in set(
+            candidate_statistics(_example3_query())
+        )
+
+    def test_candidate_count_exact(self):
+        # 7 singles + 2 join multis + 1 selection multi = 10
+        assert len(candidate_statistics(_example3_query())) == 10
+
+
+class TestHeuristicMode:
+    def test_group_by_multi_column(self):
+        query = (
+            QueryBuilder(simple_schema())
+            .table("emp")
+            .group_by("emp.dept_id", "emp.age")
+            .aggregate("count")
+            .build()
+        )
+        candidates = candidate_statistics(query)
+        assert StatKey("emp", ("dept_id", "age")) in candidates
+
+    def test_no_multi_for_single_relevant_column(self):
+        query = (
+            QueryBuilder(simple_schema()).where("emp.age", "<", 30).build()
+        )
+        candidates = candidate_statistics(query)
+        assert candidates == [StatKey("emp", ("age",))]
+
+    def test_deterministic_order(self):
+        a = candidate_statistics(_example3_query())
+        b = candidate_statistics(_example3_query())
+        assert a == b
+
+
+class TestEqualityFirstOrdering:
+    def _mixed_query(self):
+        """Range on e, equality on g, range on f — paper Example 3 table."""
+        return Query(
+            tables=("R1",),
+            predicates=(
+                ComparisonPredicate(ColumnRef("R1", "e"), "<", 100),
+                ComparisonPredicate(ColumnRef("R1", "f"), ">", 10),
+                ComparisonPredicate(ColumnRef("R1", "g"), "=", 25),
+            ),
+        )
+
+    def test_default_keeps_query_order(self):
+        candidates = candidate_statistics(self._mixed_query())
+        multi = [k for k in candidates if k.is_multi_column]
+        assert multi == [StatKey("R1", ("e", "f", "g"))]
+
+    def test_equality_first_reorders(self):
+        candidates = candidate_statistics(
+            self._mixed_query(), equality_first=True
+        )
+        multi = [k for k in candidates if k.is_multi_column]
+        assert multi == [StatKey("R1", ("g", "e", "f"))]
+
+    def test_equality_first_noop_when_all_ranges(self):
+        query = Query(
+            tables=("R1",),
+            predicates=(
+                ComparisonPredicate(ColumnRef("R1", "e"), "<", 100),
+                ComparisonPredicate(ColumnRef("R1", "f"), ">", 10),
+            ),
+        )
+        assert candidate_statistics(
+            query, equality_first=True
+        ) == candidate_statistics(query)
+
+
+class TestExhaustiveMode:
+    def test_superset_of_heuristic_singles(self):
+        query = _example3_query()
+        heuristic = set(candidate_statistics(query))
+        exhaustive = set(
+            candidate_statistics(query, CandidateMode.EXHAUSTIVE)
+        )
+        singles = {k for k in heuristic if not k.is_multi_column}
+        assert singles <= exhaustive
+
+    def test_includes_all_pairs(self):
+        query = _example3_query()
+        exhaustive = set(
+            candidate_statistics(query, CandidateMode.EXHAUSTIVE)
+        )
+        assert StatKey("R1", ("e", "f")) in exhaustive
+        assert StatKey("R1", ("e", "g")) in exhaustive
+        assert StatKey("R1", ("a", "e")) in exhaustive
+
+    def test_larger_than_heuristic(self):
+        query = _example3_query()
+        assert len(
+            candidate_statistics(query, CandidateMode.EXHAUSTIVE)
+        ) > len(candidate_statistics(query))
+
+    def test_width_cap_respected(self):
+        query = _example3_query()
+        exhaustive = candidate_statistics(query, CandidateMode.EXHAUSTIVE)
+        assert max(len(k.columns) for k in exhaustive) <= 4
+
+
+class TestSingleColumnMode:
+    def test_only_singles(self):
+        query = _example3_query()
+        singles = candidate_statistics(query, CandidateMode.SINGLE_COLUMN)
+        assert all(not k.is_multi_column for k in singles)
+        assert len(singles) == 7
+
+
+class TestWorkloadCandidates:
+    def test_union_without_duplicates(self):
+        schema = simple_schema()
+        q1 = QueryBuilder(schema).where("emp.age", "<", 30).build()
+        q2 = QueryBuilder(schema).where("emp.age", ">", 50).build()
+        q3 = QueryBuilder(schema).where("emp.salary", ">", 1.0).build()
+        union = workload_candidate_statistics([q1, q2, q3])
+        assert union == [
+            StatKey("emp", ("age",)),
+            StatKey("emp", ("salary",)),
+        ]

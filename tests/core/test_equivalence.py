@@ -1,0 +1,119 @@
+"""Tests for repro.core.equivalence (Sec 3.2)."""
+
+import pytest
+
+from repro.core.equivalence import (
+    ExecutionTreeEquivalence,
+    OptimizerCostEquivalence,
+    TOptimizerCostEquivalence,
+)
+from repro.errors import PolicyError
+from repro.optimizer import Optimizer
+from repro.sql.builder import QueryBuilder
+
+from tests.util import simple_db
+
+
+def _results(db):
+    """Two optimization results for the same query, one with statistics."""
+    from repro.catalog import ColumnRef
+
+    query = (
+        QueryBuilder(db.schema)
+        .join("emp.dept_id", "dept.id")
+        .where("emp.age", "=", 30)
+        .build()
+    )
+    opt = Optimizer(db)
+    without = opt.optimize(query)
+    db.stats.create(ColumnRef("emp", "age"))
+    db.stats.create(ColumnRef("emp", "dept_id"))
+    db.stats.create(ColumnRef("dept", "id"))
+    with_stats = opt.optimize(query)
+    return without, with_stats
+
+
+class TestTCostEquivalence:
+    def test_identical_costs_equivalent(self):
+        criterion = TOptimizerCostEquivalence(20.0)
+        assert criterion.costs_equivalent(100.0, 100.0)
+
+    def test_within_t_equivalent(self):
+        criterion = TOptimizerCostEquivalence(20.0)
+        assert criterion.costs_equivalent(100.0, 119.0)
+
+    def test_outside_t_not_equivalent(self):
+        criterion = TOptimizerCostEquivalence(20.0)
+        assert not criterion.costs_equivalent(100.0, 121.0)
+
+    def test_footnote2_uses_smaller_cost_as_base(self):
+        """|c - c'| / min(c, c') < t/100."""
+        criterion = TOptimizerCostEquivalence(20.0)
+        # symmetric regardless of argument order
+        assert criterion.costs_equivalent(119.0, 100.0)
+        assert not criterion.costs_equivalent(121.0, 100.0)
+
+    def test_boundary_excluded(self):
+        criterion = TOptimizerCostEquivalence(20.0)
+        assert not criterion.costs_equivalent(100.0, 120.0)
+
+    def test_zero_costs(self):
+        criterion = TOptimizerCostEquivalence(20.0)
+        assert criterion.costs_equivalent(0.0, 0.0)
+        assert not criterion.costs_equivalent(0.0, 10.0)
+
+    def test_negative_t_rejected(self):
+        with pytest.raises(PolicyError):
+            TOptimizerCostEquivalence(-1.0)
+
+    def test_result_based_equivalence(self, db):
+        without, with_stats = _results(db)
+        loose = TOptimizerCostEquivalence(10_000.0)
+        assert loose.equivalent(without, with_stats)
+
+
+class TestOptimizerCostEquivalence:
+    def test_equal_costs(self):
+        criterion = OptimizerCostEquivalence()
+        assert criterion.costs_equivalent(5.0, 5.0)
+
+    def test_near_equal_within_float_tolerance(self):
+        criterion = OptimizerCostEquivalence()
+        assert criterion.costs_equivalent(5.0, 5.0 + 1e-12)
+
+    def test_different_costs(self):
+        criterion = OptimizerCostEquivalence()
+        assert not criterion.costs_equivalent(5.0, 5.1)
+
+    def test_is_special_case_of_t(self):
+        assert isinstance(
+            OptimizerCostEquivalence(), TOptimizerCostEquivalence
+        )
+
+
+class TestExecutionTreeEquivalence:
+    def test_same_plan_equivalent(self, db):
+        query = QueryBuilder(db.schema).table("emp").build()
+        opt = Optimizer(db)
+        a, b = opt.optimize(query), opt.optimize(query)
+        assert ExecutionTreeEquivalence().equivalent(a, b)
+
+    def test_different_plans_not_equivalent(self, db):
+        without, with_stats = _results(db)
+        if without.signature != with_stats.signature:
+            assert not ExecutionTreeEquivalence().equivalent(
+                without, with_stats
+            )
+
+    def test_cost_only_form_rejected(self):
+        with pytest.raises(PolicyError):
+            ExecutionTreeEquivalence().costs_equivalent(1.0, 1.0)
+
+    def test_strictly_stronger_than_cost(self, db):
+        """Execution-tree equivalent plans have equal estimated costs
+        when produced by the same (deterministic) optimizer state."""
+        query = QueryBuilder(db.schema).table("emp").build()
+        opt = Optimizer(db)
+        a, b = opt.optimize(query), opt.optimize(query)
+        assert ExecutionTreeEquivalence().equivalent(a, b)
+        assert OptimizerCostEquivalence().equivalent(a, b)

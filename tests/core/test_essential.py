@@ -1,0 +1,111 @@
+"""Tests for repro.core.essential (Sec 3.3, Definition 1, Example 1)."""
+
+import pytest
+
+from repro.catalog import ColumnRef
+from repro.core.equivalence import TOptimizerCostEquivalence
+from repro.core.essential import (
+    find_minimal_essential_set,
+    is_equivalent_to_candidates,
+    is_essential_set,
+    plan_with_stats,
+)
+from repro.errors import StatisticsError
+from repro.optimizer import Optimizer
+from repro.sql.builder import QueryBuilder
+from repro.stats.statistic import StatKey
+
+from tests.util import simple_db
+
+AGE = ColumnRef("emp", "age")
+DEPT_ID = ColumnRef("emp", "dept_id")
+DID = ColumnRef("dept", "id")
+
+
+@pytest.fixture
+def prepared(db):
+    """Database with all three candidates built, plus query and optimizer."""
+    query = (
+        QueryBuilder(db.schema)
+        .join("emp.dept_id", "dept.id")
+        .where("emp.age", "=", 30)
+        .build()
+    )
+    candidates = [
+        StatKey.single(AGE),
+        StatKey.single(DEPT_ID),
+        StatKey.single(DID),
+    ]
+    for key in candidates:
+        db.stats.create(key)
+    return db, Optimizer(db), query, candidates
+
+
+class TestPlanWithStats:
+    def test_empty_set_hides_everything(self, prepared):
+        db, opt, query, candidates = prepared
+        bare = plan_with_stats(opt, db, query, [])
+        assert len(opt.magic_variables(query)) == 0 or bare is not None
+        # with nothing visible the estimates must be pure magic numbers
+        full = plan_with_stats(opt, db, query, candidates)
+        assert bare.rows != full.rows
+
+    def test_requires_built_statistics(self, prepared):
+        db, opt, query, _ = prepared
+        with pytest.raises(StatisticsError):
+            plan_with_stats(
+                opt, db, query, [StatKey("emp", ("salary",))]
+            )
+
+    def test_restores_visibility(self, prepared):
+        db, opt, query, candidates = prepared
+        plan_with_stats(opt, db, query, [])
+        assert set(db.stats.visible_keys()) == set(candidates)
+
+
+class TestDefinitionOne:
+    """Example 1's shape: S equivalent to C, no proper subset is."""
+
+    def test_full_candidate_set_is_equivalent_to_itself(self, prepared):
+        db, opt, query, candidates = prepared
+        assert is_equivalent_to_candidates(
+            opt, db, query, candidates, candidates
+        )
+
+    def test_minimal_set_is_essential(self, prepared):
+        db, opt, query, candidates = prepared
+        minimal = find_minimal_essential_set(opt, db, query, candidates)
+        assert is_essential_set(opt, db, query, minimal, candidates)
+
+    def test_supersets_of_essential_not_essential(self, prepared):
+        db, opt, query, candidates = prepared
+        minimal = find_minimal_essential_set(opt, db, query, candidates)
+        if len(minimal) < len(candidates):
+            # the full set is equivalent but not minimal
+            assert not is_essential_set(
+                opt, db, query, candidates, candidates
+            )
+
+    def test_non_equivalent_subset_not_essential(self, prepared):
+        db, opt, query, candidates = prepared
+        minimal = find_minimal_essential_set(opt, db, query, candidates)
+        if minimal:
+            smaller = minimal[:-1]
+            assert not is_essential_set(
+                opt, db, query, smaller, candidates
+            )
+
+    def test_t_cost_criterion_usable(self, prepared):
+        db, opt, query, candidates = prepared
+        criterion = TOptimizerCostEquivalence(t_percent=1e9)
+        # with an absurdly loose criterion, the empty set is essential
+        minimal = find_minimal_essential_set(
+            opt, db, query, candidates, criterion=criterion
+        )
+        assert minimal == []
+
+    def test_brute_force_guard(self, prepared):
+        db, opt, query, _ = prepared
+        too_many = [StatKey("emp", (f"c{i}",)) for i in range(20)]
+        with pytest.raises(StatisticsError):
+            find_minimal_essential_set(opt, db, query, too_many)

@@ -1,0 +1,148 @@
+"""Tests for repro.core.mnsad (Sec 5.1)."""
+
+import pytest
+
+from repro.catalog import ColumnRef
+from repro.core.mnsa import MnsaConfig, mnsa_for_workload
+from repro.core.mnsad import mnsad_for_query, mnsad_for_workload
+from repro.optimizer import Optimizer
+from repro.sql.builder import QueryBuilder
+
+from tests.util import simple_db
+
+
+def _join_query(db):
+    return (
+        QueryBuilder(db.schema)
+        .join("emp.dept_id", "dept.id")
+        .where("emp.age", "=", 30)
+        .build()
+    )
+
+
+class TestMnsadForQuery:
+    def test_partitions_created(self, db):
+        opt = Optimizer(db)
+        result = mnsad_for_query(db, opt, _join_query(db))
+        assert set(result.retained) | set(result.dropped) == set(
+            result.created
+        )
+        assert not (set(result.retained) & set(result.dropped))
+
+    def test_dropped_statistics_on_drop_list(self, db):
+        opt = Optimizer(db)
+        result = mnsad_for_query(db, opt, _join_query(db))
+        for key in result.dropped:
+            assert db.stats.is_droppable(key)
+            assert not db.stats.is_visible(key)
+
+    def test_retained_statistics_visible(self, db):
+        opt = Optimizer(db)
+        result = mnsad_for_query(db, opt, _join_query(db))
+        for key in result.retained:
+            assert db.stats.is_visible(key)
+
+    def test_huge_t_creates_nothing(self, db):
+        opt = Optimizer(db)
+        result = mnsad_for_query(
+            db, opt, _join_query(db), config=MnsaConfig(t_percent=1e9)
+        )
+        assert result.created == []
+
+    def test_drops_plan_preserving_statistics(self, db):
+        """With tiny t, MNSA/D builds every candidate; the ones that never
+        changed the plan must be on the drop-list."""
+        opt = Optimizer(db)
+        query = _join_query(db)
+        result = mnsad_for_query(
+            db, opt, query, config=MnsaConfig(t_percent=1e-9)
+        )
+        assert result.created
+        # MNSA/D keeps only plan-changing statistics
+        assert len(result.retained) <= len(result.created)
+
+
+class TestDropCriterion:
+    def test_invalid_criterion_rejected(self):
+        with pytest.raises(ValueError):
+            MnsaConfig(mnsad_drop_equivalence="banana")
+
+    def test_t_cost_criterion_produces_valid_partition(self, fresh_tpcd_db):
+        """The coarser t_cost criterion still yields a consistent
+        retained/dropped partition (drop *counts* are not comparable
+        across criteria per-run, because early drops change the
+        trajectory of later queries)."""
+        from repro.workload import generate_workload
+
+        db = fresh_tpcd_db()
+        queries = generate_workload(db, "U0-S-100").queries()[:10]
+        result = mnsad_for_workload(
+            db,
+            Optimizer(db),
+            queries,
+            MnsaConfig(mnsad_drop_equivalence="t_cost"),
+        )
+        assert set(result.retained) | set(result.dropped) == set(
+            result.created
+        )
+        for key in result.dropped:
+            assert db.stats.is_droppable(key)
+
+
+class TestMnsadForWorkload:
+    def test_retained_never_marked_droppable(self, db):
+        opt = Optimizer(db)
+        q1 = _join_query(db)
+        q2 = QueryBuilder(db.schema).where("emp.age", "=", 30).build()
+        result = mnsad_for_workload(db, opt, [q1, q2])
+        for key in result.retained:
+            assert not db.stats.is_droppable(key)
+
+    def test_update_cost_not_higher_than_mnsa(self, db, fresh_tpcd_db):
+        """The Table 1 claim in miniature: MNSA/D's retained set costs no
+        more to keep updated than MNSA's set."""
+        from repro.workload import generate_workload
+
+        db_a = fresh_tpcd_db(scale=0.002, z=2.0)
+        db_b = fresh_tpcd_db(scale=0.002, z=2.0)
+        queries = generate_workload(db_a, "U0-S-100").queries()[:15]
+        mnsa_for_workload(db_a, Optimizer(db_a), queries)
+        mnsad_for_workload(db_b, Optimizer(db_b), queries)
+        cost_mnsa = db_a.stats.update_cost_of_keys(db_a.stats.visible_keys())
+        cost_mnsad = db_b.stats.update_cost_of_keys(
+            db_b.stats.visible_keys()
+        )
+        assert cost_mnsad <= cost_mnsa
+
+    def test_rerun_execution_cost_bounded(self, fresh_tpcd_db):
+        """Dropping non-essential statistics must not blow up the
+        workload's execution cost (paper: <= 6%; we allow slack)."""
+        from repro.executor import Executor
+        from repro.workload import generate_workload
+
+        db = fresh_tpcd_db(scale=0.002, z=2.0)
+        opt = Optimizer(db)
+        exe = Executor(db)
+        queries = generate_workload(db, "U0-S-100").queries()[:10]
+
+        mnsa_cost = 0.0
+        mnsad_cost = 0.0
+        # arm 1: MNSA keeps everything
+        from repro.core.mnsa import mnsa_for_workload as run_mnsa
+
+        run_mnsa(db, opt, queries)
+        for query in queries:
+            mnsa_cost += exe.execute(
+                opt.optimize(query).plan, query
+            ).actual_cost
+
+        # arm 2: MNSA/D on a fresh copy
+        db2 = fresh_tpcd_db(scale=0.002, z=2.0)
+        opt2, exe2 = Optimizer(db2), Executor(db2)
+        mnsad_for_workload(db2, opt2, queries)
+        for query in queries:
+            mnsad_cost += exe2.execute(
+                opt2.optimize(query).plan, query
+            ).actual_cost
+
+        assert mnsad_cost <= mnsa_cost * 1.5

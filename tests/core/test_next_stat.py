@@ -1,0 +1,113 @@
+"""Tests for repro.core.next_stat (FindNextStatToBuild, Sec 4.2)."""
+
+from repro.catalog import ColumnRef
+from repro.core.candidates import candidate_statistics
+from repro.core.next_stat import find_next_stat_to_build
+from repro.optimizer import Optimizer
+from repro.sql.builder import QueryBuilder
+from repro.stats.statistic import StatKey
+
+from tests.util import simple_db
+
+AGE = ColumnRef("emp", "age")
+
+
+def _join_query(db):
+    return (
+        QueryBuilder(db.schema)
+        .join("emp.dept_id", "dept.id")
+        .where("emp.age", "<", 30)
+        .build()
+    )
+
+
+class TestFindNextStat:
+    def test_returns_none_when_nothing_remaining(self, db):
+        query = _join_query(db)
+        plan = Optimizer(db).optimize(query).plan
+        assert find_next_stat_to_build(plan, query, []) is None
+
+    def test_returns_subset_of_remaining(self, db):
+        query = _join_query(db)
+        plan = Optimizer(db).optimize(query).plan
+        remaining = candidate_statistics(query)
+        group = find_next_stat_to_build(plan, query, remaining)
+        assert group
+        assert all(key in remaining for key in group)
+
+    def test_join_statistics_proposed_as_pair(self, db):
+        """Sec 4.2: dependent statistics are created together."""
+        query = _join_query(db)
+        plan = Optimizer(db).optimize(query).plan
+        remaining = [
+            StatKey("emp", ("dept_id",)),
+            StatKey("dept", ("id",)),
+        ]
+        group = find_next_stat_to_build(plan, query, remaining)
+        assert set(group) == set(remaining)
+
+    def test_join_pair_not_forced_if_one_built(self, db):
+        query = _join_query(db)
+        plan = Optimizer(db).optimize(query).plan
+        remaining = [StatKey("dept", ("id",))]  # emp side already built
+        group = find_next_stat_to_build(plan, query, remaining)
+        assert group == [StatKey("dept", ("id",))]
+
+    def test_scan_predicate_stat_proposed(self, db):
+        query = (
+            QueryBuilder(db.schema).where("emp.age", "<", 30).build()
+        )
+        plan = Optimizer(db).optimize(query).plan
+        group = find_next_stat_to_build(
+            plan, query, [StatKey("emp", ("age",))]
+        )
+        assert group == [StatKey("emp", ("age",))]
+
+    def test_group_by_stat_proposed(self, db):
+        query = (
+            QueryBuilder(db.schema)
+            .table("emp")
+            .group_by("emp.dept_id")
+            .aggregate("count")
+            .build()
+        )
+        plan = Optimizer(db).optimize(query).plan
+        group = find_next_stat_to_build(
+            plan, query, [StatKey("emp", ("dept_id",))]
+        )
+        assert group == [StatKey("emp", ("dept_id",))]
+
+    def test_irrelevant_candidates_never_returned(self, db):
+        query = (
+            QueryBuilder(db.schema).where("emp.age", "<", 30).build()
+        )
+        plan = Optimizer(db).optimize(query).plan
+        # salary is not referenced by the query at all
+        group = find_next_stat_to_build(
+            plan, query, [StatKey("emp", ("salary",))]
+        )
+        assert group is None
+
+    def test_most_expensive_node_considered_first(self, db):
+        """The emp scan (bigger table) outweighs the dept scan, so emp's
+        selection statistic is proposed before dept-only statistics."""
+        query = _join_query(db)
+        plan = Optimizer(db).optimize(query).plan
+        remaining = [
+            StatKey("dept", ("budget",)),  # irrelevant to any operator
+            StatKey("emp", ("age",)),
+        ]
+        group = find_next_stat_to_build(plan, query, remaining)
+        assert group == [StatKey("emp", ("age",))]
+
+    def test_multi_column_selection_stat_can_be_proposed(self, db):
+        query = (
+            QueryBuilder(db.schema)
+            .where("emp.age", "=", 30)
+            .where("emp.salary", ">", 1.0)
+            .build()
+        )
+        plan = Optimizer(db).optimize(query).plan
+        key = StatKey("emp", ("age", "salary"))
+        group = find_next_stat_to_build(plan, query, [key])
+        assert group == [key]

@@ -1,0 +1,108 @@
+"""Tests for repro.core.policy (Sec 6)."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import ColumnRef
+from repro.core.policy import AgingPolicy, AutoDropPolicy
+from repro.errors import PolicyError
+from repro.stats.statistic import StatKey
+
+from tests.util import simple_db
+
+AGE = ColumnRef("emp", "age")
+AGE_KEY = StatKey("emp", ("age",))
+
+
+def _modify_all(db, table="emp"):
+    mask = np.ones(db.row_count(table), dtype=bool)
+    db.update(table, mask, {"age": 41})
+
+
+class TestAutoDropPolicy:
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            AutoDropPolicy(refresh_fraction=0.0)
+        with pytest.raises(PolicyError):
+            AutoDropPolicy(max_updates_before_drop=0)
+
+    def test_refresh_triggered_by_counter(self, db):
+        db.stats.create(AGE)
+        _modify_all(db)
+        actions = AutoDropPolicy().apply(db)
+        assert actions.refreshed_tables == ["emp"]
+        assert actions.update_cost > 0
+        assert db.table("emp").rows_modified_since_stats == 0
+
+    def test_no_refresh_below_threshold(self, db):
+        db.stats.create(AGE)
+        actions = AutoDropPolicy().apply(db)
+        assert actions.refreshed_tables == []
+
+    def test_drop_after_max_updates_drop_list_only(self, db):
+        db.stats.create(AGE)
+        db.stats.mark_droppable(AGE)
+        policy = AutoDropPolicy(max_updates_before_drop=2)
+        for _ in range(3):
+            _modify_all(db)
+            actions = policy.apply(db)
+        assert AGE_KEY in actions.dropped
+        assert not db.stats.has(AGE)
+
+    def test_visible_statistics_protected_when_drop_list_only(self, db):
+        db.stats.create(AGE)
+        policy = AutoDropPolicy(max_updates_before_drop=1)
+        for _ in range(3):
+            _modify_all(db)
+            policy.apply(db)
+        assert db.stats.has(AGE)
+
+    def test_vanilla_sql_server_mode_drops_any(self, db):
+        """drop_list_only=False reproduces SQL Server 7.0 behaviour."""
+        db.stats.create(AGE)
+        policy = AutoDropPolicy(
+            max_updates_before_drop=1, drop_list_only=False
+        )
+        dropped = []
+        for _ in range(3):
+            _modify_all(db)
+            dropped.extend(policy.apply(db).dropped)
+        assert not db.stats.has(AGE)
+        assert AGE_KEY in dropped
+
+
+class TestAgingPolicy:
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            AgingPolicy(window=-1)
+
+    def test_recent_drop_suppressed(self):
+        aging = AgingPolicy(window=10)
+        aging.record_drop(AGE_KEY, now=100)
+        assert aging.suppresses(AGE_KEY, now=105, query_estimated_cost=1.0)
+
+    def test_suppression_expires(self):
+        aging = AgingPolicy(window=10)
+        aging.record_drop(AGE_KEY, now=100)
+        assert not aging.suppresses(
+            AGE_KEY, now=111, query_estimated_cost=1.0
+        )
+
+    def test_expensive_query_overrides(self):
+        """Sec 6: expensive queries must not suffer from aging."""
+        aging = AgingPolicy(window=10, expensive_query_cost=1000.0)
+        aging.record_drop(AGE_KEY, now=100)
+        assert not aging.suppresses(
+            AGE_KEY, now=105, query_estimated_cost=5000.0
+        )
+        assert aging.suppresses(AGE_KEY, now=105, query_estimated_cost=10.0)
+
+    def test_never_dropped_never_suppressed(self):
+        aging = AgingPolicy()
+        assert not aging.suppresses(AGE_KEY, now=5, query_estimated_cost=1.0)
+
+    def test_recently_dropped_listing(self):
+        aging = AgingPolicy(window=10)
+        aging.record_drop(AGE_KEY, now=100)
+        assert aging.recently_dropped(now=105) == [AGE_KEY]
+        assert aging.recently_dropped(now=200) == []

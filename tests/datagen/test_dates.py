@@ -1,0 +1,35 @@
+"""Tests for repro.datagen.dates."""
+
+import pytest
+
+from repro.datagen.dates import (
+    TPCD_DATE_MAX,
+    TPCD_DATE_MIN,
+    date_to_daynum,
+    daynum_to_date,
+)
+
+
+class TestDates:
+    def test_epoch_is_zero(self):
+        assert date_to_daynum("1992-01-01") == 0
+
+    def test_round_trip(self):
+        for iso in ("1992-01-01", "1995-06-17", "1998-12-31"):
+            assert daynum_to_date(date_to_daynum(iso)) == iso
+
+    def test_ordering_preserved(self):
+        assert date_to_daynum("1994-01-01") < date_to_daynum("1995-01-01")
+
+    def test_range_constants(self):
+        assert TPCD_DATE_MIN == 0
+        assert daynum_to_date(TPCD_DATE_MAX) == "1998-12-31"
+
+    def test_invalid_date_raises(self):
+        with pytest.raises(ValueError):
+            date_to_daynum("not-a-date")
+
+    def test_leap_year_handled(self):
+        assert (
+            date_to_daynum("1992-03-01") - date_to_daynum("1992-02-28") == 2
+        )

@@ -1,0 +1,115 @@
+"""Tests for repro.datagen.zipf."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.zipf import (
+    skew_of_column,
+    zipf_frequencies,
+    zipf_probabilities,
+    zipf_sample,
+)
+from repro.errors import DataGenerationError
+
+
+class TestProbabilities:
+    def test_sums_to_one(self):
+        probs = zipf_probabilities(100, 1.5)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_uniform_at_z_zero(self):
+        probs = zipf_probabilities(10, 0.0)
+        assert np.allclose(probs, 0.1)
+
+    def test_monotone_decreasing(self):
+        probs = zipf_probabilities(50, 2.0)
+        assert (np.diff(probs) <= 0).all()
+
+    def test_higher_z_more_concentrated(self):
+        low = zipf_probabilities(100, 1.0)
+        high = zipf_probabilities(100, 3.0)
+        assert high[0] > low[0]
+
+    def test_domain_size_one(self):
+        assert zipf_probabilities(1, 2.0).tolist() == [1.0]
+
+    def test_invalid_domain(self):
+        with pytest.raises(DataGenerationError):
+            zipf_probabilities(0, 1.0)
+
+    def test_negative_z_rejected(self):
+        with pytest.raises(DataGenerationError):
+            zipf_probabilities(10, -0.1)
+
+
+class TestSampling:
+    def test_values_from_domain(self):
+        rng = np.random.default_rng(0)
+        domain = np.array([10, 20, 30])
+        sample = zipf_sample(domain, 100, 2.0, rng)
+        assert set(sample.tolist()) <= {10, 20, 30}
+
+    def test_sample_size(self):
+        rng = np.random.default_rng(0)
+        assert zipf_sample(np.arange(5), 42, 1.0, rng).shape == (42,)
+
+    def test_zero_size(self):
+        rng = np.random.default_rng(0)
+        assert zipf_sample(np.arange(5), 0, 1.0, rng).shape == (0,)
+
+    def test_negative_size_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DataGenerationError):
+            zipf_sample(np.arange(5), -1, 1.0, rng)
+
+    def test_deterministic_with_seed(self):
+        a = zipf_sample(np.arange(50), 200, 2.0, np.random.default_rng(5))
+        b = zipf_sample(np.arange(50), 200, 2.0, np.random.default_rng(5))
+        assert (a == b).all()
+
+    def test_skew_ordering(self):
+        domain = np.arange(100)
+        uniform = zipf_sample(domain, 5000, 0.0, np.random.default_rng(1))
+        skewed = zipf_sample(domain, 5000, 3.0, np.random.default_rng(1))
+        assert skew_of_column(skewed) > skew_of_column(uniform)
+
+    def test_shuffle_ranks_changes_modal_value(self):
+        domain = np.arange(100)
+        a = zipf_sample(
+            domain, 3000, 3.0, np.random.default_rng(1), shuffle_ranks=False
+        )
+        values, counts = np.unique(a, return_counts=True)
+        # without shuffling, the most frequent value is the smallest rank
+        assert values[np.argmax(counts)] == 0
+
+
+class TestFrequencies:
+    def test_sums_to_total(self):
+        freqs = zipf_frequencies(10, 1000, 1.5)
+        assert freqs.sum() == 1000
+
+    def test_uniform_split(self):
+        freqs = zipf_frequencies(4, 100, 0.0)
+        assert freqs.tolist() == [25, 25, 25, 25]
+
+    def test_monotone(self):
+        freqs = zipf_frequencies(10, 1000, 2.0)
+        assert (np.diff(freqs) <= 0).all()
+
+    def test_zero_total(self):
+        assert zipf_frequencies(5, 0, 1.0).sum() == 0
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(DataGenerationError):
+            zipf_frequencies(5, -1, 1.0)
+
+
+class TestSkewDiagnostic:
+    def test_empty(self):
+        assert skew_of_column(np.array([])) == 0.0
+
+    def test_constant_column(self):
+        assert skew_of_column(np.array([7, 7, 7])) == 1.0
+
+    def test_uniform_column(self):
+        assert skew_of_column(np.array([1, 2, 3, 4])) == 0.25

@@ -1,0 +1,71 @@
+"""Tests for repro.executor.dml."""
+
+import pytest
+
+from repro.catalog import ColumnRef
+from repro.executor.dml import apply_dml
+from repro.sql.predicates import ComparisonPredicate
+from repro.sql.query import DmlStatement
+
+AGE = ColumnRef("emp", "age")
+
+
+class TestApplyDml:
+    def test_insert_dict_rows(self, db):
+        before = db.row_count("dept")
+        stmt = DmlStatement(
+            kind="insert",
+            table="dept",
+            rows=({"id": 100, "dname": "new", "budget": 5.0},),
+        )
+        assert apply_dml(db, stmt) == 1
+        assert db.row_count("dept") == before + 1
+
+    def test_insert_tuple_rows(self, db):
+        stmt = DmlStatement(
+            kind="insert", table="dept", rows=((101, "x", 9.0),)
+        )
+        assert apply_dml(db, stmt) == 1
+
+    def test_insert_tuple_width_checked(self, db):
+        stmt = DmlStatement(kind="insert", table="dept", rows=((1, "x"),))
+        with pytest.raises(Exception):
+            apply_dml(db, stmt)
+
+    def test_delete_with_predicate(self, db):
+        expected = int((db.table("emp").column_array("age") == 30).sum())
+        stmt = DmlStatement(
+            kind="delete",
+            table="emp",
+            predicate=ComparisonPredicate(AGE, "=", 30),
+        )
+        assert apply_dml(db, stmt) == expected
+        assert (db.table("emp").column_array("age") != 30).all()
+
+    def test_delete_whole_table(self, db):
+        stmt = DmlStatement(kind="delete", table="dept")
+        assert apply_dml(db, stmt) == 8
+        assert db.row_count("dept") == 0
+
+    def test_update(self, db):
+        stmt = DmlStatement(
+            kind="update",
+            table="emp",
+            predicate=ComparisonPredicate(AGE, "=", 30),
+            assignments={"salary": 1.0},
+        )
+        affected = apply_dml(db, stmt)
+        assert affected > 0
+        emp = db.table("emp")
+        updated = emp.column_array("salary")[emp.column_array("age") == 30]
+        assert (updated == 1.0).all()
+
+    def test_counters_advance(self, db):
+        stmt = DmlStatement(
+            kind="update",
+            table="emp",
+            predicate=ComparisonPredicate(AGE, "=", 30),
+            assignments={"salary": 1.0},
+        )
+        affected = apply_dml(db, stmt)
+        assert db.table("emp").rows_modified_since_stats == affected

@@ -1,0 +1,122 @@
+"""Tests for repro.executor.operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.executor.operators import (
+    composite_keys,
+    equi_join_indices,
+    group_indices,
+    joint_composite_keys,
+    translate_string_codes,
+)
+from repro.storage import StringDictionary
+
+
+class TestEquiJoin:
+    def test_simple_match(self):
+        left = np.array([1, 2, 3])
+        right = np.array([2, 3, 4])
+        li, ri = equi_join_indices(left, right)
+        pairs = set(zip(left[li].tolist(), right[ri].tolist()))
+        assert pairs == {(2, 2), (3, 3)}
+
+    def test_duplicates_expand(self):
+        left = np.array([1, 1])
+        right = np.array([1, 1, 1])
+        li, ri = equi_join_indices(left, right)
+        assert li.shape[0] == 6
+
+    def test_no_matches(self):
+        li, ri = equi_join_indices(np.array([1]), np.array([2]))
+        assert li.shape[0] == 0
+
+    def test_empty_sides(self):
+        li, ri = equi_join_indices(np.array([]), np.array([1, 2]))
+        assert li.shape[0] == 0
+        li, ri = equi_join_indices(np.array([1]), np.array([]))
+        assert li.shape[0] == 0
+
+    def test_matches_reference_join(self):
+        rng = np.random.default_rng(0)
+        left = rng.integers(0, 20, size=200)
+        right = rng.integers(0, 20, size=150)
+        li, ri = equi_join_indices(left, right)
+        expected = sum(
+            int((right == v).sum()) for v in left
+        )
+        assert li.shape[0] == expected
+        assert (left[li] == right[ri]).all()
+
+
+class TestCompositeKeys:
+    def test_single_column_passthrough(self):
+        arr = np.array([5, 6])
+        assert (composite_keys([arr]) == arr).all()
+
+    def test_distinct_tuples_distinct_keys(self):
+        a = np.array([1, 1, 2, 2])
+        b = np.array([1, 2, 1, 2])
+        keys = composite_keys([a, b])
+        assert len(np.unique(keys)) == 4
+
+    def test_equal_tuples_equal_keys(self):
+        a = np.array([1, 1, 1])
+        b = np.array([2, 2, 2])
+        keys = composite_keys([a, b])
+        assert len(np.unique(keys)) == 1
+
+    def test_joint_keys_comparable_across_sides(self):
+        left = [np.array([1, 2]), np.array([10, 20])]
+        right = [np.array([2, 3]), np.array([20, 30])]
+        lk, rk = joint_composite_keys(left, right)
+        assert lk[1] == rk[0]  # (2, 20) on both sides
+        assert lk[0] != rk[1]
+
+    def test_joint_keys_single_column(self):
+        lk, rk = joint_composite_keys([np.array([7])], [np.array([7])])
+        assert lk[0] == rk[0]
+
+    def test_mismatched_widths_rejected(self):
+        with pytest.raises(ExecutionError):
+            joint_composite_keys([np.array([1])], [])
+
+
+class TestStringTranslation:
+    def test_translates_shared_values(self):
+        left = StringDictionary(["a", "b", "c"])
+        right = StringDictionary(["c", "a"])
+        codes = translate_string_codes(left, right, np.array([0, 1]))
+        assert codes.tolist() == [2, 0]  # "c"->2, "a"->0 in left
+
+    def test_unshared_values_map_to_minus_one(self):
+        left = StringDictionary(["a"])
+        right = StringDictionary(["zz"])
+        codes = translate_string_codes(left, right, np.array([0]))
+        assert codes.tolist() == [-1]
+
+    def test_empty_codes(self):
+        left = StringDictionary(["a"])
+        right = StringDictionary(["a"])
+        assert translate_string_codes(
+            left, right, np.array([], dtype=np.int64)
+        ).shape == (0,)
+
+
+class TestGroupIndices:
+    def test_groups_by_single_key(self):
+        ids, reps = group_indices([np.array([5, 5, 7, 5])])
+        assert reps.shape[0] == 2
+        assert ids[0] == ids[1] == ids[3]
+        assert ids[2] != ids[0]
+
+    def test_groups_by_composite_key(self):
+        a = np.array([1, 1, 2])
+        b = np.array([1, 2, 1])
+        ids, reps = group_indices([a, b])
+        assert reps.shape[0] == 3
+
+    def test_requires_columns(self):
+        with pytest.raises(ExecutionError):
+            group_indices([])

@@ -1,0 +1,66 @@
+"""Tests for repro.executor.relation."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import ColumnRef
+from repro.errors import ExecutionError
+from repro.executor.relation import Relation
+
+from tests.util import simple_db
+
+A = ColumnRef("t", "a")
+B = ColumnRef("t", "b")
+
+
+class TestRelation:
+    def test_row_count(self):
+        rel = Relation({A: np.arange(5)})
+        assert rel.row_count == 5
+
+    def test_misaligned_columns_rejected(self):
+        with pytest.raises(ExecutionError):
+            Relation({A: np.arange(5), B: np.arange(3)})
+
+    def test_column_lookup(self):
+        rel = Relation({A: np.arange(3)})
+        assert rel.column(A).tolist() == [0, 1, 2]
+
+    def test_missing_column_raises(self):
+        with pytest.raises(ExecutionError):
+            Relation({A: np.arange(3)}).column(B)
+
+    def test_contains(self):
+        rel = Relation({A: np.arange(3)})
+        assert A in rel and B not in rel
+
+    def test_take_reorders(self):
+        rel = Relation({A: np.array([10, 20, 30])})
+        taken = rel.take(np.array([2, 0]))
+        assert taken.column(A).tolist() == [30, 10]
+
+    def test_filter(self):
+        rel = Relation({A: np.array([1, 2, 3, 4])})
+        filtered = rel.filter(rel.column(A) % 2 == 0)
+        assert filtered.column(A).tolist() == [2, 4]
+
+    def test_merged_with(self):
+        left = Relation({A: np.arange(3)})
+        right = Relation({B: np.arange(3) * 10})
+        merged = left.merged_with(right)
+        assert merged.column(B).tolist() == [0, 10, 20]
+
+    def test_merge_length_mismatch(self):
+        left = Relation({A: np.arange(3)})
+        right = Relation({B: np.arange(4)})
+        with pytest.raises(ExecutionError):
+            left.merged_with(right)
+
+    def test_from_table(self):
+        db = simple_db(n_emp=10)
+        rel = Relation.from_table(db.table("emp"), "emp", ["age", "salary"])
+        assert rel.row_count == 10
+        assert ColumnRef("emp", "age") in rel
+
+    def test_empty(self):
+        assert Relation.empty().row_count == 0

@@ -1,0 +1,69 @@
+"""Tests for repro.experiments.ablations."""
+
+import pytest
+
+from repro.experiments import (
+    default_database_factory,
+    run_equivalence_ablation,
+    run_next_stat_ablation,
+    run_shrinking_ablation,
+    run_threshold_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def factory():
+    return default_database_factory(scale=0.002, seed=11)
+
+
+class TestThresholdSweep:
+    def test_monotone_in_t(self, factory):
+        rows = run_threshold_sweep(
+            factory, 2.0, t_values=(5.0, 20.0, 80.0), max_queries=10
+        )
+        counts = [r.created_count for r in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_rows_carry_costs(self, factory):
+        rows = run_threshold_sweep(
+            factory, 2.0, t_values=(20.0,), max_queries=5
+        )
+        assert rows[0].creation_cost >= 0
+        assert rows[0].execution_cost > 0
+
+
+class TestNextStatAblation:
+    def test_runs_and_reports(self, factory):
+        result = run_next_stat_ablation(factory, 2.0, max_queries=10)
+        assert result.heuristic_created >= 0
+        assert result.arbitrary_created >= 0
+        assert result.heuristic_creation_cost >= 0
+
+
+class TestShrinkingAblation:
+    def test_retained_bounded_by_mnsa(self, factory):
+        result = run_shrinking_ablation(factory, 2.0, max_queries=10)
+        assert result.shrink_retained <= result.mnsa_retained
+        assert result.mnsad_retained <= result.mnsa_retained
+
+    def test_plans_execution_costs_positive(self, factory):
+        result = run_shrinking_ablation(factory, 2.0, max_queries=10)
+        assert result.shrink_execution_cost > 0
+        assert result.mnsad_execution_cost > 0
+
+
+class TestEquivalenceAblation:
+    def test_looser_t_retains_fewer(self, factory):
+        rows = run_equivalence_ablation(
+            factory, 2.0, max_queries=8, t_values=(5.0, 50.0)
+        )
+        by_name = {r.criterion: r for r in rows}
+        assert (
+            by_name["t_cost_50"].retained <= by_name["t_cost_5"].retained
+        )
+
+    def test_execution_tree_included(self, factory):
+        rows = run_equivalence_ablation(
+            factory, 2.0, max_queries=8, t_values=(20.0,)
+        )
+        assert any(r.criterion == "execution_tree" for r in rows)

@@ -1,0 +1,68 @@
+"""Tests for repro.index.sorted_index."""
+
+import numpy as np
+
+from repro.index import SortedIndex
+
+
+def _index(values):
+    return SortedIndex(np.asarray(values), name="test")
+
+
+class TestEqualLookup:
+    def test_single_match(self):
+        idx = _index([5, 3, 9, 1])
+        assert idx.lookup_equal(9).tolist() == [2]
+
+    def test_duplicates(self):
+        idx = _index([7, 3, 7, 7])
+        assert idx.lookup_equal(7).tolist() == [0, 2, 3]
+
+    def test_missing_value(self):
+        assert _index([1, 2, 3]).lookup_equal(99).tolist() == []
+
+    def test_results_in_row_order(self):
+        idx = _index([2, 1, 2, 1])
+        assert idx.lookup_equal(1).tolist() == [1, 3]
+
+
+class TestRangeLookup:
+    def test_closed_range(self):
+        idx = _index([10, 20, 30, 40])
+        assert idx.lookup_range(low=20, high=30).tolist() == [1, 2]
+
+    def test_open_low(self):
+        idx = _index([10, 20, 30])
+        assert idx.lookup_range(low=20, low_inclusive=False).tolist() == [2]
+
+    def test_open_high(self):
+        idx = _index([10, 20, 30])
+        assert idx.lookup_range(high=20, high_inclusive=False).tolist() == [0]
+
+    def test_unbounded_low(self):
+        idx = _index([10, 20, 30])
+        assert idx.lookup_range(high=20).tolist() == [0, 1]
+
+    def test_unbounded_both(self):
+        idx = _index([3, 1, 2])
+        assert idx.lookup_range().tolist() == [0, 1, 2]
+
+    def test_empty_range(self):
+        idx = _index([10, 20])
+        assert idx.lookup_range(low=12, high=15).tolist() == []
+
+    def test_inverted_range(self):
+        idx = _index([10, 20])
+        assert idx.lookup_range(low=30, high=5).tolist() == []
+
+
+class TestInLookup:
+    def test_multiple_values(self):
+        idx = _index([5, 6, 7, 5])
+        assert idx.lookup_in([5, 7]).tolist() == [0, 2, 3]
+
+    def test_empty_values(self):
+        assert _index([1]).lookup_in([]).tolist() == []
+
+    def test_len(self):
+        assert len(_index([1, 2, 3])) == 3

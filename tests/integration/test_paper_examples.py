@@ -1,0 +1,156 @@
+"""Integration tests reproducing the paper's worked examples."""
+
+import pytest
+
+from repro.catalog import Column, ColumnRef, ColumnType, Schema, TableSchema
+from repro.core.essential import plan_with_stats
+from repro.optimizer import Optimizer
+from repro.sql.builder import QueryBuilder
+from repro.stats.statistic import StatKey
+from repro.storage import Database
+
+import numpy as np
+
+
+def _example1_database(seed=5):
+    """T1(a, c), T2(b) shaped like the paper's Example 1 query:
+    SELECT * FROM T1, T2 WHERE T1.a = T2.b AND T1.c < 100."""
+    t1 = TableSchema(
+        "T1", [Column("a", ColumnType.INT), Column("c", ColumnType.INT)]
+    )
+    t2 = TableSchema("T2", [Column("b", ColumnType.INT)])
+    db = Database(Schema([t1, t2]))
+    rng = np.random.default_rng(seed)
+    n1, n2 = 5000, 200
+    # T1.a references T2.b with heavy skew; T1.c is mostly >= 100
+    b_values = np.arange(n2)
+    weights = 1.0 / np.arange(1, n2 + 1) ** 2
+    weights /= weights.sum()
+    db.load_table(
+        "T1",
+        {
+            "a": rng.choice(b_values, size=n1, p=weights),
+            "c": np.where(
+                rng.uniform(size=n1) < 0.02,
+                rng.integers(0, 100, size=n1),
+                rng.integers(100, 10_000, size=n1),
+            ),
+        },
+    )
+    db.load_table("T2", {"b": b_values})
+    return db
+
+
+def _example1_query(db):
+    return (
+        QueryBuilder(db.schema)
+        .join("T1.a", "T2.b")
+        .where("T1.c", "<", 100)
+        .build()
+    )
+
+
+class TestExample1:
+    """Essential-set conditions (1)-(4) of the paper's Example 1."""
+
+    def test_conditions_checkable(self):
+        db = _example1_database()
+        query = _example1_query(db)
+        candidates = [
+            StatKey("T1", ("a",)),
+            StatKey("T2", ("b",)),
+            StatKey("T1", ("c",)),
+        ]
+        for key in candidates:
+            db.stats.create(key)
+        opt = Optimizer(db)
+
+        full = plan_with_stats(opt, db, query, candidates)
+        # find which sets are execution-tree equivalent to C
+        from itertools import combinations
+
+        equivalent_sets = []
+        for size in range(len(candidates) + 1):
+            for combo in combinations(candidates, size):
+                probe = plan_with_stats(opt, db, query, combo)
+                if probe.signature == full.signature:
+                    equivalent_sets.append(set(combo))
+        # the full set is always equivalent to itself
+        assert set(candidates) in equivalent_sets
+        # minimal equivalent sets are essential sets; at least one exists
+        minimal = min(equivalent_sets, key=len)
+        for key in minimal:
+            smaller = minimal - {key}
+            assert smaller not in equivalent_sets or len(minimal) == 0
+
+    def test_statistics_change_example1_plan(self):
+        """The skewed join + selective filter make statistics matter."""
+        db = _example1_database()
+        query = _example1_query(db)
+        opt = Optimizer(db)
+        before = opt.optimize(query)
+        for key in (
+            StatKey("T1", ("a",)),
+            StatKey("T2", ("b",)),
+            StatKey("T1", ("c",)),
+        ):
+            db.stats.create(key)
+        after = opt.optimize(query)
+        assert before.rows != after.rows
+
+
+class TestExample2:
+    """Sec 4.1's Example 2: with a highly selective salary predicate
+    already covered by statistics, statistics on Age cannot change the
+    plan — and MNSA detects this without building them."""
+
+    def _database(self):
+        emp = TableSchema(
+            "Employees",
+            [
+                Column("DeptId", ColumnType.INT),
+                Column("Age", ColumnType.INT),
+                Column("Salary", ColumnType.FLOAT),
+            ],
+        )
+        dept = TableSchema(
+            "Department", [Column("DeptId2", ColumnType.INT)]
+        )
+        db = Database(Schema([emp, dept]))
+        rng = np.random.default_rng(1)
+        n = 20_000
+        db.load_table(
+            "Employees",
+            {
+                "DeptId": rng.integers(0, 50, size=n),
+                "Age": rng.integers(18, 70, size=n),
+                # almost nobody earns > 200K
+                "Salary": np.where(
+                    rng.uniform(size=n) < 0.0008,
+                    250_000.0,
+                    60_000.0,
+                ),
+            },
+        )
+        db.load_table("Department", {"DeptId2": np.arange(50)})
+        return db
+
+    def test_mnsa_skips_age_statistics(self):
+        from repro.core.mnsa import MnsaConfig, mnsa_for_query
+
+        db = self._database()
+        query = (
+            QueryBuilder(db.schema)
+            .join("Employees.DeptId", "Department.DeptId2")
+            .where("Employees.Age", "<", 30)
+            .where("Employees.Salary", ">", 200_000.0)
+            .build()
+        )
+        # join and salary statistics exist, as in the example
+        db.stats.create(StatKey("Employees", ("DeptId",)))
+        db.stats.create(StatKey("Department", ("DeptId2",)))
+        db.stats.create(StatKey("Employees", ("Salary",)))
+        opt = Optimizer(db)
+        result = mnsa_for_query(db, opt, query)
+        assert StatKey("Employees", ("Age",)) not in result.created
+        assert result.stop_reason == "insensitive"

@@ -1,0 +1,70 @@
+"""Tests for repro.optimizer.variables."""
+
+from repro.catalog import ColumnRef
+from repro.optimizer.variables import (
+    GroupByVariable,
+    JoinVariable,
+    PredicateVariable,
+    join_variables_of,
+)
+from repro.sql.predicates import ComparisonPredicate, JoinPredicate
+from repro.sql.query import Query
+
+A = ColumnRef("emp", "dept_id")
+B = ColumnRef("dept", "id")
+
+
+class TestVariables:
+    def test_predicate_variable_identity(self):
+        pred = ComparisonPredicate(ColumnRef("emp", "age"), "<", 30)
+        assert PredicateVariable(pred) == PredicateVariable(pred)
+
+    def test_join_variable_canonical_order(self):
+        j = JoinPredicate(A, B)
+        assert JoinVariable((j,)).predicates == (j,)
+
+    def test_join_variable_tables(self):
+        var = JoinVariable((JoinPredicate(A, B),))
+        assert set(var.tables) == {"emp", "dept"}
+
+    def test_group_by_variable_sorted_columns(self):
+        assert GroupByVariable("t", ("b", "a")).columns == ("a", "b")
+
+    def test_group_by_equality(self):
+        assert GroupByVariable("t", ("a", "b")) == GroupByVariable(
+            "t", ("b", "a")
+        )
+
+    def test_variables_usable_as_dict_keys(self):
+        var = GroupByVariable("t", ("a",))
+        overrides = {var: 0.5}
+        assert overrides[GroupByVariable("t", ("a",))] == 0.5
+
+    def test_str_forms(self):
+        pred = ComparisonPredicate(ColumnRef("emp", "age"), "<", 30)
+        assert "emp.age" in str(PredicateVariable(pred))
+        assert "ndv[" in str(GroupByVariable("t", ("a",)))
+
+
+class TestJoinVariablesOf:
+    def test_grouped_per_table_pair(self):
+        li_p = ColumnRef("lineitem", "l_partkey")
+        li_s = ColumnRef("lineitem", "l_suppkey")
+        ps_p = ColumnRef("partsupp", "ps_partkey")
+        ps_s = ColumnRef("partsupp", "ps_suppkey")
+        query = Query(
+            tables=("lineitem", "partsupp", "part"),
+            joins=(
+                JoinPredicate(li_p, ps_p),
+                JoinPredicate(li_s, ps_s),
+                JoinPredicate(li_p, ColumnRef("part", "p_partkey")),
+            ),
+        )
+        variables = join_variables_of(query)
+        assert len(variables) == 2
+        sizes = sorted(len(v.predicates) for v in variables)
+        assert sizes == [1, 2]
+
+    def test_empty_for_no_joins(self):
+        query = Query(tables=("emp",))
+        assert join_variables_of(query) == []

@@ -1,0 +1,96 @@
+"""Property test of the paper's cost-monotonicity assumption (Sec 4.1).
+
+"By and large, it is a safe assumption that the optimizer-estimated cost
+of an SPJ query is monotonic in the values of the selectivity variables."
+MNSA's correctness rests on this, so we verify it holds by construction
+in our optimizer: raising any statistics-less selectivity variable never
+lowers the estimated cost of the chosen plan.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimizer import Optimizer
+from repro.sql.builder import QueryBuilder
+
+from tests.util import simple_db
+
+
+@pytest.fixture(scope="module")
+def setup():
+    db = simple_db()
+    query = (
+        QueryBuilder(db.schema)
+        .join("emp.dept_id", "dept.id")
+        .where("emp.age", "<", 30)
+        .where("emp.salary", ">", 50_000.0)
+        .group_by("emp.dept_id")
+        .aggregate("count")
+        .build()
+    )
+    opt = Optimizer(db)
+    variables = opt.magic_variables(query)
+    return db, opt, query, variables
+
+
+unit = st.floats(
+    min_value=0.0005,
+    max_value=0.9995,
+    allow_nan=False,
+    allow_infinity=False,
+)
+
+
+class TestCostMonotonicity:
+    @given(values=st.lists(unit, min_size=4, max_size=4), bump=unit)
+    @settings(max_examples=60, deadline=None)
+    def test_raising_one_variable_never_lowers_cost(
+        self, setup, values, bump
+    ):
+        db, opt, query, variables = setup
+        assert len(variables) == 4
+        base_overrides = dict(zip(variables, values))
+        base_cost = opt.optimize(
+            query, selectivity_overrides=base_overrides
+        ).cost
+        for variable in variables:
+            raised = dict(base_overrides)
+            raised[variable] = min(0.9995, raised[variable] + bump / 2)
+            raised_cost = opt.optimize(
+                query, selectivity_overrides=raised
+            ).cost
+            assert raised_cost >= base_cost - 1e-9
+
+    @given(values=st.lists(unit, min_size=4, max_size=4))
+    @settings(max_examples=60, deadline=None)
+    def test_cost_between_plow_and_phigh(self, setup, values):
+        """The Sec 4.1 argument: every assignment inside [eps, 1-eps] costs
+        between Cost(P_low) and Cost(P_high)."""
+        db, opt, query, variables = setup
+        epsilon = 0.0005
+        low = opt.optimize(
+            query,
+            selectivity_overrides={v: epsilon for v in variables},
+        ).cost
+        high = opt.optimize(
+            query,
+            selectivity_overrides={v: 1 - epsilon for v in variables},
+        ).cost
+        mid = opt.optimize(
+            query,
+            selectivity_overrides=dict(zip(variables, values)),
+        ).cost
+        assert low - 1e-9 <= mid <= high + 1e-9
+
+    @given(values=st.lists(unit, min_size=4, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_rows_monotone_too(self, setup, values):
+        db, opt, query, variables = setup
+        overrides = dict(zip(variables, values))
+        base = opt.optimize(query, selectivity_overrides=overrides)
+        raised = {
+            v: min(0.9995, s * 1.5) for v, s in overrides.items()
+        }
+        more = opt.optimize(query, selectivity_overrides=raised)
+        assert more.rows >= base.rows - 1e-9

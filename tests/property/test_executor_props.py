@@ -1,0 +1,131 @@
+"""Property tests: executor output equals a naive reference evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import ColumnRef
+from repro.config import OptimizerConfig
+from repro.executor import Executor
+from repro.optimizer import Optimizer
+from repro.sql.builder import QueryBuilder
+
+from tests.util import simple_db
+
+
+@pytest.fixture(scope="module")
+def shared_db():
+    return simple_db(n_emp=300)
+
+
+ops = st.sampled_from(["=", "<", "<=", ">", ">=", "<>"])
+age_values = st.integers(min_value=15, max_value=70)
+
+
+def _reference_count(db, conjuncts):
+    emp = db.table("emp")
+    mask = np.ones(db.row_count("emp"), dtype=bool)
+    evaluators = {
+        "=": np.equal,
+        "<>": np.not_equal,
+        "<": np.less,
+        "<=": np.less_equal,
+        ">": np.greater,
+        ">=": np.greater_equal,
+    }
+    for column, op, value in conjuncts:
+        mask &= evaluators[op](emp.column_array(column), value)
+    return int(mask.sum())
+
+
+class TestFilterEquivalence:
+    @given(op=ops, value=age_values)
+    @settings(max_examples=40, deadline=None)
+    def test_single_predicate(self, shared_db, op, value):
+        db = shared_db
+        query = QueryBuilder(db.schema).where("emp.age", op, value).build()
+        result = Executor(db).execute(
+            Optimizer(db).optimize(query).plan, query
+        )
+        assert result.row_count == _reference_count(
+            db, [("age", op, value)]
+        )
+
+    @given(
+        op1=ops, v1=age_values, op2=ops, v2=st.integers(1, 10)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_conjunction(self, shared_db, op1, v1, op2, v2):
+        db = shared_db
+        query = (
+            QueryBuilder(db.schema)
+            .where("emp.age", op1, v1)
+            .where("emp.dept_id", op2, v2)
+            .build()
+        )
+        result = Executor(db).execute(
+            Optimizer(db).optimize(query).plan, query
+        )
+        assert result.row_count == _reference_count(
+            db, [("age", op1, v1), ("dept_id", op2, v2)]
+        )
+
+    @given(op=ops, value=age_values)
+    @settings(max_examples=25, deadline=None)
+    def test_join_with_filter_matches_reference(self, shared_db, op, value):
+        """FK join keeps exactly the filtered emp rows."""
+        db = shared_db
+        query = (
+            QueryBuilder(db.schema)
+            .join("emp.dept_id", "dept.id")
+            .where("emp.age", op, value)
+            .build()
+        )
+        result = Executor(db).execute(
+            Optimizer(db).optimize(query).plan, query
+        )
+        assert result.row_count == _reference_count(
+            db, [("age", op, value)]
+        )
+
+    @given(op=ops, value=age_values)
+    @settings(max_examples=15, deadline=None)
+    def test_algorithm_choice_does_not_change_rows(
+        self, shared_db, op, value
+    ):
+        db = shared_db
+        counts = set()
+        for kwargs in ({}, {"enable_hash_join": False}):
+            config = OptimizerConfig(**kwargs)
+            query = (
+                QueryBuilder(db.schema)
+                .join("emp.dept_id", "dept.id")
+                .where("emp.age", op, value)
+                .build()
+            )
+            result = Executor(db, config).execute(
+                Optimizer(db, config).optimize(query).plan, query
+            )
+            counts.add(result.row_count)
+        assert len(counts) == 1
+
+
+class TestAggregationEquivalence:
+    @given(value=age_values)
+    @settings(max_examples=25, deadline=None)
+    def test_grouped_counts_sum_to_filter_count(self, shared_db, value):
+        db = shared_db
+        query = (
+            QueryBuilder(db.schema)
+            .where("emp.age", "<", value)
+            .select("emp.dept_id")
+            .group_by("emp.dept_id")
+            .aggregate("count")
+            .build()
+        )
+        result = Executor(db).execute(
+            Optimizer(db).optimize(query).plan, query
+        )
+        total = sum(row[1] for row in result.rows())
+        assert total == _reference_count(db, [("age", "<", value)])

@@ -1,0 +1,88 @@
+"""Property-based tests for histograms (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.histogram import build_equi_depth, build_maxdiff
+
+values_strategy = st.lists(
+    st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=300
+)
+buckets_strategy = st.integers(min_value=1, max_value=40)
+
+
+@st.composite
+def histogram_and_values(draw):
+    values = np.asarray(draw(values_strategy))
+    buckets = draw(buckets_strategy)
+    kind = draw(st.sampled_from([build_equi_depth, build_maxdiff]))
+    return kind(values, buckets), values
+
+
+class TestHistogramInvariants:
+    @given(histogram_and_values())
+    @settings(max_examples=60, deadline=None)
+    def test_counts_sum_to_rows(self, pair):
+        hist, values = pair
+        assert hist.counts.sum() == values.shape[0]
+
+    @given(histogram_and_values())
+    @settings(max_examples=60, deadline=None)
+    def test_distincts_sum_to_ndv(self, pair):
+        hist, values = pair
+        assert hist.distinct_count == len(np.unique(values))
+
+    @given(histogram_and_values())
+    @settings(max_examples=60, deadline=None)
+    def test_buckets_sorted_disjoint(self, pair):
+        hist, _ = pair
+        for i in range(hist.bucket_count):
+            assert hist.lows[i] <= hist.highs[i]
+            if i + 1 < hist.bucket_count:
+                assert hist.highs[i] < hist.lows[i + 1]
+
+    @given(histogram_and_values(), st.integers(-1200, 1200))
+    @settings(max_examples=60, deadline=None)
+    def test_equality_selectivity_in_unit_interval(self, pair, probe):
+        hist, _ = pair
+        assert 0.0 <= hist.selectivity_equal(probe) <= 1.0
+
+    @given(
+        histogram_and_values(),
+        st.integers(-1200, 1200),
+        st.integers(-1200, 1200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_range_selectivity_in_unit_interval(self, pair, a, b):
+        hist, _ = pair
+        low, high = min(a, b), max(a, b)
+        assert 0.0 <= hist.selectivity_range(low=low, high=high) <= 1.0
+
+    @given(histogram_and_values(), st.integers(-1200, 1200))
+    @settings(max_examples=60, deadline=None)
+    def test_range_monotone_in_upper_bound(self, pair, split):
+        hist, _ = pair
+        narrower = hist.selectivity_range(high=split)
+        wider = hist.selectivity_range(high=split + 100)
+        assert wider >= narrower - 1e-12
+
+    @given(histogram_and_values())
+    @settings(max_examples=60, deadline=None)
+    def test_full_range_covers_everything(self, pair):
+        hist, values = pair
+        assert hist.selectivity_range(
+            low=float(values.min()), high=float(values.max())
+        ) >= 0.999
+
+    @given(histogram_and_values(), st.integers(-1200, 1200))
+    @settings(max_examples=40, deadline=None)
+    def test_point_range_matches_equality(self, pair, probe):
+        """selectivity(= v) should not exceed selectivity(v <= col <= v)
+        by more than interpolation error allows in the other direction."""
+        hist, _ = pair
+        eq = hist.selectivity_equal(probe)
+        point_range = hist.selectivity_range(low=probe, high=probe)
+        # a single-value bucket gives equality == range; wide buckets
+        # interpolate the range down to ~0, so only a loose bound holds
+        assert eq <= 1.0 and point_range <= 1.0

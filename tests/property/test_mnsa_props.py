@@ -1,0 +1,96 @@
+"""Property tests on MNSA's postconditions (hypothesis over workloads)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import candidate_statistics
+from repro.core.equivalence import TOptimizerCostEquivalence
+from repro.core.mnsa import MnsaConfig, mnsa_for_query
+from repro.optimizer import Optimizer
+from repro.workload import generate_workload
+
+from tests.util import simple_db
+
+
+@pytest.fixture(scope="module")
+def query_pool():
+    """A pool of generated queries over a shared (statistics-free) DB
+    template; each example gets a fresh database."""
+    from repro.datagen import make_tpcd_database
+
+    db = make_tpcd_database(scale=0.002, z=2.0, seed=17)
+    return generate_workload(db, "U0-S-100").queries()
+
+
+def _fresh_db():
+    from repro.datagen import make_tpcd_database
+
+    return make_tpcd_database(scale=0.002, z=2.0, seed=17)
+
+
+class TestMnsaPostconditions:
+    @given(
+        index=st.integers(min_value=0, max_value=74),
+        t=st.sampled_from([5.0, 20.0, 60.0]),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_termination_condition_holds(self, query_pool, index, t):
+        """When MNSA stops with 'insensitive', the remaining magic
+        variables really cannot move the cost beyond t% — the exact
+        Sec 4.1 guarantee."""
+        query = query_pool[index % len(query_pool)]
+        db = _fresh_db()
+        optimizer = Optimizer(db)
+        config = MnsaConfig(t_percent=t)
+        result = mnsa_for_query(db, optimizer, query, config=config)
+        if result.stop_reason != "insensitive":
+            return
+        missing = optimizer.magic_variables(query)
+        assert missing  # otherwise the stop reason would differ
+        low = optimizer.optimize(
+            query,
+            selectivity_overrides={v: config.epsilon for v in missing},
+        )
+        high = optimizer.optimize(
+            query,
+            selectivity_overrides={
+                v: 1 - config.epsilon for v in missing
+            },
+        )
+        criterion = TOptimizerCostEquivalence(t)
+        assert criterion.costs_equivalent(low.cost, high.cost)
+
+    @given(index=st.integers(min_value=0, max_value=74))
+    @settings(max_examples=10, deadline=None)
+    def test_created_are_candidates(self, query_pool, index):
+        query = query_pool[index % len(query_pool)]
+        db = _fresh_db()
+        result = mnsa_for_query(db, Optimizer(db), query)
+        candidates = set(candidate_statistics(query))
+        assert set(result.created) <= candidates
+        assert set(result.skipped) <= candidates
+        assert not set(result.created) & set(result.skipped)
+
+    @given(index=st.integers(min_value=0, max_value=74))
+    @settings(max_examples=10, deadline=None)
+    def test_no_missing_variables_means_all_covered(
+        self, query_pool, index
+    ):
+        query = query_pool[index % len(query_pool)]
+        db = _fresh_db()
+        optimizer = Optimizer(db)
+        result = mnsa_for_query(db, optimizer, query)
+        if result.stop_reason == "no_missing_variables":
+            assert optimizer.magic_variables(query) == []
+
+    @given(index=st.integers(min_value=0, max_value=74))
+    @settings(max_examples=8, deadline=None)
+    def test_idempotence(self, query_pool, index):
+        """Running MNSA twice adds nothing the second time."""
+        query = query_pool[index % len(query_pool)]
+        db = _fresh_db()
+        optimizer = Optimizer(db)
+        mnsa_for_query(db, optimizer, query)
+        second = mnsa_for_query(db, optimizer, query)
+        assert second.created == []

@@ -1,0 +1,102 @@
+"""Property tests on the statistics-selection invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.equivalence import TOptimizerCostEquivalence
+from repro.core.candidates import (
+    CandidateMode,
+    candidate_statistics,
+)
+from repro.workload import generate_workload
+
+from tests.util import simple_db
+
+
+@pytest.fixture(scope="module")
+def tpcd_queries_pool():
+    from repro.datagen import make_tpcd_database
+
+    db = make_tpcd_database(scale=0.002, z=2.0, seed=13)
+    return generate_workload(db, "U0-C-100").queries()
+
+
+positive_costs = st.floats(
+    min_value=1e-6, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+
+class TestTEquivalenceProperties:
+    @given(cost=positive_costs, t=st.floats(0.0, 1000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_reflexive(self, cost, t):
+        assert TOptimizerCostEquivalence(t).costs_equivalent(cost, cost)
+
+    @given(a=positive_costs, b=positive_costs, t=st.floats(0.0, 1000.0))
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric(self, a, b, t):
+        criterion = TOptimizerCostEquivalence(t)
+        assert criterion.costs_equivalent(a, b) == criterion.costs_equivalent(
+            b, a
+        )
+
+    @given(a=positive_costs, b=positive_costs, t=st.floats(0.0, 100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_looser_t_accepts_more(self, a, b, t):
+        tight = TOptimizerCostEquivalence(t)
+        loose = TOptimizerCostEquivalence(t * 2 + 1)
+        if tight.costs_equivalent(a, b):
+            assert loose.costs_equivalent(a, b)
+
+
+class TestCandidateProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(index=st.integers(min_value=0, max_value=74))
+    def test_heuristic_subset_of_exhaustive_singles(
+        self, tpcd_queries_pool, index
+    ):
+        query = tpcd_queries_pool[index % len(tpcd_queries_pool)]
+        heuristic = set(candidate_statistics(query))
+        exhaustive = set(
+            candidate_statistics(query, CandidateMode.EXHAUSTIVE)
+        )
+        singles = {k for k in heuristic if not k.is_multi_column}
+        assert singles <= exhaustive
+
+    @settings(max_examples=30, deadline=None)
+    @given(index=st.integers(min_value=0, max_value=74))
+    def test_candidates_cover_only_relevant_columns(
+        self, tpcd_queries_pool, index
+    ):
+        """Every candidate column is a relevant column (Sec 3.1)."""
+        query = tpcd_queries_pool[index % len(tpcd_queries_pool)]
+        relevant = set(query.relevant_columns())
+        for key in candidate_statistics(query):
+            for ref in key.column_refs():
+                assert ref in relevant
+
+    @settings(max_examples=30, deadline=None)
+    @given(index=st.integers(min_value=0, max_value=74))
+    def test_every_relevant_column_has_single_candidate(
+        self, tpcd_queries_pool, index
+    ):
+        query = tpcd_queries_pool[index % len(tpcd_queries_pool)]
+        from repro.stats.statistic import StatKey
+
+        candidates = set(candidate_statistics(query))
+        for ref in query.relevant_columns():
+            assert StatKey.single(ref) in candidates
+
+    @settings(max_examples=20, deadline=None)
+    @given(index=st.integers(min_value=0, max_value=74))
+    def test_at_most_three_multicolumn_per_table(
+        self, tpcd_queries_pool, index
+    ):
+        """Sec 7.1: (b) + (c) + (d) — one each per table."""
+        query = tpcd_queries_pool[index % len(tpcd_queries_pool)]
+        per_table = {}
+        for key in candidate_statistics(query):
+            if key.is_multi_column:
+                per_table[key.table] = per_table.get(key.table, 0) + 1
+        assert all(count <= 3 for count in per_table.values())

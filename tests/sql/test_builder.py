@@ -1,0 +1,106 @@
+"""Tests for repro.sql.builder."""
+
+import pytest
+
+from repro.catalog import ColumnRef
+from repro.datagen.dates import date_to_daynum
+from repro.errors import SqlBindError
+from repro.sql.builder import QueryBuilder
+from repro.sql.expressions import Aggregate
+from repro.sql.predicates import BetweenPredicate, InPredicate, LikePredicate
+
+from tests.util import simple_schema
+
+
+def _builder():
+    return QueryBuilder(simple_schema())
+
+
+class TestQueryBuilder:
+    def test_basic_chain(self):
+        query = (
+            _builder()
+            .table("emp")
+            .where("emp.age", ">", 30)
+            .build()
+        )
+        assert query.tables == ("emp",)
+        assert len(query.predicates) == 1
+
+    def test_tables_added_implicitly(self):
+        query = _builder().where("emp.age", ">", 30).build()
+        assert query.tables == ("emp",)
+
+    def test_join(self):
+        query = (
+            _builder()
+            .join("emp.dept_id", "dept.id")
+            .build()
+        )
+        assert set(query.tables) == {"emp", "dept"}
+        assert len(query.joins) == 1
+
+    def test_duplicate_join_deduped(self):
+        query = (
+            _builder()
+            .join("emp.dept_id", "dept.id")
+            .join("dept.id", "emp.dept_id")
+            .build()
+        )
+        assert len(query.joins) == 1
+
+    def test_between(self):
+        query = _builder().between("emp.age", 20, 30).build()
+        assert isinstance(query.predicates[0], BetweenPredicate)
+
+    def test_in_list(self):
+        query = _builder().in_list("emp.age", [20, 30]).build()
+        assert isinstance(query.predicates[0], InPredicate)
+
+    def test_like(self):
+        query = _builder().like("emp.name", "e%").build()
+        assert isinstance(query.predicates[0], LikePredicate)
+
+    def test_like_requires_string(self):
+        with pytest.raises(SqlBindError):
+            _builder().like("emp.age", "3%")
+
+    def test_date_coercion(self):
+        query = _builder().where("emp.hired", ">=", "1995-01-01").build()
+        assert query.predicates[0].value == date_to_daynum("1995-01-01")
+
+    def test_group_by_and_aggregate(self):
+        query = (
+            _builder()
+            .table("emp")
+            .group_by("emp.dept_id")
+            .aggregate("count")
+            .aggregate("sum", "emp.salary")
+            .build()
+        )
+        assert query.group_by == (ColumnRef("emp", "dept_id"),)
+        assert all(isinstance(p, Aggregate) for p in query.projections)
+
+    def test_order_by(self):
+        query = _builder().table("emp").order_by("emp.age").build()
+        assert query.order_by == (ColumnRef("emp", "age"),)
+
+    def test_select_columns(self):
+        query = _builder().select("emp.age", "emp.salary").build()
+        assert len(query.projections) == 2
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(Exception):
+            _builder().where("emp.zzz", "=", 1)
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(Exception):
+            _builder().table("zzz")
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(SqlBindError):
+            _builder().where("emp.age", "=", "thirty")
+
+    def test_column_ref_accepted_directly(self):
+        query = _builder().where(ColumnRef("emp", "age"), "=", 30).build()
+        assert query.predicates[0].column == ColumnRef("emp", "age")

@@ -1,0 +1,64 @@
+"""Tests for repro.sql.expressions."""
+
+import pytest
+
+from repro.catalog import ColumnRef
+from repro.sql.expressions import (
+    Aggregate,
+    AggregateFunction,
+    ArithmeticExpression,
+    ColumnExpression,
+    LiteralExpression,
+)
+
+A = ColumnRef("t", "a")
+B = ColumnRef("t", "b")
+
+
+class TestScalarExpressions:
+    def test_column_expression_columns(self):
+        assert ColumnExpression(A).columns() == (A,)
+
+    def test_literal_no_columns(self):
+        assert LiteralExpression(5).columns() == ()
+
+    def test_arithmetic_collects_columns(self):
+        expr = ArithmeticExpression(
+            "*", ColumnExpression(A), ColumnExpression(B)
+        )
+        assert expr.columns() == (A, B)
+
+    def test_arithmetic_dedupes_columns(self):
+        expr = ArithmeticExpression(
+            "+", ColumnExpression(A), ColumnExpression(A)
+        )
+        assert expr.columns() == (A,)
+
+    def test_invalid_operator(self):
+        with pytest.raises(ValueError):
+            ArithmeticExpression("%", LiteralExpression(1), LiteralExpression(2))
+
+    def test_str_rendering(self):
+        expr = ArithmeticExpression(
+            "-", LiteralExpression(1), ColumnExpression(A)
+        )
+        assert str(expr) == "(1 - t.a)"
+
+
+class TestAggregates:
+    def test_count_star(self):
+        agg = Aggregate(AggregateFunction.COUNT, None)
+        assert agg.columns() == ()
+        assert str(agg) == "COUNT(*)"
+
+    def test_sum_requires_argument(self):
+        with pytest.raises(ValueError):
+            Aggregate(AggregateFunction.SUM, None)
+
+    def test_columns_from_argument(self):
+        agg = Aggregate(AggregateFunction.SUM, ColumnExpression(A))
+        assert agg.columns() == (A,)
+
+    def test_str_rendering(self):
+        agg = Aggregate(AggregateFunction.AVG, ColumnExpression(A))
+        assert str(agg) == "AVG(t.a)"

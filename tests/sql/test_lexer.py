@@ -1,0 +1,90 @@
+"""Tests for repro.sql.lexer."""
+
+import pytest
+
+from repro.errors import SqlLexError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def _types(text):
+    return [t.type for t in tokenize(text)]
+
+
+def _values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_upper_cased(self):
+        assert _values("select from where") == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize("lineitem L_shipdate")
+        assert tokens[0].value == "lineitem"
+        assert tokens[1].value == "L_shipdate"
+
+    def test_integer_literal(self):
+        token = tokenize("42")[0]
+        assert token.type == TokenType.NUMBER
+        assert token.value == 42
+
+    def test_float_literal(self):
+        assert tokenize("3.25")[0].value == 3.25
+
+    def test_string_literal(self):
+        token = tokenize("'BUILDING'")[0]
+        assert token.type == TokenType.STRING
+        assert token.value == "BUILDING"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlLexError):
+            tokenize("'oops")
+
+    def test_escaped_quote_in_string(self):
+        token = tokenize("'O''Brien'")[0]
+        assert token.value == "O'Brien"
+
+    def test_unterminated_after_escape(self):
+        with pytest.raises(SqlLexError):
+            tokenize("'a''b")
+
+    def test_two_char_operators(self):
+        assert _values("a <> b <= c >= d") == ["a", "<>", "b", "<=", "c", ">=", "d"]
+
+    def test_dot_in_qualified_name_is_punct(self):
+        tokens = tokenize("emp.age")
+        assert [t.value for t in tokens[:-1]] == ["emp", ".", "age"]
+
+    def test_number_then_dot_identifier(self):
+        # "1.5" is a float but "emp.age" keeps the dot separate
+        assert tokenize("1.5")[0].value == 1.5
+
+    def test_punctuation(self):
+        assert _values("(a, b);") == ["(", "a", ",", "b", ")", ";"]
+
+    def test_eof_token_last(self):
+        assert tokenize("x")[-1].type == TokenType.EOF
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlLexError):
+            tokenize("a ! b")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_matches_helper(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 0)
+        assert token.matches(TokenType.KEYWORD)
+        assert token.matches(TokenType.KEYWORD, "SELECT")
+        assert not token.matches(TokenType.KEYWORD, "FROM")
+        assert not token.matches(TokenType.IDENT)
+
+    def test_whitespace_ignored(self):
+        assert len(tokenize("  a   \n\t b ")) == 3
+
+    def test_aggregates_are_keywords(self):
+        assert _types("COUNT SUM AVG MIN MAX")[:-1] == [
+            TokenType.KEYWORD
+        ] * 5

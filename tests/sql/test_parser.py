@@ -1,0 +1,226 @@
+"""Tests for repro.sql.parser."""
+
+import pytest
+
+from repro.errors import SqlParseError
+from repro.sql.ast import (
+    DeleteAst,
+    InsertAst,
+    RawAggregate,
+    RawArithmetic,
+    RawBetween,
+    RawColumn,
+    RawComparison,
+    RawIn,
+    RawLike,
+    RawLiteral,
+    SelectAst,
+    UpdateAst,
+)
+from repro.sql.parser import parse_statement
+
+
+class TestSelectBasics:
+    def test_select_star(self):
+        ast = parse_statement("SELECT * FROM emp")
+        assert isinstance(ast, SelectAst)
+        assert ast.select_items == []
+        assert ast.from_tables == [("emp", None)]
+
+    def test_select_columns(self):
+        ast = parse_statement("SELECT a, b FROM t")
+        assert ast.select_items == [RawColumn("a"), RawColumn("b")]
+
+    def test_qualified_column(self):
+        ast = parse_statement("SELECT e.age FROM emp e")
+        assert ast.select_items == [RawColumn("age", qualifier="e")]
+        assert ast.from_tables == [("emp", "e")]
+
+    def test_alias_with_as(self):
+        ast = parse_statement("SELECT * FROM emp AS e")
+        assert ast.from_tables == [("emp", "e")]
+
+    def test_multiple_tables(self):
+        ast = parse_statement("SELECT * FROM a, b, c")
+        assert [name for name, _ in ast.from_tables] == ["a", "b", "c"]
+
+    def test_distinct_flag(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_text_recorded(self):
+        sql = "SELECT * FROM emp"
+        assert parse_statement(sql).text == sql
+
+    def test_trailing_semicolon_ok(self):
+        assert parse_statement("SELECT * FROM emp;").from_tables
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_statement("SELECT * FROM emp extra stuff nonsense(")
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_statement("EXPLAIN SELECT 1")
+
+
+class TestWhere:
+    def test_comparison(self):
+        ast = parse_statement("SELECT * FROM t WHERE a > 5")
+        (cond,) = ast.where
+        assert isinstance(cond, RawComparison)
+        assert cond.op == ">"
+        assert cond.right == RawLiteral(5)
+
+    def test_conjunction(self):
+        ast = parse_statement("SELECT * FROM t WHERE a > 5 AND b = 'x'")
+        assert len(ast.where) == 2
+
+    def test_or_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_statement("SELECT * FROM t WHERE a > 5 OR b = 1")
+
+    def test_not_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_statement("SELECT * FROM t WHERE NOT a = 1")
+
+    def test_between(self):
+        ast = parse_statement("SELECT * FROM t WHERE a BETWEEN 1 AND 10")
+        (cond,) = ast.where
+        assert isinstance(cond, RawBetween)
+        assert cond.low == RawLiteral(1)
+        assert cond.high == RawLiteral(10)
+
+    def test_between_then_and_conjunct(self):
+        ast = parse_statement(
+            "SELECT * FROM t WHERE a BETWEEN 1 AND 10 AND b = 2"
+        )
+        assert len(ast.where) == 2
+
+    def test_in_list(self):
+        ast = parse_statement("SELECT * FROM t WHERE a IN (1, 2, 3)")
+        (cond,) = ast.where
+        assert isinstance(cond, RawIn)
+        assert [v.value for v in cond.values] == [1, 2, 3]
+
+    def test_like(self):
+        ast = parse_statement("SELECT * FROM t WHERE name LIKE 'ab%'")
+        (cond,) = ast.where
+        assert isinstance(cond, RawLike)
+        assert cond.pattern == "ab%"
+
+    def test_join_condition(self):
+        ast = parse_statement("SELECT * FROM a, b WHERE a.x = b.y")
+        (cond,) = ast.where
+        assert isinstance(cond, RawComparison)
+        assert isinstance(cond.left, RawColumn)
+        assert isinstance(cond.right, RawColumn)
+
+    def test_date_literal(self):
+        ast = parse_statement(
+            "SELECT * FROM t WHERE d >= DATE '1995-01-01'"
+        )
+        (cond,) = ast.where
+        assert cond.right == RawLiteral("1995-01-01", is_date=True)
+
+    def test_plain_date_string(self):
+        ast = parse_statement("SELECT * FROM t WHERE d >= '1995-01-01'")
+        (cond,) = ast.where
+        assert cond.right.value == "1995-01-01"
+
+    def test_negative_literal(self):
+        ast = parse_statement("SELECT * FROM t WHERE a < -5")
+        (cond,) = ast.where
+        assert cond.right == RawLiteral(-5)
+
+    def test_parenthesized_condition(self):
+        ast = parse_statement("SELECT * FROM t WHERE (a = 1) AND b = 2")
+        assert len(ast.where) == 2
+
+    def test_between_requires_column(self):
+        with pytest.raises(SqlParseError):
+            parse_statement("SELECT * FROM t WHERE a + 1 BETWEEN 1 AND 2")
+
+
+class TestAggregatesAndExpressions:
+    def test_count_star(self):
+        ast = parse_statement("SELECT COUNT(*) FROM t")
+        assert ast.select_items == [RawAggregate("COUNT", None)]
+
+    def test_sum_expression(self):
+        ast = parse_statement("SELECT SUM(price * (1 - disc)) FROM t")
+        (item,) = ast.select_items
+        assert isinstance(item, RawAggregate)
+        assert isinstance(item.argument, RawArithmetic)
+        assert item.argument.op == "*"
+
+    def test_avg_min_max(self):
+        ast = parse_statement("SELECT AVG(a), MIN(b), MAX(c) FROM t")
+        assert [i.function for i in ast.select_items] == [
+            "AVG",
+            "MIN",
+            "MAX",
+        ]
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_statement("SELECT SUM(*) FROM t")
+
+    def test_precedence_mul_over_add(self):
+        ast = parse_statement("SELECT a + b * c FROM t")
+        (item,) = ast.select_items
+        assert item.op == "+"
+        assert item.right.op == "*"
+
+    def test_parentheses_override(self):
+        ast = parse_statement("SELECT (a + b) * c FROM t")
+        (item,) = ast.select_items
+        assert item.op == "*"
+        assert item.left.op == "+"
+
+
+class TestGroupOrder:
+    def test_group_by(self):
+        ast = parse_statement("SELECT a, COUNT(*) FROM t GROUP BY a")
+        assert ast.group_by == [RawColumn("a")]
+
+    def test_group_by_multiple(self):
+        ast = parse_statement("SELECT a, b FROM t GROUP BY a, b")
+        assert len(ast.group_by) == 2
+
+    def test_order_by_with_direction(self):
+        ast = parse_statement("SELECT a FROM t ORDER BY a DESC, b ASC")
+        assert ast.order_by == [RawColumn("a"), RawColumn("b")]
+
+
+class TestDml:
+    def test_insert_with_columns(self):
+        ast = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert isinstance(ast, InsertAst)
+        assert ast.columns == ["a", "b"]
+        assert ast.rows == [(RawLiteral(1), RawLiteral("x"))]
+
+    def test_insert_multi_row(self):
+        ast = parse_statement("INSERT INTO t (a) VALUES (1), (2)")
+        assert len(ast.rows) == 2
+
+    def test_insert_without_columns(self):
+        ast = parse_statement("INSERT INTO t VALUES (1, 2)")
+        assert ast.columns == []
+
+    def test_delete_with_where(self):
+        ast = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(ast, DeleteAst)
+        assert len(ast.where) == 1
+
+    def test_delete_without_where(self):
+        ast = parse_statement("DELETE FROM t")
+        assert ast.where == []
+
+    def test_update(self):
+        ast = parse_statement("UPDATE t SET a = 1, b = 'x' WHERE c = 2")
+        assert isinstance(ast, UpdateAst)
+        assert ast.assignments == [
+            ("a", RawLiteral(1)),
+            ("b", RawLiteral("x")),
+        ]
+        assert len(ast.where) == 1

@@ -1,0 +1,90 @@
+"""Tests for repro.sql.predicates."""
+
+import pytest
+
+from repro.catalog import ColumnRef
+from repro.sql.predicates import (
+    BetweenPredicate,
+    ComparisonPredicate,
+    InPredicate,
+    JoinPredicate,
+    LikePredicate,
+    PredicateKind,
+)
+
+A = ColumnRef("t1", "a")
+B = ColumnRef("t2", "b")
+
+
+class TestComparison:
+    def test_kind_equality(self):
+        assert ComparisonPredicate(A, "=", 1).kind == PredicateKind.EQUALITY
+
+    def test_kind_inequality(self):
+        assert (
+            ComparisonPredicate(A, "<>", 1).kind == PredicateKind.INEQUALITY
+        )
+
+    def test_kind_range(self):
+        for op in ("<", "<=", ">", ">="):
+            assert ComparisonPredicate(A, op, 1).kind == PredicateKind.RANGE
+
+    def test_invalid_op(self):
+        with pytest.raises(ValueError):
+            ComparisonPredicate(A, "!=", 1)
+
+    def test_columns_and_tables(self):
+        pred = ComparisonPredicate(A, "=", 1)
+        assert pred.columns() == (A,)
+        assert pred.tables() == ("t1",)
+
+    def test_hashable(self):
+        assert len({ComparisonPredicate(A, "=", 1)} | {
+            ComparisonPredicate(A, "=", 1)
+        }) == 1
+
+
+class TestBetween:
+    def test_kind(self):
+        assert BetweenPredicate(A, 1, 5).kind == PredicateKind.BETWEEN
+
+    def test_columns(self):
+        assert BetweenPredicate(A, 1, 5).columns() == (A,)
+
+
+class TestIn:
+    def test_kind(self):
+        assert InPredicate(A, (1, 2)).kind == PredicateKind.IN_LIST
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            InPredicate(A, ())
+
+
+class TestLike:
+    def test_kind(self):
+        assert LikePredicate(A, "x%").kind == PredicateKind.LIKE
+
+
+class TestJoin:
+    def test_canonical_order(self):
+        assert JoinPredicate(B, A) == JoinPredicate(A, B)
+
+    def test_same_table_rejected(self):
+        with pytest.raises(ValueError):
+            JoinPredicate(A, ColumnRef("t1", "c"))
+
+    def test_side_for(self):
+        join = JoinPredicate(A, B)
+        assert join.side_for("t1") == A
+        assert join.side_for("t2") == B
+
+    def test_side_for_unknown_table(self):
+        with pytest.raises(ValueError):
+            JoinPredicate(A, B).side_for("zz")
+
+    def test_tables(self):
+        assert set(JoinPredicate(A, B).tables()) == {"t1", "t2"}
+
+    def test_kind(self):
+        assert JoinPredicate(A, B).kind == PredicateKind.JOIN

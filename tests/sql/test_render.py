@@ -1,0 +1,151 @@
+"""Tests for repro.sql.render (SQL rendering and round-tripping)."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sql.binder import parse_and_bind
+from repro.sql.render import (
+    load_workload,
+    render_statement,
+    render_workload,
+)
+from repro.workload import Workload
+
+from tests.util import simple_schema
+
+
+def _roundtrip(sql):
+    schema = simple_schema()
+    bound = parse_and_bind(sql, schema)
+    rendered = render_statement(bound, schema)
+    rebound = parse_and_bind(rendered, schema)
+    return bound, rebound
+
+
+class TestQueryRoundTrip:
+    def test_select_star(self):
+        bound, rebound = _roundtrip("SELECT * FROM emp")
+        assert bound == rebound
+
+    def test_comparison_predicates(self):
+        bound, rebound = _roundtrip(
+            "SELECT * FROM emp WHERE age > 30 AND salary <= 90000.5"
+        )
+        assert bound == rebound
+
+    def test_string_equality(self):
+        bound, rebound = _roundtrip(
+            "SELECT * FROM emp WHERE name = 'e7'"
+        )
+        assert bound == rebound
+
+    def test_string_with_quote_escaped(self):
+        schema = simple_schema()
+        bound = parse_and_bind(
+            "SELECT * FROM emp WHERE name = 'O''Brien'", schema
+        )
+        rendered = render_statement(bound, schema)
+        assert parse_and_bind(rendered, schema) == bound
+
+    def test_date_literals(self):
+        bound, rebound = _roundtrip(
+            "SELECT * FROM emp WHERE hired >= '1995-06-01'"
+        )
+        assert bound == rebound
+
+    def test_between_and_in(self):
+        bound, rebound = _roundtrip(
+            "SELECT * FROM emp WHERE age BETWEEN 20 AND 40 "
+            "AND dept_id IN (1, 2, 3)"
+        )
+        assert bound == rebound
+
+    def test_like(self):
+        bound, rebound = _roundtrip(
+            "SELECT * FROM emp WHERE name LIKE 'e1%'"
+        )
+        assert bound == rebound
+
+    def test_join(self):
+        bound, rebound = _roundtrip(
+            "SELECT * FROM emp, dept WHERE emp.dept_id = dept.id"
+        )
+        assert bound == rebound
+
+    def test_group_by_aggregates(self):
+        bound, rebound = _roundtrip(
+            "SELECT dept_id, COUNT(*), SUM(salary), AVG(age) "
+            "FROM emp GROUP BY dept_id"
+        )
+        assert bound == rebound
+
+    def test_arithmetic_projection(self):
+        bound, rebound = _roundtrip(
+            "SELECT SUM(salary * (1 - 0.1)) FROM emp"
+        )
+        assert bound == rebound
+
+    def test_order_by(self):
+        bound, rebound = _roundtrip(
+            "SELECT age FROM emp ORDER BY age"
+        )
+        assert bound == rebound
+
+
+class TestDmlRoundTrip:
+    def test_insert(self):
+        bound, rebound = _roundtrip(
+            "INSERT INTO dept (id, dname, budget) VALUES (9, 'x', 1.5)"
+        )
+        assert bound.kind == rebound.kind
+        assert bound.rows == rebound.rows
+
+    def test_delete(self):
+        bound, rebound = _roundtrip("DELETE FROM emp WHERE age = 30")
+        assert bound == rebound
+
+    def test_delete_no_where(self):
+        bound, rebound = _roundtrip("DELETE FROM emp")
+        assert bound == rebound
+
+    def test_update(self):
+        bound, rebound = _roundtrip(
+            "UPDATE emp SET age = 40 WHERE id = 3"
+        )
+        assert bound == rebound
+        assert bound.assignments == rebound.assignments
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(SqlError):
+            render_statement(object(), simple_schema())
+
+
+class TestWorkloadSerialization:
+    def test_workload_round_trip(self):
+        schema = simple_schema()
+        statements = [
+            parse_and_bind("SELECT * FROM emp WHERE age > 30", schema),
+            parse_and_bind("DELETE FROM dept WHERE id = 7", schema),
+            parse_and_bind(
+                "SELECT dept_id, COUNT(*) FROM emp GROUP BY dept_id",
+                schema,
+            ),
+        ]
+        workload = Workload(statements, name="w")
+        text = render_workload(workload, schema)
+        loaded = load_workload(text, schema, name="w")
+        assert len(loaded) == 3
+        assert loaded.queries()[0] == statements[0]
+        assert loaded.dml()[0] == statements[1]
+
+    def test_generated_workload_round_trips(self, fresh_tpcd_db):
+        """Every Rags-generated statement must render and re-bind."""
+        from repro.workload import generate_workload
+
+        db = fresh_tpcd_db()
+        workload = generate_workload(db, "U25-S-100")
+        text = render_workload(workload, db.schema)
+        loaded = load_workload(text, db.schema)
+        assert len(loaded) == len(workload)
+        for original, parsed in list(zip(workload.queries(), loaded.queries()))[:10]:
+            assert set(original.tables) == set(parsed.tables)

@@ -1,0 +1,127 @@
+"""Tests for repro.stats.multidim (joint histograms)."""
+
+import numpy as np
+import pytest
+
+from repro.stats.multidim import (
+    JointHistogramKind,
+    build_joint_histogram,
+    build_mhist,
+    build_phased,
+)
+
+
+def _correlated(n=4000, seed=0):
+    """y tracks x closely — independence is badly wrong here."""
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 100, size=n)
+    y = x + rng.integers(0, 5, size=n)
+    return x, y
+
+
+def _independent(n=4000, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 100, size=n), rng.integers(0, 100, size=n)
+
+
+def _true_box(x, y, x_lo, x_hi, y_lo, y_hi):
+    mask = np.ones(x.shape[0], dtype=bool)
+    if x_lo is not None:
+        mask &= x >= x_lo
+    if x_hi is not None:
+        mask &= x <= x_hi
+    if y_lo is not None:
+        mask &= y >= y_lo
+    if y_hi is not None:
+        mask &= y <= y_hi
+    return float(mask.mean())
+
+
+class TestConstruction:
+    def test_empty_inputs(self):
+        hist = build_phased(np.array([]), np.array([]))
+        assert hist.cell_count == 0
+        assert hist.selectivity_box(x_lo=0) == 0.0
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(Exception):
+            build_phased(np.arange(3), np.arange(4))
+
+    def test_counts_cover_all_rows(self):
+        x, y = _correlated()
+        for build in (build_phased, build_mhist):
+            hist = build(x, y)
+            assert sum(c.count for c in hist.cells) == pytest.approx(
+                x.shape[0]
+            )
+
+    def test_full_box_is_one(self):
+        x, y = _correlated()
+        hist = build_phased(x, y)
+        assert hist.selectivity_box() == pytest.approx(1.0)
+
+    def test_cells_bounded_by_budget(self):
+        x, y = _independent()
+        hist = build_mhist(x, y, max_cells=16)
+        assert hist.cell_count <= 16
+
+    def test_dispatch(self):
+        x, y = _independent(100)
+        assert (
+            build_joint_histogram(x, y, JointHistogramKind.PHASED).kind
+            == JointHistogramKind.PHASED
+        )
+        assert (
+            build_joint_histogram(x, y, JointHistogramKind.MHIST).kind
+            == JointHistogramKind.MHIST
+        )
+
+    def test_single_point_data(self):
+        x = np.full(10, 5.0)
+        y = np.full(10, 7.0)
+        hist = build_phased(x, y)
+        assert hist.selectivity_box(5, 5, 7, 7) == pytest.approx(1.0)
+        assert hist.selectivity_box(0, 1, 0, 1) == 0.0
+
+
+class TestEstimation:
+    @pytest.mark.parametrize("build", [build_phased, build_mhist])
+    def test_box_estimates_bounded(self, build):
+        x, y = _correlated()
+        hist = build(x, y)
+        for box in [(10, 30, 10, 30), (None, 50, 20, None)]:
+            sel = hist.selectivity_box(*box)
+            assert 0.0 <= sel <= 1.0
+
+    @pytest.mark.parametrize("build", [build_phased, build_mhist])
+    def test_reasonable_on_independent_data(self, build):
+        x, y = _independent()
+        hist = build(x, y)
+        true = _true_box(x, y, 20, 60, 30, 70)
+        assert hist.selectivity_box(20, 60, 30, 70) == pytest.approx(
+            true, abs=0.12
+        )
+
+    def test_joint_beats_independence_on_correlation(self):
+        """The reason to build joint histograms at all."""
+        x, y = _correlated()
+        hist = build_phased(x, y)
+        # anti-correlated box: x small AND y large is (nearly) empty,
+        # but independence predicts ~25% of rows
+        true = _true_box(x, y, None, 30, 70, None)
+        joint_estimate = hist.selectivity_box(
+            x_lo=None, x_hi=30, y_lo=70, y_hi=None
+        )
+        independence_estimate = _true_box(
+            x, y, None, 30, None, None
+        ) * _true_box(x, y, None, None, 70, None)
+        joint_err = abs(joint_estimate - true)
+        indep_err = abs(independence_estimate - true)
+        assert joint_err < indep_err
+
+    def test_monotone_in_box_width(self):
+        x, y = _independent()
+        hist = build_phased(x, y)
+        narrow = hist.selectivity_box(20, 40, 20, 40)
+        wide = hist.selectivity_box(10, 60, 10, 60)
+        assert wide >= narrow

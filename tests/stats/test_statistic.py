@@ -1,0 +1,104 @@
+"""Tests for repro.stats.statistic (StatKey and Statistic)."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import ColumnRef
+from repro.errors import StatisticsError
+from repro.stats.histogram import build_maxdiff
+from repro.stats.statistic import StatKey, Statistic
+
+A = ColumnRef("t", "a")
+B = ColumnRef("t", "b")
+C = ColumnRef("t", "c")
+
+
+class TestStatKey:
+    def test_single(self):
+        key = StatKey.single(A)
+        assert key.table == "t"
+        assert key.columns == ("a",)
+        assert not key.is_multi_column
+
+    def test_of_ordered_refs(self):
+        key = StatKey.of([A, B, C])
+        assert key.columns == ("a", "b", "c")
+        assert key.is_multi_column
+
+    def test_of_requires_single_table(self):
+        with pytest.raises(StatisticsError):
+            StatKey.of([A, ColumnRef("other", "x")])
+
+    def test_of_requires_columns(self):
+        with pytest.raises(StatisticsError):
+            StatKey.of([])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(StatisticsError):
+            StatKey("t", ("a", "a"))
+
+    def test_order_matters(self):
+        assert StatKey("t", ("a", "b")) != StatKey("t", ("b", "a"))
+
+    def test_leading_column(self):
+        assert StatKey.of([B, A]).leading_column == B
+
+    def test_column_refs(self):
+        assert StatKey.of([A, B]).column_refs() == (A, B)
+
+    def test_prefixes(self):
+        key = StatKey("t", ("a", "b", "c"))
+        assert key.prefixes() == (("a",), ("a", "b"), ("a", "b", "c"))
+
+    def test_str_forms(self):
+        assert str(StatKey.single(A)) == "t.a"
+        assert str(StatKey("t", ("a", "b"))) == "t.(a, b)"
+
+    def test_hashable_and_sortable(self):
+        keys = {StatKey.single(A), StatKey.single(A), StatKey.single(B)}
+        assert len(keys) == 2
+        assert sorted(keys)
+
+
+def _stat(columns=("a", "b"), densities=(0.5, 0.25), rows=100):
+    key = StatKey("t", columns)
+    hist = build_maxdiff(np.arange(rows), 10)
+    return Statistic(key, hist, densities, rows)
+
+
+class TestStatistic:
+    def test_density_count_must_match(self):
+        with pytest.raises(StatisticsError):
+            _stat(columns=("a", "b"), densities=(0.5,))
+
+    def test_density_range_validated(self):
+        with pytest.raises(StatisticsError):
+            _stat(densities=(0.5, 1.5))
+
+    def test_density_for_prefix(self):
+        stat = _stat()
+        assert stat.density_for_prefix(("a",)) == 0.5
+        assert stat.density_for_prefix(("a", "b")) == 0.25
+
+    def test_non_prefix_returns_none(self):
+        """SQL Server asymmetry: (b) is not answerable from stat on (a,b)."""
+        stat = _stat()
+        assert stat.density_for_prefix(("b",)) is None
+        assert stat.density_for_prefix(("b", "a")) is None
+
+    def test_distinct_for_prefix(self):
+        stat = _stat()
+        assert stat.distinct_for_prefix(("a",)) == pytest.approx(2.0)
+        assert stat.distinct_for_prefix(("a", "b")) == pytest.approx(4.0)
+
+    def test_covers_column_only_leading(self):
+        stat = _stat()
+        assert stat.covers_column(A)
+        assert not stat.covers_column(B)
+
+    def test_leading_distinct_from_histogram(self):
+        stat = _stat(rows=50)
+        assert stat.leading_distinct == 50
+
+    def test_update_count_starts_zero(self):
+        assert _stat().update_count == 0

@@ -1,0 +1,76 @@
+"""Tests for repro.storage.database."""
+
+import numpy as np
+import pytest
+
+from repro.catalog import Column, ColumnRef, ColumnType, TableSchema
+from repro.errors import CatalogError
+from repro.storage import Database
+
+from tests.util import simple_db, simple_schema
+
+
+class TestDatabaseBasics:
+    def test_tables_created_from_schema(self):
+        db = Database(simple_schema())
+        assert set(db.table_names()) == {"emp", "dept"}
+
+    def test_row_count(self):
+        db = simple_db(n_emp=123)
+        assert db.row_count("emp") == 123
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(CatalogError):
+            Database(simple_schema()).table("nope")
+
+    def test_create_table(self):
+        db = Database(simple_schema())
+        db.create_table(
+            TableSchema("extra", [Column("x", ColumnType.INT)])
+        )
+        assert db.row_count("extra") == 0
+
+    def test_empty_database(self):
+        db = Database()
+        assert db.table_names() == []
+
+
+class TestAttachedManagers:
+    def test_stats_manager_lazily_attached(self):
+        db = simple_db()
+        assert db.stats is db.stats  # same instance
+
+    def test_index_manager_lazily_attached(self):
+        db = simple_db()
+        assert db.indexes is db.indexes
+
+
+class TestDmlWrappers:
+    def test_insert_bumps_counter(self):
+        db = simple_db(n_emp=10)
+        db.insert(
+            "dept", [{"id": 99, "dname": "new", "budget": 1.0}]
+        )
+        assert db.row_count("dept") == 9
+        assert db.table("dept").rows_modified_since_stats == 1
+
+    def test_delete_via_mask(self):
+        db = simple_db(n_emp=10)
+        mask = db.table("emp").column_array("id") == 1
+        assert db.delete("emp", mask) == 1
+        assert db.row_count("emp") == 9
+
+    def test_update_via_mask(self):
+        db = simple_db(n_emp=10)
+        mask = np.ones(10, dtype=bool)
+        assert db.update("emp", mask, {"age": 77}) == 10
+        assert (db.table("emp").column_array("age") == 77).all()
+
+    def test_dml_invalidates_indexes(self):
+        db = simple_db(n_emp=10)
+        db.indexes.create_index("idx_emp_id", ColumnRef("emp", "id"))
+        structure_before = db.indexes.structure("idx_emp_id")
+        db.delete("emp", db.table("emp").column_array("id") == 1)
+        structure_after = db.indexes.structure("idx_emp_id")
+        assert structure_before is not structure_after
+        assert len(structure_after) == 9

@@ -1,0 +1,97 @@
+"""Tests for repro.storage.persistence."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.persistence import load_database, save_database
+
+from tests.util import simple_db
+
+
+class TestSaveLoad:
+    def test_round_trip_row_counts(self, db, tmp_path):
+        save_database(db, str(tmp_path / "db"))
+        loaded = load_database(str(tmp_path / "db"))
+        for table in db.table_names():
+            assert loaded.row_count(table) == db.row_count(table)
+
+    def test_round_trip_numeric_data(self, db, tmp_path):
+        save_database(db, str(tmp_path / "db"))
+        loaded = load_database(str(tmp_path / "db"))
+        assert (
+            loaded.table("emp").column_array("age")
+            == db.table("emp").column_array("age")
+        ).all()
+
+    def test_round_trip_strings(self, db, tmp_path):
+        save_database(db, str(tmp_path / "db"))
+        loaded = load_database(str(tmp_path / "db"))
+        assert loaded.table("emp").decoded_column("name") == db.table(
+            "emp"
+        ).decoded_column("name")
+
+    def test_round_trip_schema(self, db, tmp_path):
+        save_database(db, str(tmp_path / "db"))
+        loaded = load_database(str(tmp_path / "db"))
+        assert loaded.schema.table_names() == db.schema.table_names()
+        assert loaded.schema.table("emp").primary_key == ("id",)
+        assert len(loaded.schema.foreign_keys()) == 1
+
+    def test_round_trip_name(self, db, tmp_path):
+        save_database(db, str(tmp_path / "db"))
+        assert load_database(str(tmp_path / "db")).name == db.name
+
+    def test_loaded_database_fully_functional(self, db, tmp_path):
+        """Optimize + execute against the reloaded database."""
+        from repro.executor import Executor
+        from repro.optimizer import Optimizer
+        from repro.sql.builder import QueryBuilder
+
+        save_database(db, str(tmp_path / "db"))
+        loaded = load_database(str(tmp_path / "db"))
+        query = (
+            QueryBuilder(loaded.schema)
+            .join("emp.dept_id", "dept.id")
+            .where("emp.age", "=", 30)
+            .build()
+        )
+        result = Executor(loaded).execute(
+            Optimizer(loaded).optimize(query).plan, query
+        )
+        expected = int((db.table("emp").column_array("age") == 30).sum())
+        assert result.row_count == expected
+
+    def test_tpcd_round_trip(self, fresh_tpcd_db, tmp_path):
+        db = fresh_tpcd_db()
+        save_database(db, str(tmp_path / "tpcd"))
+        loaded = load_database(str(tmp_path / "tpcd"))
+        assert (
+            loaded.table("lineitem").column_array("l_extendedprice")
+            == db.table("lineitem").column_array("l_extendedprice")
+        ).all()
+
+    def test_missing_catalog_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_database(str(tmp_path))
+
+    def test_missing_table_archive_rejected(self, db, tmp_path):
+        save_database(db, str(tmp_path / "db"))
+        os.remove(str(tmp_path / "db" / "emp.npz"))
+        with pytest.raises(StorageError):
+            load_database(str(tmp_path / "db"))
+
+    def test_bad_version_rejected(self, db, tmp_path):
+        import json
+
+        save_database(db, str(tmp_path / "db"))
+        path = str(tmp_path / "db" / "catalog.json")
+        with open(path) as handle:
+            catalog = json.load(handle)
+        catalog["format_version"] = 99
+        with open(path, "w") as handle:
+            json.dump(catalog, handle)
+        with pytest.raises(StorageError):
+            load_database(str(tmp_path / "db"))

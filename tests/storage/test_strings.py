@@ -1,0 +1,86 @@
+"""Tests for repro.storage.strings."""
+
+import numpy as np
+
+from repro.storage import StringDictionary
+
+
+class TestEncodeDecode:
+    def test_first_seen_order(self):
+        d = StringDictionary()
+        assert d.encode("b") == 0
+        assert d.encode("a") == 1
+
+    def test_encode_is_idempotent(self):
+        d = StringDictionary()
+        assert d.encode("x") == d.encode("x")
+
+    def test_decode_round_trip(self):
+        d = StringDictionary(["alpha", "beta"])
+        assert d.decode(d.encode("beta")) == "beta"
+
+    def test_decode_unknown_code_raises(self):
+        d = StringDictionary(["a"])
+        try:
+            d.decode(5)
+            assert False, "expected KeyError"
+        except KeyError:
+            pass
+
+    def test_lookup_returns_none_for_unknown(self):
+        d = StringDictionary(["a"])
+        assert d.lookup("zz") is None
+
+    def test_contains(self):
+        d = StringDictionary(["a"])
+        assert "a" in d
+        assert "b" not in d
+
+    def test_len(self):
+        d = StringDictionary(["a", "b", "a"])
+        assert len(d) == 2
+
+    def test_encode_many(self):
+        d = StringDictionary()
+        codes = d.encode_many(["x", "y", "x"])
+        assert codes.tolist() == [0, 1, 0]
+        assert codes.dtype == np.int64
+
+    def test_decode_many(self):
+        d = StringDictionary(["x", "y"])
+        assert d.decode_many([1, 0]) == ["y", "x"]
+
+    def test_values_in_code_order(self):
+        d = StringDictionary(["b", "a"])
+        assert d.values() == ["b", "a"]
+
+
+class TestLikeMatching:
+    def test_percent_wildcard(self):
+        d = StringDictionary(["apple", "apricot", "banana"])
+        codes = d.codes_matching_like("ap%")
+        assert set(d.decode_many(codes)) == {"apple", "apricot"}
+
+    def test_underscore_wildcard(self):
+        d = StringDictionary(["cat", "cut", "coat"])
+        codes = d.codes_matching_like("c_t")
+        assert set(d.decode_many(codes)) == {"cat", "cut"}
+
+    def test_literal_match_only(self):
+        d = StringDictionary(["abc", "abcd"])
+        codes = d.codes_matching_like("abc")
+        assert d.decode_many(codes) == ["abc"]
+
+    def test_contains_pattern(self):
+        d = StringDictionary(["xyz", "axyzb", "nope"])
+        codes = d.codes_matching_like("%xyz%")
+        assert set(d.decode_many(codes)) == {"xyz", "axyzb"}
+
+    def test_regex_chars_are_literal(self):
+        d = StringDictionary(["a.b", "axb"])
+        codes = d.codes_matching_like("a.b")
+        assert d.decode_many(codes) == ["a.b"]
+
+    def test_no_match_empty(self):
+        d = StringDictionary(["a"])
+        assert d.codes_matching_like("zz%").shape[0] == 0

@@ -1,0 +1,84 @@
+"""Shared builders for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.catalog import Column, ColumnType, ForeignKey, Schema, TableSchema
+from repro.storage import Database
+
+I = ColumnType.INT
+F = ColumnType.FLOAT
+S = ColumnType.STRING
+D = ColumnType.DATE
+
+
+def simple_schema() -> Schema:
+    """Two joined tables: emp(id, age, salary, dept_id, name) / dept(...)."""
+    emp = TableSchema(
+        "emp",
+        [
+            Column("id", I),
+            Column("age", I),
+            Column("salary", F),
+            Column("dept_id", I),
+            Column("name", S),
+            Column("hired", D),
+        ],
+        primary_key=("id",),
+    )
+    dept = TableSchema(
+        "dept",
+        [
+            Column("id", I),
+            Column("dname", S),
+            Column("budget", F),
+        ],
+        primary_key=("id",),
+    )
+    return Schema(
+        [emp, dept],
+        [ForeignKey("emp", ("dept_id",), "dept", ("id",))],
+    )
+
+
+def simple_db(n_emp: int = 200, n_dept: int = 8, seed: int = 3) -> Database:
+    """A small deterministic database over :func:`simple_schema`.
+
+    Ages are skewed (most employees are 30), salaries spread uniformly,
+    and department references are skewed toward low ids — enough structure
+    for statistics to matter.
+    """
+    rng = np.random.default_rng(seed)
+    db = Database(simple_schema(), name="simple")
+    ages = np.where(
+        rng.uniform(size=n_emp) < 0.6,
+        30,
+        rng.integers(20, 65, size=n_emp),
+    ).astype(np.int64)
+    dept_weights = 1.0 / np.arange(1, n_dept + 1)
+    dept_weights /= dept_weights.sum()
+    db.load_table(
+        "emp",
+        {
+            "id": np.arange(1, n_emp + 1),
+            "age": ages,
+            "salary": np.round(rng.uniform(30_000, 200_000, size=n_emp), 2),
+            "dept_id": rng.choice(
+                np.arange(1, n_dept + 1), size=n_emp, p=dept_weights
+            ),
+            "name": [f"emp{i}" for i in range(1, n_emp + 1)],
+            "hired": rng.integers(0, 2000, size=n_emp),
+        },
+    )
+    db.load_table(
+        "dept",
+        {
+            "id": np.arange(1, n_dept + 1),
+            "dname": [f"dept{i}" for i in range(1, n_dept + 1)],
+            "budget": np.round(
+                rng.uniform(100_000, 5_000_000, size=n_dept), 2
+            ),
+        },
+    )
+    return db

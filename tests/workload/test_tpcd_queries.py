@@ -1,0 +1,56 @@
+"""Tests for repro.workload.tpcd_queries."""
+
+import pytest
+
+from repro.executor import Executor
+from repro.optimizer import Optimizer
+from repro.workload import tpcd_queries
+from repro.workload.tpcd_queries import TPCD_QUERY_SQL, tpcd_query
+
+
+class TestTpcdQueries:
+    def test_seventeen_queries(self, tpcd_db_readonly):
+        assert len(tpcd_queries(tpcd_db_readonly.schema)) == 17
+
+    def test_ids_sequential(self):
+        ids = [qid for qid, _ in TPCD_QUERY_SQL]
+        assert ids == [f"Q{i}" for i in range(1, 18)]
+
+    def test_lookup_by_id(self, tpcd_db_readonly):
+        query = tpcd_query(tpcd_db_readonly.schema, "Q6")
+        assert query.tables == ("lineitem",)
+
+    def test_unknown_id(self, tpcd_db_readonly):
+        with pytest.raises(KeyError):
+            tpcd_query(tpcd_db_readonly.schema, "Q99")
+
+    def test_q5_is_six_way_join(self, tpcd_db_readonly):
+        query = tpcd_query(tpcd_db_readonly.schema, "Q5")
+        assert len(query.tables) == 6
+
+    def test_all_queries_have_relevant_columns(self, tpcd_db_readonly):
+        for query in tpcd_queries(tpcd_db_readonly.schema):
+            assert query.relevant_columns()
+
+    def test_all_optimizable(self, tpcd_db_readonly):
+        opt = Optimizer(tpcd_db_readonly)
+        for query in tpcd_queries(tpcd_db_readonly.schema):
+            result = opt.optimize(query)
+            assert result.cost > 0
+
+    def test_all_executable(self, fresh_tpcd_db):
+        db = fresh_tpcd_db()
+        opt, exe = Optimizer(db), Executor(db)
+        for query in tpcd_queries(db.schema):
+            result = exe.execute(opt.optimize(query).plan, query)
+            assert result.actual_cost > 0
+
+    def test_q1_produces_flag_status_groups(self, fresh_tpcd_db):
+        db = fresh_tpcd_db()
+        opt, exe = Optimizer(db), Executor(db)
+        query = tpcd_query(db.schema, "Q1")
+        result = exe.execute(opt.optimize(query).plan, query)
+        rows = result.rows()
+        assert 1 <= len(rows) <= 6  # |returnflag| x |linestatus|
+        flags = {row[0] for row in rows}
+        assert flags <= {"R", "A", "N"}

@@ -1,0 +1,57 @@
+"""Tests for repro.workload.workload."""
+
+from repro.sql.builder import QueryBuilder
+from repro.sql.query import DmlStatement
+from repro.workload import Workload
+
+from tests.util import simple_schema
+
+
+def _query():
+    return QueryBuilder(simple_schema()).table("emp").build()
+
+
+def _dml():
+    return DmlStatement(
+        kind="insert", table="dept", rows=({"id": 1, "dname": "x", "budget": 1.0},)
+    )
+
+
+class TestWorkload:
+    def test_len_and_iteration(self):
+        w = Workload([_query(), _dml()])
+        assert len(w) == 2
+        assert len(list(w)) == 2
+
+    def test_queries_filter(self):
+        w = Workload([_query(), _dml(), _query()])
+        assert len(w.queries()) == 2
+
+    def test_dml_filter(self):
+        w = Workload([_query(), _dml()])
+        assert len(w.dml()) == 1
+
+    def test_update_fraction(self):
+        w = Workload([_query(), _dml(), _dml(), _query()])
+        assert w.update_fraction == 0.5
+
+    def test_empty_update_fraction(self):
+        assert Workload([]).update_fraction == 0.0
+
+    def test_indexing(self):
+        q = _query()
+        w = Workload([q])
+        assert w[0] is q
+
+    def test_default_name(self):
+        assert Workload([]).name == "workload"
+
+    def test_save_and_load(self, tmp_path):
+        schema = simple_schema()
+        workload = Workload([_query(), _dml()], name="w")
+        path = str(tmp_path / "w.sql")
+        workload.save(path, schema)
+        loaded = Workload.load(path, schema, name="w")
+        assert len(loaded) == 2
+        assert len(loaded.queries()) == 1
+        assert len(loaded.dml()) == 1
