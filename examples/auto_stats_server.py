@@ -16,13 +16,23 @@ same update-heavy workload:
 
 Each configuration reports statistics creation cost, refresh (update)
 cost triggered by the DML stream, and total workload execution cost.
+
+The final section runs the same workload through the *online service*
+(:class:`repro.StatsService`): concurrent client sessions submit
+statements while background MNSA/D workers and a staleness monitor manage
+statistics off the query path — the production posture the synchronous
+advisor only simulates.  See ``docs/service.md``.
 """
+
+import threading
 
 from repro import (
     AgingPolicy,
     AutoDropPolicy,
     CreationPolicy,
+    ServiceConfig,
     StatisticsAdvisor,
+    StatsService,
     generate_workload,
     make_tpcd_database,
 )
@@ -49,6 +59,41 @@ def run_configuration(policy: CreationPolicy, label: str) -> None:
     print()
 
 
+def run_service(clients: int = 4, workers: int = 2) -> None:
+    """The same workload through the concurrent StatsService."""
+    db = make_tpcd_database(scale=0.005, z=2.0, seed=7)
+    workload = generate_workload(db, "U25-S-100")
+    service = StatsService(
+        db, ServiceConfig(advisor_workers=workers, creation_policy="mnsad")
+    )
+
+    def client(statements) -> None:
+        session = service.session()
+        for statement in statements:
+            session.submit_statement(statement)
+
+    with service:
+        threads = [
+            threading.Thread(
+                target=client, args=(workload.statements[i::clients],)
+            )
+            for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        service.drain()
+    print(f"--- StatsService ({clients} sessions, {workers} workers)")
+    print(f"  statistics created off the query path: "
+          f"{len(service.created_off_path)}")
+    print(f"  statistics visible now: {len(db.stats.visible_keys())}")
+    print("  metrics:")
+    for line in service.metrics_text().splitlines():
+        print(f"    {line}")
+    print()
+
+
 def main() -> None:
     print("online statistics management, workload U25-S-100, TPCD_2\n")
     run_configuration(
@@ -59,6 +104,7 @@ def main() -> None:
         CreationPolicy.MNSAD, "MNSA/D (paper) with drop-list + aging"
     )
     run_configuration(CreationPolicy.NONE, "no statistics (magic numbers)")
+    run_service()
 
 
 if __name__ == "__main__":

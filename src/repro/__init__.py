@@ -31,6 +31,7 @@ from repro.config import (
     DEFAULT_CONFIG,
     MagicNumbers,
     OptimizerConfig,
+    ServiceConfig,
 )
 from repro.core import (
     AgingPolicy,
@@ -65,6 +66,14 @@ from repro.datagen import (
 from repro.executor import ExecutionResult, Executor
 from repro.index import apply_tuned_tpcd_indexes
 from repro.optimizer import Optimizer, plan_signature
+from repro.service import (
+    CaptureLog,
+    MetricsRegistry,
+    QueryEvent,
+    Session,
+    StalenessMonitor,
+    StatsService,
+)
 from repro.sql import Query, QueryBuilder, bind, parse_statement
 from repro.sql.binder import parse_and_bind
 from repro.stats import StatKey, Statistic, StatisticsManager
@@ -91,6 +100,7 @@ __all__ = [
     "MagicNumbers",
     "CostModelConfig",
     "OptimizerConfig",
+    "ServiceConfig",
     "DEFAULT_CONFIG",
     # data generation
     "SkewSpec",
@@ -137,6 +147,13 @@ __all__ = [
     "AutoDropPolicy",
     "CreationPolicy",
     "StatisticsAdvisor",
+    # online service
+    "StatsService",
+    "Session",
+    "CaptureLog",
+    "QueryEvent",
+    "StalenessMonitor",
+    "MetricsRegistry",
     # workloads
     "Workload",
     "RagsConfig",

@@ -8,6 +8,7 @@
         --out /tmp/w.sql
     python -m repro.cli tune --db /tmp/tpcd --workload /tmp/w.sql \
         --mode offline
+    python -m repro.cli serve --workload U25-S-100 --workers 2
     python -m repro.cli experiment figure4 --z 2
 
 Every subcommand prints human-readable output; ``experiment`` prints the
@@ -73,6 +74,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     tune.add_argument("--t", type=float, default=20.0)
 
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the online statistics service: stream a workload "
+            "through concurrent sessions with background MNSA/D workers "
+            "and a staleness monitor"
+        ),
+    )
+    serve.add_argument(
+        "--db", default=None, help="existing database directory (default: "
+        "generate a TPC-D database in memory)"
+    )
+    serve.add_argument("--scale", type=float, default=0.002)
+    serve.add_argument("--z", default="2", help="Zipfian skew for --db-less runs")
+    serve.add_argument("--seed", type=int, default=42)
+    serve.add_argument(
+        "--workload", default="U25-S-100", help="U<pct>-<S|C>-<n> spec"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, help="background advisor workers"
+    )
+    serve.add_argument(
+        "--clients", type=int, default=4, help="concurrent client sessions"
+    )
+    serve.add_argument(
+        "--policy", choices=("mnsa", "mnsad"), default="mnsad"
+    )
+    serve.add_argument(
+        "--capture", type=int, default=1024, help="capture-log capacity"
+    )
+    serve.add_argument(
+        "--refresh-fraction",
+        type=float,
+        default=0.2,
+        help="staleness trigger: counter >= fraction * rows",
+    )
+    serve.add_argument(
+        "--refresh-budget",
+        type=float,
+        default=None,
+        help="max refresh work units per monitor cycle (default unbounded)",
+    )
+    serve.add_argument(
+        "--no-execute",
+        action="store_true",
+        help="optimize only; skip plan execution",
+    )
+
     experiment = sub.add_parser(
         "experiment", help="reproduce a paper table or figure"
     )
@@ -117,6 +166,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "query": _cmd_query,
         "workload": _cmd_workload,
         "tune": _cmd_tune,
+        "serve": _cmd_serve,
         "experiment": _cmd_experiment,
         "ablation": _cmd_ablation,
     }[args.command]
@@ -234,6 +284,81 @@ def _cmd_tune(args) -> int:
     if drop_list:
         print(f"  drop-list: {', '.join(str(k) for k in drop_list)}")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import threading
+
+    from repro.config import ServiceConfig
+    from repro.datagen import make_tpcd_database
+    from repro.service import StatsService
+    from repro.workload import generate_workload
+
+    if args.db:
+        from repro.storage.persistence import load_database
+
+        db = load_database(args.db)
+    else:
+        db = make_tpcd_database(
+            scale=args.scale, z=_parse_z(args.z), seed=args.seed
+        )
+    workload = generate_workload(db, args.workload, seed=args.seed)
+    config = ServiceConfig(
+        capture_capacity=args.capture,
+        advisor_workers=args.workers,
+        creation_policy=args.policy,
+        staleness_fraction=args.refresh_fraction,
+        refresh_budget_per_cycle=args.refresh_budget,
+        execute_queries=not args.no_execute,
+    )
+    service = StatsService(db, config)
+    clients = max(1, args.clients)
+    print(
+        f"serving workload {args.workload} over {db.name}: "
+        f"{clients} client(s), {args.workers} advisor worker(s), "
+        f"policy {args.policy}"
+    )
+
+    client_errors = []
+
+    def run_client(statements) -> None:
+        session = service.session()
+        try:
+            for statement in statements:
+                session.submit_statement(statement)
+        except BaseException as exc:  # surfaced after join
+            client_errors.append(exc)
+
+    with service:
+        threads = [
+            threading.Thread(
+                target=run_client,
+                args=(workload.statements[index::clients],),
+                name=f"client-{index}",
+            )
+            for index in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        service.drain()
+    # the context manager stopped the service with a final staleness pass
+    created = service.created_off_path
+    print(f"\nstatements submitted:  {len(workload)}")
+    print(f"statistics created off the query path: {len(created)}")
+    for key in created:
+        print(f"  built {key}")
+    drop_list = db.stats.drop_list()
+    if drop_list:
+        print(f"  drop-list: {', '.join(str(k) for k in drop_list)}")
+    print("\n--- metrics")
+    print(service.metrics_text())
+    for exc in service.worker_errors():
+        print(f"worker error: {exc!r}")
+    for exc in client_errors:
+        print(f"client error: {exc!r}")
+    return 1 if (client_errors or service.worker_errors()) else 0
 
 
 def _cmd_experiment(args) -> int:

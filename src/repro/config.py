@@ -5,7 +5,7 @@ engine (Sec 4.1: "Magic numbers are system wide constants between 0 and 1
 that are predetermined for various kinds of predicates").  We gather them
 here so experiments can vary them explicitly instead of monkey-patching.
 
-Three config dataclasses exist:
+Four config dataclasses exist:
 
 * :class:`MagicNumbers` — the default selectivities an optimizer falls back
   to when no statistic covers a predicate.
@@ -13,6 +13,9 @@ Three config dataclasses exist:
   cost model, plus statistics build/update cost constants.
 * :class:`OptimizerConfig` — everything the optimizer needs, including the
   two above plus histogram resolution and sampling defaults.
+* :class:`ServiceConfig` — knobs of the online statistics-management
+  service (:mod:`repro.service`): capture-log capacity, advisor worker
+  pool, staleness-monitor cadence and refresh budget.
 
 ``MnsaConfig`` (the paper's epsilon and t) lives in :mod:`repro.core.mnsa`
 next to the algorithm it parameterizes.
@@ -162,6 +165,89 @@ class OptimizerConfig:
     joint_histogram_cells: int = 256
     joint_histogram_kind: str = "mhist"
     enable_histogram_join_estimation: bool = False
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the online statistics-management service.
+
+    Attributes:
+        capture_capacity: ring-buffer capacity of the workload capture
+            log.  When full, the oldest unprocessed event is evicted (and
+            counted in the ``capture.dropped`` metric) — capture must
+            never block or fail the query path.
+        advisor_workers: number of background advisor worker threads
+            draining the capture log.
+        advisor_batch_size: maximum events one worker drains per wakeup.
+        advisor_poll_seconds: how long an idle worker blocks waiting for
+            new capture events before re-checking for shutdown.
+        creation_policy: ``"mnsa"`` or ``"mnsad"`` — which analysis the
+            advisor workers run per captured query (MNSA/D additionally
+            drop-lists statistics that never changed a plan, Sec 5.1).
+        staleness_fraction: the SQL Server 7.0 refresh trigger — a table
+            is stale once its row-modification counter reaches this
+            fraction of its row count (see
+            :meth:`repro.stats.manager.StatisticsManager.tables_needing_refresh`).
+        staleness_poll_seconds: cadence of the staleness monitor.
+        refresh_budget_per_cycle: maximum refresh work units the monitor
+            spends per wakeup; remaining stale tables are deferred to the
+            next cycle (``monitor.deferred`` metric).  ``None`` means
+            unbounded.
+        purge_drop_list_before_refresh: physically delete drop-listed
+            statistics on a table before refreshing it — the paper's
+            Sec 6 observation that refreshing hidden statistics is
+            exactly the waste the drop-list exists to avoid.
+        execute_queries: execute query plans (True) or stop after
+            optimization (False, plan-only service).
+    """
+
+    capture_capacity: int = 1024
+    advisor_workers: int = 2
+    advisor_batch_size: int = 16
+    advisor_poll_seconds: float = 0.05
+    creation_policy: str = "mnsad"
+    staleness_fraction: float = 0.2
+    staleness_poll_seconds: float = 0.25
+    refresh_budget_per_cycle: float | None = None
+    purge_drop_list_before_refresh: bool = False
+    execute_queries: bool = True
+
+    def __post_init__(self) -> None:
+        if self.capture_capacity < 1:
+            raise ValueError(
+                f"capture_capacity must be >= 1, got {self.capture_capacity}"
+            )
+        if self.advisor_workers < 0:
+            raise ValueError(
+                f"advisor_workers must be >= 0, got {self.advisor_workers}"
+            )
+        if self.advisor_batch_size < 1:
+            raise ValueError(
+                f"advisor_batch_size must be >= 1, got "
+                f"{self.advisor_batch_size}"
+            )
+        if self.advisor_poll_seconds <= 0:
+            raise ValueError("advisor_poll_seconds must be > 0")
+        if self.creation_policy not in ("mnsa", "mnsad"):
+            raise ValueError(
+                f"creation_policy must be 'mnsa' or 'mnsad', got "
+                f"{self.creation_policy!r}"
+            )
+        if not 0.0 < self.staleness_fraction <= 1.0:
+            raise ValueError(
+                f"staleness_fraction must be in (0, 1], got "
+                f"{self.staleness_fraction}"
+            )
+        if self.staleness_poll_seconds <= 0:
+            raise ValueError("staleness_poll_seconds must be > 0")
+        if (
+            self.refresh_budget_per_cycle is not None
+            and self.refresh_budget_per_cycle <= 0
+        ):
+            raise ValueError(
+                "refresh_budget_per_cycle must be > 0 or None, got "
+                f"{self.refresh_budget_per_cycle}"
+            )
 
 
 DEFAULT_CONFIG = OptimizerConfig()

@@ -63,3 +63,7 @@ class WorkloadError(ReproError):
 
 class PolicyError(ReproError):
     """A statistics-management policy was configured inconsistently."""
+
+
+class ServiceError(ReproError):
+    """The statistics-management service was misused or misconfigured."""

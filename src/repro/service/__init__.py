@@ -1,0 +1,38 @@
+"""Online statistics management as a long-running concurrent service.
+
+The paper's "usage in a server" discussion (Sec 6) assumes statistics
+creation, refresh, and drop-listing happen *inside* a living server while
+queries keep flowing.  This package provides that runtime:
+
+* :class:`~repro.service.service.StatsService` — the daemon facade:
+  concurrent sessions submit SQL, queries run with whatever statistics
+  are visible *now*;
+* :class:`~repro.service.events.CaptureLog` /
+  :class:`~repro.service.events.QueryEvent` — the bounded workload
+  capture log between the query path and the advisor;
+* :class:`~repro.service.worker.AdvisorWorker` — background MNSA /
+  MNSA-D threads draining the log;
+* :class:`~repro.service.monitor.StalenessMonitor` — counter-triggered
+  refresh under a cost budget;
+* :class:`~repro.service.metrics.MetricsRegistry` — counters and gauges
+  with a text dump.
+
+See ``docs/service.md`` for the architecture walkthrough and the
+``repro serve`` CLI subcommand for an end-to-end run.
+"""
+
+from repro.service.events import CaptureLog, QueryEvent
+from repro.service.metrics import MetricsRegistry
+from repro.service.monitor import StalenessMonitor
+from repro.service.service import Session, StatsService
+from repro.service.worker import AdvisorWorker
+
+__all__ = [
+    "AdvisorWorker",
+    "CaptureLog",
+    "MetricsRegistry",
+    "QueryEvent",
+    "Session",
+    "StalenessMonitor",
+    "StatsService",
+]

@@ -1,0 +1,172 @@
+"""Workload capture: query events and the bounded capture log.
+
+The paper's Sec 6 online regime runs MNSA on the query path — every
+incoming query pays the sensitivity analysis before it executes.  The
+service decouples the two: the foreground session records a
+:class:`QueryEvent` (what was optimized, at what estimated cost, and which
+selectivity variables fell back to magic numbers) into a bounded
+:class:`CaptureLog`, and background advisor workers drain the log to run
+MNSA/MNSA-D asynchronously.
+
+The log is a ring buffer: appending never blocks the query path.  When
+the buffer is full the *oldest* unprocessed event is evicted and counted —
+under overload the service degrades to sampling the workload rather than
+slowing it down, the same posture a production monitoring pipeline takes.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import ServiceError
+from repro.sql.query import Query
+
+
+@dataclass(frozen=True)
+class QueryEvent:
+    """One captured query execution.
+
+    Attributes:
+        seq: monotonically increasing capture sequence number.
+        query: the bound query (immutable once bound; safe to share with
+            the advisor workers).
+        estimated_cost: optimizer-estimated plan cost at execution time.
+        magic_variable_count: selectivity variables that fell back to
+            magic numbers — 0 means existing statistics fully covered the
+            query and the advisor can skip it.
+        tables: tables the query touches, for per-table attribution.
+    """
+
+    seq: int
+    query: Query
+    estimated_cost: float
+    magic_variable_count: int
+    tables: Tuple[str, ...] = field(default=())
+
+
+class CaptureLog:
+    """A bounded, thread-safe ring buffer of :class:`QueryEvent`.
+
+    ``append`` is non-blocking (evicts the oldest event when full);
+    ``take`` blocks consumers until events arrive, the log is closed, or a
+    timeout expires.  ``task_done`` / ``join`` mirror
+    :class:`queue.Queue` so the service can drain: ``join`` returns once
+    every appended event has been either processed or evicted.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ServiceError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: collections.deque = collections.deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._unfinished = 0
+        self.appended = 0
+        self.dropped = 0
+        self.drained = 0
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+
+    def append(self, event: QueryEvent) -> bool:
+        """Record an event; returns False if an old event was evicted.
+
+        Raises:
+            ServiceError: if the log has been closed.
+        """
+        with self._cond:
+            if self._closed:
+                raise ServiceError("capture log is closed")
+            evicted = False
+            if len(self._events) >= self.capacity:
+                self._events.popleft()
+                self.dropped += 1
+                self._unfinished -= 1
+                evicted = True
+            self._events.append(event)
+            self.appended += 1
+            self._unfinished += 1
+            self._cond.notify()
+            return not evicted
+
+    def close(self) -> None:
+        """Stop accepting events and wake every blocked consumer."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # consumer side
+    # ------------------------------------------------------------------
+
+    def take(
+        self, max_items: int = 1, timeout: Optional[float] = None
+    ) -> List[QueryEvent]:
+        """Remove and return up to ``max_items`` events.
+
+        Blocks until at least one event is available, the log is closed,
+        or ``timeout`` seconds elapse; may return an empty list on timeout
+        or when a closed log has been fully drained.
+        """
+        with self._cond:
+            if not self._events and not self._closed:
+                self._cond.wait(timeout)
+            batch: List[QueryEvent] = []
+            while self._events and len(batch) < max_items:
+                batch.append(self._events.popleft())
+            self.drained += len(batch)
+            return batch
+
+    def task_done(self, count: int = 1) -> None:
+        """Mark ``count`` previously taken events as fully processed."""
+        with self._cond:
+            self._unfinished -= count
+            if self._unfinished <= 0:
+                self._cond.notify_all()
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Block until every event has been processed (or evicted).
+
+        Returns True on success, False if ``timeout`` expired first.
+        """
+        with self._cond:
+            if timeout is None:
+                while self._unfinished > 0:
+                    self._cond.wait()
+                return True
+            deadline = time.monotonic() + timeout
+            while self._unfinished > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+    # ------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    @property
+    def unfinished(self) -> int:
+        """Events appended but not yet processed or evicted."""
+        with self._cond:
+            return self._unfinished
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CaptureLog(depth={len(self)}/{self.capacity}, "
+            f"appended={self.appended}, dropped={self.dropped})"
+        )

@@ -1,0 +1,96 @@
+"""A small thread-safe metrics registry for the statistics service.
+
+Counters accumulate (queries served, statistics built, work units spent);
+gauges hold the latest observation (queue depth, visible statistics).
+``render()`` produces the text dump the ``repro serve`` subcommand prints
+on shutdown — one ``name value`` pair per line, sorted, in the spirit of a
+Prometheus text exposition without the type annotations.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict
+
+
+class MetricsRegistry:
+    """Named counters and gauges shared by every service component."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to counter ``name``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    @contextmanager
+    def timer(self, name: str):
+        """Time a block: bumps ``<name>_seconds`` and ``<name>_count``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            with self._lock:
+                self._counters[f"{name}_seconds"] = (
+                    self._counters.get(f"{name}_seconds", 0.0) + elapsed
+                )
+                self._counters[f"{name}_count"] = (
+                    self._counters.get(f"{name}_count", 0.0) + 1.0
+                )
+
+    # ------------------------------------------------------------------
+    # gauges
+    # ------------------------------------------------------------------
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value``."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
+    def gauge_value(self, name: str) -> float:
+        """Current value of gauge ``name`` (0 if never set)."""
+        with self._lock:
+            return self._gauges.get(name, 0.0)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, float]:
+        """All counters and gauges as one name -> value mapping."""
+        with self._lock:
+            merged = dict(self._counters)
+            merged.update(self._gauges)
+            return merged
+
+    def render(self) -> str:
+        """The text dump: one sorted ``name value`` pair per line."""
+        lines = []
+        for name, value in sorted(self.snapshot().items()):
+            if value == int(value) and abs(value) < 1e15:
+                lines.append(f"{name} {int(value)}")
+            else:
+                lines.append(f"{name} {value:.6g}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return (
+                f"MetricsRegistry(counters={len(self._counters)}, "
+                f"gauges={len(self._gauges)})"
+            )

@@ -1,0 +1,327 @@
+"""The long-running statistics-management service.
+
+:class:`StatsService` is the online counterpart of
+:class:`~repro.core.advisor.StatisticsAdvisor`: where the advisor runs the
+paper's Sec 6 regime *inline* (every query pays for its own sensitivity
+analysis before executing), the service runs it *asynchronously*:
+
+* many client threads call :meth:`StatsService.submit` (or open a
+  :class:`Session`); queries execute immediately with whatever statistics
+  are currently visible;
+* every query leaves a :class:`~repro.service.events.QueryEvent` in the
+  bounded capture log;
+* background :class:`~repro.service.worker.AdvisorWorker` threads drain
+  the log and run MNSA / MNSA-D, creating and drop-listing statistics;
+* a :class:`~repro.service.monitor.StalenessMonitor` watches the
+  per-table row-modification counters and refreshes under a cost budget;
+* a :class:`~repro.service.metrics.MetricsRegistry` counts everything.
+
+Concurrency model: one reentrant database lock serializes statement
+execution, advisor analysis, and refreshes at *statement granularity* —
+the same isolation a single-writer engine gives — while the submit path
+never waits on advisor or refresh work beyond the statement currently
+holding the lock.  Finer-grained locks underneath (per-table mutation
+locks, the statistics manager's lock) keep direct component use safe too.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import List, Optional, Union
+
+from repro.config import ServiceConfig
+from repro.core.mnsa import MnsaConfig
+from repro.errors import ServiceError
+from repro.executor.dml import apply_dml
+from repro.executor.executor import ExecutionResult, Executor
+from repro.optimizer.optimizer import OptimizationResult, Optimizer
+from repro.service.events import CaptureLog, QueryEvent
+from repro.service.metrics import MetricsRegistry
+from repro.service.monitor import StalenessMonitor
+from repro.service.worker import AdvisorWorker
+from repro.sql.binder import parse_and_bind
+from repro.sql.query import DmlStatement, Query
+from repro.stats.statistic import StatKey
+
+
+class Session:
+    """One client connection to a :class:`StatsService`.
+
+    Sessions are cheap handles: they parse SQL against the service's
+    schema, delegate to the service, and keep per-session counters.  Any
+    number of sessions may submit concurrently from their own threads.
+    """
+
+    def __init__(self, service: "StatsService", session_id: int) -> None:
+        self._service = service
+        self.session_id = session_id
+        self.statements = 0
+        self.queries = 0
+        self.dml = 0
+
+    def submit(self, sql: str):
+        """Parse, bind, and execute one SQL statement."""
+        statement = parse_and_bind(sql, self._service.database.schema)
+        return self.submit_statement(statement)
+
+    def submit_statement(self, statement):
+        """Execute an already-bound statement through the service."""
+        result = self._service.submit_statement(statement)
+        self.statements += 1
+        if isinstance(statement, Query):
+            self.queries += 1
+        else:
+            self.dml += 1
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Session(id={self.session_id}, statements={self.statements})"
+        )
+
+
+class StatsService:
+    """A concurrent, self-tuning statistics-management daemon.
+
+    Args:
+        database: the database to serve and manage statistics for.
+        config: service knobs (see :class:`repro.config.ServiceConfig`).
+        mnsa_config: analysis knobs handed to the advisor workers.
+    """
+
+    def __init__(
+        self,
+        database,
+        config: Optional[ServiceConfig] = None,
+        mnsa_config: Optional[MnsaConfig] = None,
+    ) -> None:
+        self.database = database
+        self.config = config or ServiceConfig()
+        self.mnsa_config = mnsa_config or MnsaConfig()
+        self.metrics = MetricsRegistry()
+        #: serializes statement execution, advisor analysis, and refreshes
+        self.db_lock = threading.RLock()
+        self._optimizer = Optimizer(database)
+        self._executor = Executor(database)
+        self._seq = itertools.count(1)
+        self._session_ids = itertools.count(1)
+        self._created_lock = threading.Lock()
+        self._created_off_path: List[StatKey] = []
+        self._log: Optional[CaptureLog] = None
+        self._workers: List[AdvisorWorker] = []
+        self._monitor: Optional[StalenessMonitor] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "StatsService":
+        """Start the capture log, advisor workers, and staleness monitor."""
+        if self._started:
+            raise ServiceError("service already started")
+        cfg = self.config
+        self._log = CaptureLog(cfg.capture_capacity)
+        self._workers = [
+            AdvisorWorker(
+                index,
+                self.database,
+                self._log,
+                self.metrics,
+                self.db_lock,
+                creation_policy=cfg.creation_policy,
+                mnsa_config=self.mnsa_config,
+                batch_size=cfg.advisor_batch_size,
+                poll_seconds=cfg.advisor_poll_seconds,
+                on_created=self._note_created,
+            )
+            for index in range(cfg.advisor_workers)
+        ]
+        self._monitor = StalenessMonitor(
+            self.database,
+            self.metrics,
+            self.db_lock,
+            fraction=cfg.staleness_fraction,
+            poll_seconds=cfg.staleness_poll_seconds,
+            budget_per_cycle=cfg.refresh_budget_per_cycle,
+            purge_drop_list=cfg.purge_drop_list_before_refresh,
+        )
+        for worker in self._workers:
+            worker.start()
+        self._monitor.start()
+        self._started = True
+        self.metrics.gauge("service.workers", len(self._workers))
+        return self
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every captured event has been processed.
+
+        Returns True when the capture log fully drained, False if
+        ``timeout`` expired first.  With no advisor workers configured
+        (capture-only mode) nothing will ever drain the log, so this
+        returns True immediately instead of blocking forever.
+        """
+        self._require_started()
+        if not self._workers:
+            return True
+        return self._log.join(timeout)
+
+    def stop(
+        self, drain: bool = True, timeout: Optional[float] = 30.0
+    ) -> None:
+        """Shut the service down.
+
+        With ``drain=True`` (the default) waits for the advisor backlog to
+        empty and runs one final staleness pass, so counters accumulated
+        late in the workload still trigger their refresh; with
+        ``drain=False`` pending capture events are abandoned.
+        """
+        if not self._started:
+            return
+        drained = True
+        if drain and self._workers:
+            drained = self._log.join(timeout)
+        self._log.close()
+        for worker in self._workers:
+            worker.join(timeout)
+        self._monitor.stop(timeout)
+        if drain and drained:
+            self._monitor.run_once()
+        self._started = False
+        self._refresh_gauges()
+
+    def __enter__(self) -> "StatsService":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    # ------------------------------------------------------------------
+    # the submit path
+    # ------------------------------------------------------------------
+
+    def session(self) -> Session:
+        """Open a new client session."""
+        self._require_started()
+        self.metrics.inc("service.sessions")
+        return Session(self, next(self._session_ids))
+
+    def submit(self, sql: str):
+        """Parse, bind, and execute one SQL statement."""
+        statement = parse_and_bind(sql, self.database.schema)
+        return self.submit_statement(statement)
+
+    def submit_statement(
+        self, statement
+    ) -> Union[ExecutionResult, OptimizationResult, int]:
+        """Execute one bound statement with currently visible statistics.
+
+        Queries return their :class:`ExecutionResult` (or the
+        :class:`OptimizationResult` when ``execute_queries=False``); DML
+        returns the affected row count.  The advisor never runs inline —
+        queries only leave an event in the capture log.
+        """
+        self._require_started()
+        if isinstance(statement, Query):
+            return self._submit_query(statement)
+        if isinstance(statement, DmlStatement):
+            return self._submit_dml(statement)
+        raise ServiceError(
+            f"cannot execute statement of type {type(statement).__name__}"
+        )
+
+    def _submit_query(self, query: Query):
+        with self.metrics.timer("service.query"):
+            with self.db_lock:
+                optimized = self._optimizer.optimize(query)
+                missing = self._optimizer.magic_variables(query)
+                executed = None
+                if self.config.execute_queries:
+                    executed = self._executor.execute(optimized.plan, query)
+        event = QueryEvent(
+            seq=next(self._seq),
+            query=query,
+            estimated_cost=optimized.cost,
+            magic_variable_count=len(missing),
+            tables=tuple(query.tables),
+        )
+        accepted = self._log.append(event)
+        self.metrics.inc("capture.events")
+        if not accepted:
+            self.metrics.inc("capture.evicted")
+        self.metrics.gauge("capture.depth", len(self._log))
+        self.metrics.inc("service.queries")
+        if executed is not None:
+            self.metrics.inc("service.execution_cost", executed.actual_cost)
+            return executed
+        return optimized
+
+    def _submit_dml(self, statement: DmlStatement) -> int:
+        with self.metrics.timer("service.dml"):
+            with self.db_lock:
+                affected = apply_dml(self.database, statement)
+        self.metrics.inc("service.dml_statements")
+        self.metrics.inc("service.rows_modified", affected)
+        return affected
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def created_off_path(self) -> List[StatKey]:
+        """Statistics created by the background advisor workers."""
+        with self._created_lock:
+            return list(self._created_off_path)
+
+    def worker_errors(self) -> List[BaseException]:
+        """Exceptions swallowed by workers/monitor to stay alive."""
+        errors: List[BaseException] = []
+        for worker in self._workers:
+            errors.extend(worker.errors)
+        if self._monitor is not None:
+            errors.extend(self._monitor.errors)
+        return errors
+
+    def metrics_text(self) -> str:
+        """The final metrics dump (refreshes gauges first)."""
+        self._refresh_gauges()
+        return self.metrics.render()
+
+    # ------------------------------------------------------------------
+
+    def _note_created(self, keys: List[StatKey]) -> None:
+        with self._created_lock:
+            for key in keys:
+                if key not in self._created_off_path:
+                    self._created_off_path.append(key)
+
+    def _refresh_gauges(self) -> None:
+        stats = self.database.stats
+        self.metrics.gauge("stats.visible", len(stats.visible_keys()))
+        self.metrics.gauge("stats.drop_listed", len(stats.drop_list()))
+        self.metrics.gauge("stats.physical", len(stats.keys()))
+        if self._log is not None:
+            self.metrics.gauge("capture.depth", len(self._log))
+            self.metrics.gauge("capture.dropped", self._log.dropped)
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise ServiceError(
+                "service is not running; call start() first "
+                "(or use it as a context manager)"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "running" if self._started else "stopped"
+        return (
+            f"StatsService({self.database.name!r}, {state}, "
+            f"workers={len(self._workers)})"
+        )

@@ -1,0 +1,126 @@
+"""Background advisor workers: MNSA / MNSA-D off the query path.
+
+Each :class:`AdvisorWorker` is a daemon thread with its *own*
+:class:`~repro.optimizer.Optimizer` (so optimizer call counts attribute
+cleanly per worker) draining the shared capture log.  For every captured
+query that still had selectivity variables on magic numbers, the worker
+runs the configured analysis — MNSA (Sec 4) or MNSA/D (Sec 5.1) — under
+the service's database lock, creating or drop-listing statistics without
+the foreground session waiting on any of it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional
+
+from repro.core.mnsa import MnsaConfig, mnsa_for_query
+from repro.core.mnsad import mnsad_for_query
+from repro.optimizer.optimizer import Optimizer
+from repro.service.events import CaptureLog, QueryEvent
+from repro.service.metrics import MetricsRegistry
+from repro.stats.statistic import StatKey
+
+
+class AdvisorWorker(threading.Thread):
+    """One background statistics-advisor thread.
+
+    Args:
+        index: worker ordinal, used for the thread name.
+        database: the shared database.
+        log: capture log to drain.
+        metrics: shared metrics registry.
+        db_lock: the service-wide database lock; held for the duration of
+            each per-query analysis so foreground execution and advisor
+            work interleave at statement granularity.
+        creation_policy: ``"mnsa"`` or ``"mnsad"``.
+        mnsa_config: analysis knobs (epsilon, t, candidate mode).
+        batch_size: maximum events drained per wakeup.
+        poll_seconds: idle block time waiting for events.
+        on_created: optional callback invoked (outside the db lock) with
+            the list of statistics a single analysis created.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        database,
+        log: CaptureLog,
+        metrics: MetricsRegistry,
+        db_lock: threading.RLock,
+        creation_policy: str = "mnsad",
+        mnsa_config: Optional[MnsaConfig] = None,
+        batch_size: int = 16,
+        poll_seconds: float = 0.05,
+        on_created: Optional[Callable[[List[StatKey]], None]] = None,
+    ) -> None:
+        super().__init__(name=f"stats-advisor-{index}", daemon=True)
+        self._db = database
+        self._log = log
+        self._metrics = metrics
+        self._db_lock = db_lock
+        self._policy = creation_policy
+        self._config = mnsa_config or MnsaConfig()
+        self._batch_size = batch_size
+        self._poll_seconds = poll_seconds
+        self._on_created = on_created
+        self._optimizer = Optimizer(database)
+        self.errors: List[BaseException] = []
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        while True:
+            batch = self._log.take(self._batch_size, self._poll_seconds)
+            if not batch:
+                if self._log.closed and not len(self._log):
+                    return
+                continue
+            for event in batch:
+                try:
+                    self._process(event)
+                except BaseException as exc:  # keep the worker alive
+                    self.errors.append(exc)
+                    self._metrics.inc("advisor.errors")
+                finally:
+                    self._log.task_done()
+
+    # ------------------------------------------------------------------
+
+    def _process(self, event: QueryEvent) -> None:
+        if event.magic_variable_count == 0:
+            # existing statistics already covered every predicate
+            self._metrics.inc("advisor.skipped")
+            return
+        started = time.perf_counter()
+        with self._db_lock:
+            if self._policy == "mnsa":
+                result = mnsa_for_query(
+                    self._db,
+                    self._optimizer,
+                    event.query,
+                    config=self._config,
+                )
+                drop_listed: List[StatKey] = []
+            else:
+                result = mnsad_for_query(
+                    self._db,
+                    self._optimizer,
+                    event.query,
+                    config=self._config,
+                )
+                drop_listed = result.dropped
+        elapsed = time.perf_counter() - started
+        self._metrics.inc("advisor.events")
+        self._metrics.inc("advisor.seconds", elapsed)
+        self._metrics.inc("advisor.optimizer_calls", result.optimizer_calls)
+        self._metrics.inc("advisor.creation_cost", result.creation_cost)
+        if result.created:
+            self._metrics.inc("advisor.stats_created", len(result.created))
+        if drop_listed:
+            self._metrics.inc(
+                "advisor.stats_drop_listed", len(drop_listed)
+            )
+        if result.created and self._on_created is not None:
+            self._on_created(list(result.created))

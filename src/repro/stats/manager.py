@@ -14,11 +14,20 @@ One :class:`StatisticsManager` is attached to each database.  It provides:
   densities), honouring both the ignore set and the drop-list;
 * the SQL Server 7.0 refresh trigger: a per-table row-modification counter
   compared against a fraction of the table size (Sec 2, Sec 6).
+
+Thread safety: all lifecycle, drop-list, and visibility mutations (and the
+compound lookups that iterate the statistics dictionary) are guarded by a
+reentrant lock, so background advisor workers (``repro.service``) and
+foreground sessions can share one manager.  ``ignore_subset`` scopes are
+process-wide, not per-thread — callers that need connection-local ignore
+buffers must serialize their optimizer calls (the service's database lock
+does exactly that).
 """
 
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.catalog import ColumnRef
@@ -41,6 +50,7 @@ class StatisticsManager:
         self._statistics: Dict[StatKey, Statistic] = {}
         self._drop_list: Set[StatKey] = set()
         self._ignored: Set[StatKey] = set()
+        self._lock = threading.RLock()
         self.creation_cost_total = 0.0
         self.update_cost_total = 0.0
 
@@ -61,20 +71,21 @@ class StatisticsManager:
         of rebuilding (paper Sec 5).
         """
         key = self._as_key(key_or_refs)
-        if key in self._statistics:
-            if key in self._drop_list:
-                self.revive(key)
-                return self._statistics[key]
-            raise StatisticsError(f"statistic {key} already exists")
-        table = self._db.table(key.table)
-        for column in key.columns:
-            table.schema.column(column)  # validates
-        statistic = build_statistic(
-            table, key, self.config, histogram_kind=histogram_kind
-        )
-        self._statistics[key] = statistic
-        self.creation_cost_total += statistic.build_cost
-        return statistic
+        with self._lock:
+            if key in self._statistics:
+                if key in self._drop_list:
+                    self.revive(key)
+                    return self._statistics[key]
+                raise StatisticsError(f"statistic {key} already exists")
+            table = self._db.table(key.table)
+            for column in key.columns:
+                table.schema.column(column)  # validates
+            statistic = build_statistic(
+                table, key, self.config, histogram_kind=histogram_kind
+            )
+            self._statistics[key] = statistic
+            self.creation_cost_total += statistic.build_cost
+            return statistic
 
     def drop(self, key_or_refs) -> None:
         """Physically remove a statistic.
@@ -83,41 +94,49 @@ class StatisticsManager:
             StatisticsError: if the statistic does not exist.
         """
         key = self._as_key(key_or_refs)
-        if key not in self._statistics:
-            raise StatisticsError(f"no statistic {key}")
-        del self._statistics[key]
-        self._drop_list.discard(key)
-        self._ignored.discard(key)
+        with self._lock:
+            if key not in self._statistics:
+                raise StatisticsError(f"no statistic {key}")
+            del self._statistics[key]
+            self._drop_list.discard(key)
+            self._ignored.discard(key)
 
     def drop_all(self) -> None:
         """Remove every statistic (used between experiment arms)."""
-        self._statistics.clear()
-        self._drop_list.clear()
-        self._ignored.clear()
+        with self._lock:
+            self._statistics.clear()
+            self._drop_list.clear()
+            self._ignored.clear()
 
     def reset_cost_ledger(self) -> None:
-        self.creation_cost_total = 0.0
-        self.update_cost_total = 0.0
+        with self._lock:
+            self.creation_cost_total = 0.0
+            self.update_cost_total = 0.0
 
     def has(self, key_or_refs) -> bool:
-        return self._as_key(key_or_refs) in self._statistics
+        with self._lock:
+            return self._as_key(key_or_refs) in self._statistics
 
     def get(self, key_or_refs) -> Statistic:
         key = self._as_key(key_or_refs)
-        try:
-            return self._statistics[key]
-        except KeyError:
-            raise StatisticsError(f"no statistic {key}") from None
+        with self._lock:
+            try:
+                return self._statistics[key]
+            except KeyError:
+                raise StatisticsError(f"no statistic {key}") from None
 
     def keys(self) -> List[StatKey]:
         """All physically present statistics (including drop-listed)."""
-        return list(self._statistics)
+        with self._lock:
+            return list(self._statistics)
 
     def statistics(self) -> List[Statistic]:
-        return list(self._statistics.values())
+        with self._lock:
+            return list(self._statistics.values())
 
     def keys_on_table(self, table: str) -> List[StatKey]:
-        return [key for key in self._statistics if key.table == table]
+        with self._lock:
+            return [key for key in self._statistics if key.table == table]
 
     # ------------------------------------------------------------------
     # drop-list (Sec 5)
@@ -126,30 +145,35 @@ class StatisticsManager:
     def mark_droppable(self, key_or_refs) -> None:
         """Put a statistic on the drop-list (hidden from the optimizer)."""
         key = self._as_key(key_or_refs)
-        if key not in self._statistics:
-            raise StatisticsError(f"no statistic {key}")
-        self._drop_list.add(key)
+        with self._lock:
+            if key not in self._statistics:
+                raise StatisticsError(f"no statistic {key}")
+            self._drop_list.add(key)
 
     def revive(self, key_or_refs) -> None:
         """Remove a statistic from the drop-list, making it visible again."""
         key = self._as_key(key_or_refs)
-        if key not in self._statistics:
-            raise StatisticsError(f"no statistic {key}")
-        self._drop_list.discard(key)
+        with self._lock:
+            if key not in self._statistics:
+                raise StatisticsError(f"no statistic {key}")
+            self._drop_list.discard(key)
 
     def drop_list(self) -> List[StatKey]:
-        return sorted(self._drop_list)
+        with self._lock:
+            return sorted(self._drop_list)
 
     def is_droppable(self, key_or_refs) -> bool:
-        return self._as_key(key_or_refs) in self._drop_list
+        with self._lock:
+            return self._as_key(key_or_refs) in self._drop_list
 
     def purge_drop_list(self) -> List[StatKey]:
         """Physically delete every drop-listed statistic (a Sec 6 policy)."""
-        purged = sorted(self._drop_list)
-        for key in purged:
-            del self._statistics[key]
-        self._drop_list.clear()
-        return purged
+        with self._lock:
+            purged = sorted(self._drop_list)
+            for key in purged:
+                del self._statistics[key]
+            self._drop_list.clear()
+            return purged
 
     # ------------------------------------------------------------------
     # Ignore_Statistics_Subset (Sec 7.2)
@@ -164,40 +188,47 @@ class StatisticsManager:
         for S' ⊂ S without physically dropping statistics.
         """
         added = {self._as_key(k) for k in keys}
-        previous = set(self._ignored)
-        self._ignored |= added
+        with self._lock:
+            previous = set(self._ignored)
+            self._ignored |= added
         try:
             yield
         finally:
-            self._ignored = previous
+            with self._lock:
+                self._ignored = previous
 
     def set_ignored(self, keys: Iterable) -> None:
         """Non-scoped variant used by long-running experiments."""
-        self._ignored = {self._as_key(k) for k in keys}
+        with self._lock:
+            self._ignored = {self._as_key(k) for k in keys}
 
     def clear_ignored(self) -> None:
-        self._ignored = set()
+        with self._lock:
+            self._ignored = set()
 
     # ------------------------------------------------------------------
     # visibility and estimator lookups
     # ------------------------------------------------------------------
 
     def is_visible(self, key: StatKey) -> bool:
-        return (
-            key in self._statistics
-            and key not in self._ignored
-            and key not in self._drop_list
-        )
+        with self._lock:
+            return (
+                key in self._statistics
+                and key not in self._ignored
+                and key not in self._drop_list
+            )
 
     def visible_keys(self) -> List[StatKey]:
-        return [key for key in self._statistics if self.is_visible(key)]
+        with self._lock:
+            return [key for key in self._statistics if self.is_visible(key)]
 
     def visible_statistics(self) -> List[Statistic]:
-        return [
-            stat
-            for key, stat in self._statistics.items()
-            if self.is_visible(key)
-        ]
+        with self._lock:
+            return [
+                stat
+                for key, stat in self._statistics.items()
+                if self.is_visible(key)
+            ]
 
     def histogram_for(self, ref: ColumnRef):
         """Histogram usable for predicates on ``ref``, or None.
@@ -207,12 +238,13 @@ class StatisticsManager:
         Server's asymmetric multi-column statistics, Sec 7.1).
         """
         single = StatKey.single(ref)
-        if self.is_visible(single):
-            return self._statistics[single].histogram
-        for key, stat in self._statistics.items():
-            if self.is_visible(key) and key.leading_column == ref:
-                return stat.histogram
-        return None
+        with self._lock:
+            if self.is_visible(single):
+                return self._statistics[single].histogram
+            for key, stat in self._statistics.items():
+                if self.is_visible(key) and key.leading_column == ref:
+                    return stat.histogram
+            return None
 
     def density_for_columns(
         self, table: str, columns: Iterable[str]
@@ -224,15 +256,16 @@ class StatisticsManager:
         if size == 0:
             return None
         best = None
-        for key, stat in self._statistics.items():
-            if key.table != table or not self.is_visible(key):
-                continue
-            if len(key.columns) < size:
-                continue
-            if frozenset(key.columns[:size]) == wanted:
-                density = stat.prefix_densities[size - 1]
-                if best is None or density < best:
-                    best = density
+        with self._lock:
+            for key, stat in self._statistics.items():
+                if key.table != table or not self.is_visible(key):
+                    continue
+                if len(key.columns) < size:
+                    continue
+                if frozenset(key.columns[:size]) == wanted:
+                    density = stat.prefix_densities[size - 1]
+                    if best is None or density < best:
+                        best = density
         return best
 
     def distinct_for_columns(
@@ -256,33 +289,41 @@ class StatisticsManager:
         wanted = frozenset(columns)
         if len(wanted) != 2:
             return None
-        for key, stat in self._statistics.items():
-            if key.table != table or not self.is_visible(key):
-                continue
-            if stat.joint_histogram is None:
-                continue
-            if frozenset(key.columns[:2]) == wanted:
-                return (
-                    stat.joint_histogram,
-                    key.columns[0],
-                    key.columns[1],
-                )
-        return None
+        with self._lock:
+            for key, stat in self._statistics.items():
+                if key.table != table or not self.is_visible(key):
+                    continue
+                if stat.joint_histogram is None:
+                    continue
+                if frozenset(key.columns[:2]) == wanted:
+                    return (
+                        stat.joint_histogram,
+                        key.columns[0],
+                        key.columns[1],
+                    )
+            return None
 
     # ------------------------------------------------------------------
     # refresh (SQL Server 7.0 trigger, Sec 2 / Sec 6)
     # ------------------------------------------------------------------
 
     def tables_needing_refresh(self, fraction: float = 0.2) -> List[str]:
-        """Tables whose modification counter exceeds ``fraction`` of rows."""
+        """Tables whose modification counter has *reached* the trigger.
+
+        A table is due once ``rows_modified_since_stats >=
+        max(1, fraction * row_count)`` — the boundary case where the
+        counter equals exactly ``fraction * rows`` counts as due — and at
+        least one statistic is physically present on the table.
+        """
         due = []
-        for name in self._db.table_names():
-            data = self._db.table(name)
-            threshold = max(1.0, fraction * data.row_count)
-            if data.rows_modified_since_stats >= threshold and (
-                self.keys_on_table(name)
-            ):
-                due.append(name)
+        with self._lock:
+            for name in self._db.table_names():
+                data = self._db.table(name)
+                threshold = max(1.0, fraction * data.row_count)
+                if data.rows_modified_since_stats >= threshold and (
+                    self.keys_on_table(name)
+                ):
+                    due.append(name)
         return due
 
     def refresh_table(self, table_name: str) -> float:
@@ -294,17 +335,21 @@ class StatisticsManager:
         """
         data = self._db.table(table_name)
         total = 0.0
-        for key in self.keys_on_table(table_name):
-            old = self._statistics[key]
-            rebuilt = build_statistic(data, key, self.config)
-            rebuilt.update_count = old.update_count + 1
-            self._statistics[key] = rebuilt
-            cost = statistic_update_cost(
-                data.row_count, key, self.config.cost, self.config.sample_rows
-            )
-            total += cost
-        data.reset_modification_counter()
-        self.update_cost_total += total
+        with self._lock:
+            for key in self.keys_on_table(table_name):
+                old = self._statistics[key]
+                rebuilt = build_statistic(data, key, self.config)
+                rebuilt.update_count = old.update_count + 1
+                self._statistics[key] = rebuilt
+                cost = statistic_update_cost(
+                    data.row_count,
+                    key,
+                    self.config.cost,
+                    self.config.sample_rows,
+                )
+                total += cost
+            data.reset_modification_counter()
+            self.update_cost_total += total
         return total
 
     def apply_incremental_inserts(
@@ -322,44 +367,47 @@ class StatisticsManager:
         """
         total = 0.0
         per_row = self.config.cost.stat_incremental_cost_per_row
-        for key in self.keys_on_table(table_name):
-            leading = key.columns[0]
-            values = inserted.get(leading)
-            if values is None:
-                continue
-            statistic = self._statistics[key]
-            statistic.histogram.add_values(values)
-            statistic.row_count += len(values)
-            total += len(values) * per_row
-        self.update_cost_total += total
+        with self._lock:
+            for key in self.keys_on_table(table_name):
+                leading = key.columns[0]
+                values = inserted.get(leading)
+                if values is None:
+                    continue
+                statistic = self._statistics[key]
+                statistic.histogram.add_values(values)
+                statistic.row_count += len(values)
+                total += len(values) * per_row
+            self.update_cost_total += total
         return total
 
     def keys_needing_rebuild(
         self, table_name: str, divergence_threshold: float = 0.15
     ) -> List[StatKey]:
         """Statistics whose incrementally maintained histograms degraded."""
-        return [
-            key
-            for key in self.keys_on_table(table_name)
-            if self._statistics[key].histogram.needs_rebuild(
-                divergence_threshold
-            )
-        ]
+        with self._lock:
+            return [
+                key
+                for key in self.keys_on_table(table_name)
+                if self._statistics[key].histogram.needs_rebuild(
+                    divergence_threshold
+                )
+            ]
 
     def rebuild(self, key_or_refs) -> float:
         """Fully rebuild one statistic; returns the update cost charged."""
         key = self._as_key(key_or_refs)
-        if key not in self._statistics:
-            raise StatisticsError(f"no statistic {key}")
-        data = self._db.table(key.table)
-        old = self._statistics[key]
-        fresh = build_statistic(data, key, self.config)
-        fresh.update_count = old.update_count + 1
-        self._statistics[key] = fresh
-        cost = statistic_update_cost(
-            data.row_count, key, self.config.cost, self.config.sample_rows
-        )
-        self.update_cost_total += cost
+        with self._lock:
+            if key not in self._statistics:
+                raise StatisticsError(f"no statistic {key}")
+            data = self._db.table(key.table)
+            old = self._statistics[key]
+            fresh = build_statistic(data, key, self.config)
+            fresh.update_count = old.update_count + 1
+            self._statistics[key] = fresh
+            cost = statistic_update_cost(
+                data.row_count, key, self.config.cost, self.config.sample_rows
+            )
+            self.update_cost_total += cost
         return cost
 
     def update_cost_of_keys(self, keys: Iterable) -> float:

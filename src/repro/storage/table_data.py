@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, Mapping, Optional
 
 import numpy as np
@@ -28,6 +29,12 @@ class TableData:
     counts rows inserted, deleted, or updated since the last statistics
     refresh on the table, and statistics-refresh policies compare it to a
     fraction of the table size (paper Sec 2, Sec 6).
+
+    Mutations (DML, bulk loads, counter resets) and multi-column snapshot
+    reads (:meth:`sample_rows`) are guarded by a per-table reentrant lock so
+    concurrent sessions never observe a half-applied delete/update or lose
+    counter increments.  Single-column reads are lock-free: column arrays
+    are replaced atomically, never resized in place.
     """
 
     def __init__(self, schema: TableSchema) -> None:
@@ -41,6 +48,7 @@ class TableData:
             for col in schema.columns
             if col.type == ColumnType.STRING
         }
+        self.mutation_lock = threading.RLock()
         self.rows_modified_since_stats = 0
 
     # ------------------------------------------------------------------
@@ -147,8 +155,9 @@ class TableData:
                     f"expected {length}"
                 )
             arrays[col.name] = arr
-        self._columns = arrays
-        self.rows_modified_since_stats = 0
+        with self.mutation_lock:
+            self._columns = arrays
+            self.rows_modified_since_stats = 0
 
     def attach_dictionary(
         self, column_name: str, dictionary: StringDictionary
@@ -170,22 +179,25 @@ class TableData:
         rows = list(rows)
         if not rows:
             return 0
-        appended = {}
-        for col in self.schema.columns:
-            values = []
-            for row in rows:
-                if col.name not in row:
-                    raise StorageError(
-                        f"insert into {self.schema.name!r} missing column "
-                        f"{col.name!r}"
-                    )
-                values.append(self.encode_value(col.name, row[col.name]))
-            appended[col.name] = np.asarray(
-                values, dtype=_NUMPY_DTYPE[col.type]
-            )
-        for name, arr in appended.items():
-            self._columns[name] = np.concatenate([self._columns[name], arr])
-        self.rows_modified_since_stats += len(rows)
+        with self.mutation_lock:
+            appended = {}
+            for col in self.schema.columns:
+                values = []
+                for row in rows:
+                    if col.name not in row:
+                        raise StorageError(
+                            f"insert into {self.schema.name!r} missing "
+                            f"column {col.name!r}"
+                        )
+                    values.append(self.encode_value(col.name, row[col.name]))
+                appended[col.name] = np.asarray(
+                    values, dtype=_NUMPY_DTYPE[col.type]
+                )
+            for name, arr in appended.items():
+                self._columns[name] = np.concatenate(
+                    [self._columns[name], arr]
+                )
+            self.rows_modified_since_stats += len(rows)
         return len(rows)
 
     def delete_rows(self, mask: np.ndarray) -> int:
@@ -194,17 +206,18 @@ class TableData:
         Returns the number of rows deleted.
         """
         mask = np.asarray(mask, dtype=bool)
-        if mask.shape[0] != self.row_count:
-            raise StorageError(
-                f"delete mask length {mask.shape[0]} != row count "
-                f"{self.row_count}"
-            )
-        deleted = int(mask.sum())
-        if deleted:
-            keep = ~mask
-            for name in self._columns:
-                self._columns[name] = self._columns[name][keep]
-            self.rows_modified_since_stats += deleted
+        with self.mutation_lock:
+            if mask.shape[0] != self.row_count:
+                raise StorageError(
+                    f"delete mask length {mask.shape[0]} != row count "
+                    f"{self.row_count}"
+                )
+            deleted = int(mask.sum())
+            if deleted:
+                keep = ~mask
+                for name in self._columns:
+                    self._columns[name] = self._columns[name][keep]
+                self.rows_modified_since_stats += deleted
         return deleted
 
     def update_rows(
@@ -215,23 +228,27 @@ class TableData:
         Returns the number of rows updated.
         """
         mask = np.asarray(mask, dtype=bool)
-        if mask.shape[0] != self.row_count:
-            raise StorageError(
-                f"update mask length {mask.shape[0]} != row count "
-                f"{self.row_count}"
-            )
-        updated = int(mask.sum())
-        if updated:
-            for name, value in assignments.items():
-                col = self.schema.column(name)
-                encoded = self.encode_value(name, value)
-                self._columns[name][mask] = _NUMPY_DTYPE[col.type](encoded)
-            self.rows_modified_since_stats += updated
+        with self.mutation_lock:
+            if mask.shape[0] != self.row_count:
+                raise StorageError(
+                    f"update mask length {mask.shape[0]} != row count "
+                    f"{self.row_count}"
+                )
+            updated = int(mask.sum())
+            if updated:
+                for name, value in assignments.items():
+                    col = self.schema.column(name)
+                    encoded = self.encode_value(name, value)
+                    self._columns[name][mask] = _NUMPY_DTYPE[col.type](
+                        encoded
+                    )
+                self.rows_modified_since_stats += updated
         return updated
 
     def reset_modification_counter(self) -> None:
         """Called after statistics on this table are (re)built."""
-        self.rows_modified_since_stats = 0
+        with self.mutation_lock:
+            self.rows_modified_since_stats = 0
 
     def sample_rows(
         self, max_rows: int, rng: Optional[np.random.Generator] = None
@@ -241,10 +258,13 @@ class TableData:
         Returns raw (encoded) column arrays; used by sampling-based
         statistics construction.
         """
-        n = self.row_count
-        if n <= max_rows:
-            return {name: arr.copy() for name, arr in self._columns.items()}
-        rng = rng or np.random.default_rng(0)
-        idx = rng.choice(n, size=max_rows, replace=False)
-        idx.sort()
-        return {name: arr[idx] for name, arr in self._columns.items()}
+        with self.mutation_lock:
+            n = self.row_count
+            if n <= max_rows:
+                return {
+                    name: arr.copy() for name, arr in self._columns.items()
+                }
+            rng = rng or np.random.default_rng(0)
+            idx = rng.choice(n, size=max_rows, replace=False)
+            idx.sort()
+            return {name: arr[idx] for name, arr in self._columns.items()}

@@ -1,0 +1,118 @@
+"""Tests for the workload capture log (repro.service.events)."""
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.events import CaptureLog, QueryEvent
+
+
+def event(seq: int) -> QueryEvent:
+    return QueryEvent(
+        seq=seq,
+        query=None,
+        estimated_cost=float(seq),
+        magic_variable_count=1,
+        tables=("emp",),
+    )
+
+
+class TestRingBuffer:
+    def test_append_take_fifo(self):
+        log = CaptureLog(capacity=8)
+        for i in range(3):
+            assert log.append(event(i))
+        batch = log.take(max_items=10, timeout=0.1)
+        assert [e.seq for e in batch] == [0, 1, 2]
+        assert log.appended == 3
+        assert log.drained == 3
+
+    def test_full_ring_evicts_oldest(self):
+        log = CaptureLog(capacity=2)
+        assert log.append(event(0))
+        assert log.append(event(1))
+        assert not log.append(event(2))  # evicts seq 0
+        assert log.dropped == 1
+        batch = log.take(max_items=10, timeout=0.1)
+        assert [e.seq for e in batch] == [1, 2]
+
+    def test_eviction_keeps_join_consistent(self):
+        log = CaptureLog(capacity=1)
+        log.append(event(0))
+        log.append(event(1))  # evicts 0
+        assert log.unfinished == 1
+        log.take(timeout=0.1)
+        log.task_done()
+        assert log.join(timeout=1.0)
+
+    def test_capacity_validated(self):
+        with pytest.raises(ServiceError):
+            CaptureLog(capacity=0)
+
+    def test_len_reflects_depth(self):
+        log = CaptureLog(capacity=4)
+        assert len(log) == 0
+        log.append(event(0))
+        assert len(log) == 1
+
+
+class TestBlockingSemantics:
+    def test_take_times_out_empty(self):
+        log = CaptureLog()
+        assert log.take(timeout=0.01) == []
+
+    def test_take_wakes_on_append(self):
+        log = CaptureLog()
+        got = []
+
+        def consumer():
+            got.extend(log.take(timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        log.append(event(7))
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert [e.seq for e in got] == [7]
+
+    def test_close_wakes_blocked_consumer(self):
+        log = CaptureLog()
+        done = threading.Event()
+
+        def consumer():
+            log.take(timeout=10.0)
+            done.set()
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        log.close()
+        assert done.wait(timeout=5.0)
+        thread.join(timeout=5.0)
+
+    def test_append_after_close_raises(self):
+        log = CaptureLog()
+        log.close()
+        with pytest.raises(ServiceError):
+            log.append(event(0))
+
+    def test_closed_log_still_drains(self):
+        log = CaptureLog()
+        log.append(event(1))
+        log.close()
+        assert [e.seq for e in log.take(max_items=5)] == [1]
+        assert log.take(timeout=0.01) == []
+
+
+class TestJoin:
+    def test_join_blocks_until_task_done(self):
+        log = CaptureLog()
+        log.append(event(0))
+        assert not log.join(timeout=0.05)
+        log.take(timeout=0.1)
+        assert not log.join(timeout=0.05)  # taken but not done
+        log.task_done()
+        assert log.join(timeout=1.0)
+
+    def test_join_empty_returns_immediately(self):
+        assert CaptureLog().join(timeout=0.01)

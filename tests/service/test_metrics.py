@@ -1,0 +1,66 @@
+"""Tests for the metrics registry (repro.service.metrics)."""
+
+import threading
+
+from repro.service.metrics import MetricsRegistry
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        metrics = MetricsRegistry()
+        metrics.inc("queries")
+        metrics.inc("queries", 2)
+        assert metrics.counter("queries") == 3
+
+    def test_unknown_counter_is_zero(self):
+        assert MetricsRegistry().counter("nope") == 0.0
+
+    def test_gauge_holds_latest(self):
+        metrics = MetricsRegistry()
+        metrics.gauge("depth", 5)
+        metrics.gauge("depth", 2)
+        assert metrics.gauge_value("depth") == 2
+
+    def test_timer_records_count_and_seconds(self):
+        metrics = MetricsRegistry()
+        with metrics.timer("work"):
+            pass
+        assert metrics.counter("work_count") == 1
+        assert metrics.counter("work_seconds") >= 0.0
+
+    def test_snapshot_merges(self):
+        metrics = MetricsRegistry()
+        metrics.inc("a")
+        metrics.gauge("b", 7)
+        assert metrics.snapshot() == {"a": 1.0, "b": 7.0}
+
+
+class TestRender:
+    def test_render_sorted_lines(self):
+        metrics = MetricsRegistry()
+        metrics.inc("zeta", 2)
+        metrics.gauge("alpha", 1.5)
+        assert metrics.render() == "alpha 1.5\nzeta 2"
+
+    def test_integral_values_render_without_decimals(self):
+        metrics = MetricsRegistry()
+        metrics.inc("count", 41)
+        metrics.inc("count")
+        assert "count 42" in metrics.render()
+
+
+class TestThreadSafety:
+    def test_no_lost_increments(self):
+        metrics = MetricsRegistry()
+        per_thread, threads = 2000, 8
+
+        def bump():
+            for _ in range(per_thread):
+                metrics.inc("hits")
+
+        pool = [threading.Thread(target=bump) for _ in range(threads)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert metrics.counter("hits") == per_thread * threads

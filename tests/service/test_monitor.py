@@ -1,0 +1,85 @@
+"""Tests for the staleness monitor (repro.service.monitor)."""
+
+import threading
+import time
+
+import numpy as np
+
+from repro.service.metrics import MetricsRegistry
+from repro.service.monitor import StalenessMonitor
+from repro.stats.statistic import StatKey
+
+AGE = StatKey("emp", ("age",))
+BUDGET = StatKey("dept", ("budget",))
+
+
+def make_monitor(db, **kwargs) -> StalenessMonitor:
+    return StalenessMonitor(
+        db, MetricsRegistry(), threading.RLock(), **kwargs
+    )
+
+
+def touch_all_rows(db, table: str, assignments) -> None:
+    mask = np.ones(db.row_count(table), dtype=bool)
+    db.update(table, mask, assignments)
+
+
+class TestRunOnce:
+    def test_refreshes_due_table_and_resets_counter(self, db):
+        db.stats.create(AGE)
+        touch_all_rows(db, "emp", {"age": 44})
+        monitor = make_monitor(db)
+        spent = monitor.run_once()
+        assert spent > 0
+        assert db.table("emp").rows_modified_since_stats == 0
+        assert db.stats.get(AGE).update_count == 1
+        assert monitor._metrics.counter("monitor.refreshes") == 1
+
+    def test_nothing_due_spends_nothing(self, db):
+        db.stats.create(AGE)
+        monitor = make_monitor(db)
+        assert monitor.run_once() == 0.0
+
+    def test_budget_defers_tables(self, db):
+        db.stats.create(AGE)
+        db.stats.create(BUDGET)
+        touch_all_rows(db, "emp", {"age": 44})
+        touch_all_rows(db, "dept", {"budget": 1.0})
+        # a budget so small the first refresh exhausts it
+        monitor = make_monitor(db, budget_per_cycle=0.001)
+        monitor.run_once()
+        metrics = monitor._metrics
+        assert metrics.counter("monitor.refreshes") == 1
+        assert metrics.counter("monitor.deferred") == 1
+        # the deferred table is picked up next cycle
+        monitor.run_once()
+        assert metrics.counter("monitor.refreshes") == 2
+
+    def test_purge_drop_list_before_refresh(self, db):
+        db.stats.create(AGE)
+        db.stats.create(StatKey("emp", ("salary",)))
+        db.stats.mark_droppable(AGE)
+        touch_all_rows(db, "emp", {"age": 44})
+        monitor = make_monitor(db, purge_drop_list=True)
+        monitor.run_once()
+        assert not db.stats.has(AGE)  # purged, not refreshed
+        assert db.stats.get(StatKey("emp", ("salary",))).update_count == 1
+        assert monitor._metrics.counter("monitor.purged") == 1
+
+
+class TestThreadLifecycle:
+    def test_background_thread_refreshes_and_stops(self, db):
+        db.stats.create(AGE)
+        touch_all_rows(db, "emp", {"age": 44})
+        monitor = make_monitor(db, poll_seconds=0.01)
+        monitor.start()
+        deadline = time.monotonic() + 5.0
+        while (
+            monitor._metrics.counter("monitor.refreshes") < 1
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        monitor.stop(timeout=5.0)
+        assert not monitor.is_alive()
+        assert monitor._metrics.counter("monitor.refreshes") >= 1
+        assert monitor.errors == []

@@ -199,6 +199,31 @@ class TestRefresh:
         hist = db.stats.get(AGE).histogram
         assert hist.selectivity_equal(55) == pytest.approx(1.0)
 
+    def test_counter_exactly_at_trigger_is_due(self, db):
+        """The boundary case: counter == fraction * rows triggers.
+
+        SQL Server 7.0's rule is ``rows_modified >= max(1, fraction *
+        row_count)`` — reaching the threshold exactly counts as due.
+        """
+        db.stats.create(AGE)
+        rows = db.row_count("emp")
+        fraction = 0.2
+        trigger = int(fraction * rows)  # 40 for the 200-row emp table
+        assert trigger == max(1, fraction * rows)
+
+        mask = np.zeros(rows, dtype=bool)
+        mask[: trigger - 1] = True
+        db.update("emp", mask, {"age": 50})
+        table = db.table("emp")
+        assert table.rows_modified_since_stats == trigger - 1
+        assert db.stats.tables_needing_refresh(fraction) == []
+
+        one_more = np.zeros(rows, dtype=bool)
+        one_more[trigger - 1] = True
+        db.update("emp", one_more, {"age": 51})
+        assert table.rows_modified_since_stats == trigger
+        assert db.stats.tables_needing_refresh(fraction) == ["emp"]
+
     def test_tables_without_stats_not_due(self, db):
         db.update(
             "emp", np.ones(db.row_count("emp"), dtype=bool), {"age": 50}

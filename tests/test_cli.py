@@ -181,6 +181,57 @@ class TestWorkloadAndTune:
         assert "Shrinking Set retained" in out
 
 
+class TestServe:
+    def test_serve_small_workload(self, tpcd_dir, capsys):
+        code = main(
+            [
+                "serve",
+                "--db",
+                tpcd_dir,
+                "--workload",
+                "U25-S-20",
+                "--workers",
+                "2",
+                "--clients",
+                "2",
+                "--seed",
+                "7",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "statements submitted:  20" in out
+        assert "statistics created off the query path" in out
+        # at least one statistic was built by the background workers
+        assert "built " in out
+        assert "--- metrics" in out
+        assert "advisor.stats_created" in out
+        assert "error" not in out
+
+    def test_serve_plan_only_mnsa(self, tpcd_dir, capsys):
+        code = main(
+            [
+                "serve",
+                "--db",
+                tpcd_dir,
+                "--workload",
+                "U25-S-10",
+                "--policy",
+                "mnsa",
+                "--no-execute",
+                "--clients",
+                "1",
+                "--seed",
+                "7",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # plan-only mode never executes, so no execution cost accrues
+        assert "service.execution_cost" not in out
+        assert "service.queries" in out
+
+
 class TestExperiments:
     def test_intro(self, capsys):
         main(["experiment", "intro", "--scale", "0.002"])
