@@ -1,0 +1,54 @@
+"""``repro.analysis`` — repo-specific static analysis for the statistics
+service.
+
+An AST-based lint suite (stdlib :mod:`ast`, zero dependencies) with five
+rules guarding the invariants the concurrent service layer depends on:
+
+=====  ========================  ===================================================
+id     name                      checks
+=====  ========================  ===================================================
+R001   guarded-by                ``guarded_by()``-annotated attributes accessed
+                                 only under their declared lock
+R002   lock-order                the global lock acquisition graph is acyclic
+R003   exhaustive-dispatch       marked visitors handle every SQL AST / plan node
+R004   no-blocking-under-lock    no sleep/join/wait/blocking-get or statement
+                                 execution while holding a component lock
+R005   magic-number-literals     ε / 1−ε selectivity pins come from
+                                 ``optimizer/variables.py``, never inline floats
+=====  ========================  ===================================================
+
+Run via ``repro lint src/`` or programmatically::
+
+    from repro.analysis import lint_paths
+    findings = lint_paths(["src"])
+
+See ``docs/analysis.md`` for the rule catalog and suppression syntax.
+"""
+
+from repro.analysis.framework import (
+    BASELINE_FILENAME,
+    Finding,
+    Rule,
+    RULES,
+    all_rule_ids,
+    lint_paths,
+    lint_project,
+    build_project,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.model import Project
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "Finding",
+    "Project",
+    "Rule",
+    "RULES",
+    "all_rule_ids",
+    "build_project",
+    "lint_paths",
+    "lint_project",
+    "load_baseline",
+    "save_baseline",
+]

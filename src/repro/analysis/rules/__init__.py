@@ -1,0 +1,16 @@
+"""Built-in lint rules.  Importing this package registers all of them
+with :data:`repro.analysis.framework.RULES`."""
+
+from repro.analysis.rules.guarded_by import GuardedByRule
+from repro.analysis.rules.lock_order import LockOrderRule
+from repro.analysis.rules.dispatch import ExhaustiveDispatchRule
+from repro.analysis.rules.blocking import NoBlockingUnderLockRule
+from repro.analysis.rules.literals import MagicLiteralRule
+
+__all__ = [
+    "GuardedByRule",
+    "LockOrderRule",
+    "ExhaustiveDispatchRule",
+    "NoBlockingUnderLockRule",
+    "MagicLiteralRule",
+]

@@ -1,0 +1,177 @@
+"""R004: no blocking calls while holding a lock.
+
+Inside a ``with self.<lock>:`` block the rule flags:
+
+* ``time.sleep(...)`` / bare ``sleep(...)`` — a sleeping lock holder
+  stalls every other thread for no benefit;
+* ``<thread-or-queue>.join(...)`` — joining a thread (or waiting for a
+  queue/capture-log to drain) that itself needs the held lock deadlocks;
+  ``",".join(parts)`` on a string literal is exempt;
+* ``<something>.wait(...)`` — unless the receiver *is* a currently held
+  lock, i.e. the blessed ``self._cond.wait()`` inside
+  ``with self._cond:`` (that is how a Condition is used; waiting
+  releases the lock);
+* ``<queue>.get(..., timeout=...)`` / ``get(block=...)`` — only calls
+  passing queue-style ``timeout``/``block`` arguments are flagged, so
+  plain ``dict.get(key)`` lookups under a lock stay legal;
+* query/DML execution (``execute`` / ``apply_dml`` / ``run_workload``)
+  under any lock *except* the service's database lock — statement
+  execution under ``db_lock`` is the service's documented design
+  (statement-granularity serialization), but running a statement while
+  holding a component lock such as the statistics manager's would
+  invert the lock order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.framework import Finding, Rule, rule
+from repro.analysis.model import (
+    ClassInfo,
+    Project,
+    SourceModule,
+    dotted,
+    lock_withitems,
+)
+
+SLEEP_CALLS = {"time.sleep", "sleep"}
+EXECUTION_CALLS = {"execute", "apply_dml", "run_workload"}
+#: canonical lock ids under which statement execution is *by design*
+EXECUTION_ALLOWED_UNDER = {"db_lock"}
+
+
+@rule
+class NoBlockingUnderLockRule(Rule):
+    id = "R004"
+    name = "no-blocking-under-lock"
+    description = (
+        "no sleep/join/wait/blocking-get or statement execution while "
+        "holding a lock"
+    )
+
+    def check(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in project.modules:
+            for cls in module.classes.values():
+                for fn in cls.methods.values():
+                    visitor = _Visitor(self, project, module, cls)
+                    for stmt in fn.body:
+                        visitor.visit(stmt)
+                    findings.extend(visitor.findings)
+        return findings
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(
+        self,
+        owner: NoBlockingUnderLockRule,
+        project: Project,
+        module: SourceModule,
+        cls: ClassInfo,
+    ) -> None:
+        self._rule = owner
+        self._project = project
+        self._module = module
+        self._cls = cls
+        self._held: List[object] = []  # HeldLock stack
+        self.findings: List[Finding] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            self.visit(item.context_expr)
+        acquired = lock_withitems(self._project, self._cls, node)
+        self._held.extend(acquired)
+        for stmt in node.body:
+            self.visit(stmt)
+        del self._held[len(self._held) - len(acquired):]
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._nested(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._nested(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._nested(node)
+
+    def _nested(self, node: ast.AST) -> None:
+        saved, self._held = self._held, []
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+        self._held = saved
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._held:
+            message = self._classify(node)
+            if message is not None:
+                self.findings.append(
+                    self._rule.finding(
+                        self._module, node.lineno, node.col_offset, message
+                    )
+                )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+
+    def _classify(self, node: ast.Call) -> Optional[str]:
+        callee = dotted(node.func)
+        held_names = ", ".join(h.expr for h in self._held)  # type: ignore[attr-defined]
+        if callee in SLEEP_CALLS:
+            return f"sleep() while holding {held_names}"
+        if isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+            receiver = node.func.value
+            if (
+                name == "join"
+                and not isinstance(receiver, ast.Constant)  # ", ".join(...)
+                and dotted(receiver) not in ("os.path", "posixpath", "ntpath")
+            ):
+                return (
+                    f"blocking .join() on "
+                    f"{dotted(receiver) or 'expression'} while holding "
+                    f"{held_names}"
+                )
+            if name == "wait" and not self._receiver_is_held_lock(receiver):
+                return (
+                    f"blocking .wait() on "
+                    f"{dotted(receiver) or 'expression'} while holding "
+                    f"{held_names} (only a held Condition may wait)"
+                )
+            if name == "get" and _has_queue_kwargs(node):
+                return (
+                    f"blocking queue .get() on "
+                    f"{dotted(receiver) or 'expression'} while holding "
+                    f"{held_names}"
+                )
+            if name in EXECUTION_CALLS:
+                return self._execution_message(name)
+        elif isinstance(node.func, ast.Name):
+            if node.func.id in EXECUTION_CALLS:
+                return self._execution_message(node.func.id)
+        return None
+
+    def _execution_message(self, name: str) -> Optional[str]:
+        outside = [
+            h.expr
+            for h in self._held
+            if h.canonical not in EXECUTION_ALLOWED_UNDER
+        ]
+        if not outside:
+            return None
+        return (
+            f"statement execution ({name}) while holding "
+            f"{', '.join(outside)} — only the database lock may "
+            "be held across execution"
+        )
+
+    def _receiver_is_held_lock(self, receiver: ast.expr) -> bool:
+        expr = dotted(receiver)
+        if expr is None:
+            return False
+        return any(h.expr == expr for h in self._held)
+
+
+def _has_queue_kwargs(node: ast.Call) -> bool:
+    return any(kw.arg in ("timeout", "block") for kw in node.keywords)

@@ -1,0 +1,156 @@
+"""R001: attributes declared ``guarded_by("_lock")`` must be accessed
+under ``with self._lock``.
+
+The declaration is a class-body marker (see :mod:`repro.concurrency`)::
+
+    class StatisticsManager:
+        _statistics = guarded_by("_lock")
+
+Every ``self._statistics`` read or write in a method body must then sit
+lexically inside a ``with self._lock:`` block.  ``__init__`` is exempt
+(the instance is unshared during construction), and ``mutations_only``
+declarations exempt reads — only Store/Del/AugAssign contexts and
+subscript stores need the lock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set, Tuple
+
+from repro.analysis.framework import Finding, Rule, rule
+from repro.analysis.model import ClassInfo, Project, SourceModule
+
+
+@rule
+class GuardedByRule(Rule):
+    id = "R001"
+    name = "guarded-by"
+    description = (
+        "guarded_by()-annotated attributes may only be accessed while "
+        "holding the declared lock"
+    )
+
+    def check(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        for module in project.modules:
+            for cls in module.classes.values():
+                if cls.guarded:
+                    findings.extend(self._check_class(module, cls))
+        return findings
+
+    def _check_class(self, module: SourceModule, cls: ClassInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        for name, fn in cls.methods.items():
+            if name == "__init__":
+                continue
+            visitor = _MethodVisitor(cls)
+            visitor.visit(fn)
+            for attr, node, is_mutation, held in visitor.accesses:
+                spec = cls.guarded[attr]
+                if spec.lock in held:
+                    continue
+                if spec.mutations_only and not is_mutation:
+                    continue
+                verb = "mutated" if is_mutation else "read"
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"self.{attr} {verb} in {cls.name}.{name} without "
+                        f"holding self.{spec.lock} "
+                        f"(declared guarded_by({spec.lock!r}) at line {spec.lineno})",
+                    )
+                )
+        return findings
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Walks one method, tracking which guard locks the enclosing
+    ``with`` statements hold at each ``self.<guarded>`` access."""
+
+    def __init__(self, cls: ClassInfo) -> None:
+        self._cls = cls
+        self._held: List[str] = []
+        #: (attr, node, is_mutation, frozenset of held lock attrs)
+        self.accesses: List[Tuple[str, ast.Attribute, bool, Set[str]]] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            expr = item.context_expr
+            self.visit(expr)  # the lock expression itself is evaluated unheld
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+            ):
+                acquired.append(expr.attr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        self._held.extend(acquired)
+        for stmt in node.body:
+            self.visit(stmt)
+        del self._held[len(self._held) - len(acquired):]
+
+    # nested defs get their own lexical scope: a closure may run after
+    # the lock is released, so inherited holds don't count
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_nested(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_nested(node)
+
+    def _visit_nested(self, node: ast.AST) -> None:
+        saved, self._held = self._held, []
+        for child in ast.iter_child_nodes(node):
+            self.visit(child)
+        self._held = saved
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in self._cls.guarded
+        ):
+            self.accesses.append(
+                (node.attr, node, _is_mutation(node), set(self._held))
+            )
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target = node.target
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and target.attr in self._cls.guarded
+        ):
+            self.accesses.append((target.attr, target, True, set(self._held)))
+            self.visit(node.value)
+            return
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # ``self.attr[key] = v`` / ``del self.attr[key]`` parse as a Load
+        # of self.attr inside a Store/Del subscript — treat as mutation
+        inner = node.value
+        if (
+            isinstance(node.ctx, (ast.Store, ast.Del))
+            and isinstance(inner, ast.Attribute)
+            and isinstance(inner.value, ast.Name)
+            and inner.value.id == "self"
+            and inner.attr in self._cls.guarded
+        ):
+            self.accesses.append((inner.attr, inner, True, set(self._held)))
+            self.visit(node.slice)
+            return
+        self.generic_visit(node)
+
+
+def _is_mutation(node: ast.Attribute) -> bool:
+    return isinstance(node.ctx, (ast.Store, ast.Del))

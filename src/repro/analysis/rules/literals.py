@@ -1,0 +1,128 @@
+"""R005: selectivity pin constants must come from ``optimizer/variables.py``.
+
+MNSA's correctness (paper Sec 4.1) hinges on pinning selectivity
+variables consistently to ε and 1−ε.  The canonical pins live as
+module-level ``ALL_CAPS`` float constants in ``optimizer/variables.py``
+(``EPSILON = 0.0005``); this rule flags any float literal elsewhere that
+equals a pin or its ``1 - pin`` complement — an inline ``0.0005`` or
+``0.9995`` silently diverges the moment the canonical value changes.
+
+It also flags literal numeric values inside dict displays passed as a
+``selectivity_overrides=`` keyword: overrides are exactly the pinning
+mechanism, so they must be built from the named constants (or computed
+values), never typed in as raw floats.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List
+
+from repro.analysis.framework import Finding, Rule, rule
+from repro.analysis.model import Project, SourceModule
+
+#: file basename whose module-level ALL_CAPS floats define the pins
+PIN_SOURCE_BASENAME = "variables.py"
+
+
+@rule
+class MagicLiteralRule(Rule):
+    id = "R005"
+    name = "magic-number-literals"
+    description = (
+        "selectivity pin values (EPSILON and friends) must be imported "
+        "from optimizer/variables.py, not written as inline float literals"
+    )
+
+    def check(self, project: Project) -> List[Finding]:
+        pins = self._pin_registry(project)
+        if not pins:
+            return []
+        findings: List[Finding] = []
+        for module in project.modules:
+            if module.path.replace("\\", "/").endswith("/" + PIN_SOURCE_BASENAME):
+                continue
+            findings.extend(self._check_module(module, pins))
+        return findings
+
+    # ------------------------------------------------------------------
+
+    def _pin_registry(self, project: Project) -> Dict[float, str]:
+        """value -> constant name, including 1-value complements."""
+        pins: Dict[float, str] = {}
+        for module in project.modules:
+            if not module.path.replace("\\", "/").endswith("/" + PIN_SOURCE_BASENAME):
+                continue
+            for stmt in module.tree.body:
+                if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1):
+                    continue
+                target = stmt.targets[0]
+                if not (isinstance(target, ast.Name) and target.id.isupper()):
+                    continue
+                value = stmt.value
+                if isinstance(value, ast.Constant) and isinstance(
+                    value.value, float
+                ):
+                    pins.setdefault(value.value, target.id)
+                    pins.setdefault(1.0 - value.value, f"1 - {target.id}")
+        return pins
+
+    def _check_module(
+        self, module: SourceModule, pins: Dict[float, str]
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        override_literals = _override_dict_literals(module.tree)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Constant) and isinstance(node.value, float)
+            ):
+                continue
+            if node.value in pins:
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"inline float literal {node.value!r} duplicates "
+                        f"selectivity pin {pins[node.value]}; import it "
+                        "from repro.optimizer.variables",
+                    )
+                )
+            elif id(node) in override_literals:
+                findings.append(
+                    self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"literal selectivity override {node.value!r}; build "
+                        "selectivity_overrides from the constants in "
+                        "repro.optimizer.variables",
+                    )
+                )
+        return findings
+
+
+def _override_dict_literals(tree: ast.Module) -> set:
+    """ids of float Constant nodes used as values in a dict literal
+    passed as ``selectivity_overrides=...``."""
+    ids = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for keyword in node.keywords:
+            if keyword.arg != "selectivity_overrides":
+                continue
+            value = keyword.value
+            if isinstance(value, ast.Dict):
+                for element in value.values:
+                    if isinstance(element, ast.Constant) and isinstance(
+                        element.value, float
+                    ):
+                        ids.add(id(element))
+            elif isinstance(value, ast.DictComp):
+                element = value.value
+                if isinstance(element, ast.Constant) and isinstance(
+                    element.value, float
+                ):
+                    ids.add(id(element))
+    return ids

@@ -1,0 +1,339 @@
+"""R002: the global lock acquisition graph must be acyclic.
+
+The rule derives, per method, which locks are acquired while which
+others are held — both directly (nested ``with self._lock`` statements)
+and interprocedurally (calling a method whose summary says it acquires a
+lock).  Edges ``A -> B`` ("B acquired while holding A") feed a cycle
+detector; any strongly connected component with two or more locks is a
+potential deadlock (two threads taking the locks in opposite orders) and
+is reported with the concrete acquisition sites as evidence.
+
+Lock identity is canonicalized project-wide (see
+:meth:`~repro.analysis.model.Project.canonical_lock`) so that a lock
+injected into a worker under a different attribute name — the service's
+``db_lock`` handed to :class:`AdvisorWorker` as ``self._db_lock`` —
+still unifies with its owner.  Re-acquiring a reentrant lock (RLock /
+Condition / injected, which we assume reentrant) is legal; a self-edge
+on a plain ``threading.Lock`` is reported as a self-deadlock.
+
+Call resolution is name-based and deliberately conservative: ``self.m()``
+resolves within the enclosing class first; other calls resolve by method
+name project-wide *except* for names that collide with builtin container
+or threading APIs (``get``, ``join``, ``start``, ...), which would
+otherwise fabricate edges from ``dict.get`` or ``Thread.join`` to
+unrelated project methods.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.framework import Finding, Rule, rule
+from repro.analysis.model import (
+    GENERIC_METHOD_NAMES,
+    ClassInfo,
+    Project,
+    SourceModule,
+    dotted,
+    lock_withitems,
+)
+
+#: (module, class-or-None, function node)
+FnKey = Tuple[str, Optional[str], str]
+
+
+@rule
+class LockOrderRule(Rule):
+    id = "R002"
+    name = "lock-order"
+    description = "lock acquisition graph must be free of cycles/inversions"
+
+    def check(self, project: Project) -> List[Finding]:
+        analysis = _LockGraph(project)
+        analysis.build()
+        findings: List[Finding] = []
+        for module, lineno, col, message in analysis.violations():
+            findings.append(self.finding(module, lineno, col, message))
+        return findings
+
+
+class _Edge:
+    __slots__ = ("held", "acquired", "module", "lineno", "col", "where")
+
+    def __init__(self, held, acquired, module, lineno, col, where):
+        self.held = held
+        self.acquired = acquired
+        self.module = module
+        self.lineno = lineno
+        self.col = col
+        self.where = where
+
+
+class _LockGraph:
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        #: per-function summary: canonical locks it may acquire
+        self.summaries: Dict[FnKey, Set[str]] = {}
+        self._fns: Dict[
+            FnKey, Tuple[SourceModule, Optional[ClassInfo], ast.FunctionDef]
+        ] = {}
+        self.edges: List[_Edge] = []
+
+    # ------------------------------------------------------------------
+
+    def build(self) -> None:
+        for module in self.project.modules:
+            for cls in module.classes.values():
+                for fn in cls.methods.values():
+                    key = (module.path, cls.name, fn.name)
+                    self._fns[key] = (module, cls, fn)
+                    self.summaries[key] = set()
+            for fn in module.functions.values():
+                key = (module.path, None, fn.name)
+                self._fns[key] = (module, None, fn)
+                self.summaries[key] = set()
+        # fixpoint over acquire-summaries: a method's summary includes the
+        # locks of every method it may call
+        changed = True
+        while changed:
+            changed = False
+            for key, (module, cls, fn) in self._fns.items():
+                acquired = self._direct_and_callee_locks(module, cls, fn)
+                if not acquired <= self.summaries[key]:
+                    self.summaries[key] |= acquired
+                    changed = True
+        for module, cls, fn in self._fns.values():
+            self._collect_edges(module, cls, fn)
+
+    def _direct_and_callee_locks(
+        self, module: SourceModule, cls: Optional[ClassInfo], fn: ast.FunctionDef
+    ) -> Set[str]:
+        acquired: Set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.With):
+                for held in lock_withitems(self.project, cls, node):
+                    acquired.add(held.canonical)
+            elif isinstance(node, ast.Call):
+                for callee in self._resolve_call(cls, node):
+                    acquired |= self.summaries.get(callee, set())
+        return acquired
+
+    def _resolve_call(
+        self, cls: Optional[ClassInfo], call: ast.Call
+    ) -> List[FnKey]:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+            receiver = dotted(func.value)
+            if receiver == "self" and cls is not None and name in cls.methods:
+                return [(cls.module.path, cls.name, name)]
+            if name in GENERIC_METHOD_NAMES:
+                return []
+            return [
+                (owner.module.path, owner.name, name)
+                for owner, _ in self.project.methods_by_name.get(name, [])
+            ]
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in GENERIC_METHOD_NAMES:
+                return []
+            return [
+                (module.path, None, name)
+                for module, _ in self.project.functions_by_name.get(name, [])
+            ]
+        return []
+
+    # ------------------------------------------------------------------
+
+    def _collect_edges(
+        self, module: SourceModule, cls: Optional[ClassInfo], fn: ast.FunctionDef
+    ) -> None:
+        self._walk(module, cls, fn, list(fn.body), [])
+
+    def _walk(self, module, cls, fn, stmts, held: List[str]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.With):
+                acquired = lock_withitems(self.project, cls, stmt)
+                for lock in acquired:
+                    for prior in held:
+                        self._add_edge(
+                            prior,
+                            lock.canonical,
+                            module,
+                            lock.lineno,
+                            stmt.col_offset,
+                            self._where(cls, fn),
+                        )
+                self._scan_calls_in_exprs(
+                    module, cls, fn, stmt.items, held
+                )
+                inner = held + [lock.canonical for lock in acquired]
+                self._walk(module, cls, fn, stmt.body, inner)
+            elif isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue  # separate lexical scope; analyzed on its own
+            else:
+                self._scan_calls(module, cls, fn, stmt, held)
+                for child in _child_blocks(stmt):
+                    self._walk(module, cls, fn, child, held)
+
+    def _scan_calls(self, module, cls, fn, stmt, held: List[str]) -> None:
+        if not held:
+            return
+        for node in _walk_same_scope(stmt):
+            if isinstance(node, ast.Call):
+                self._edge_for_call(module, cls, fn, node, held)
+
+    def _scan_calls_in_exprs(self, module, cls, fn, items, held: List[str]) -> None:
+        if not held:
+            return
+        for item in items:
+            for node in _walk_same_scope(item.context_expr):
+                if isinstance(node, ast.Call):
+                    self._edge_for_call(module, cls, fn, node, held)
+
+    def _edge_for_call(self, module, cls, fn, call: ast.Call, held: List[str]) -> None:
+        for callee in self._resolve_call(cls, call):
+            for lock in self.summaries.get(callee, set()):
+                for prior in held:
+                    self._add_edge(
+                        prior,
+                        lock,
+                        module,
+                        call.lineno,
+                        call.col_offset,
+                        self._where(cls, fn),
+                    )
+
+    def _add_edge(self, held, acquired, module, lineno, col, where) -> None:
+        if held == acquired:
+            kind = self.project.lock_kind(held)
+            if kind == "Lock":
+                self.edges.append(
+                    _Edge(held, acquired, module, lineno, col, where)
+                )
+            return  # reentrant re-acquisition is legal
+        self.edges.append(_Edge(held, acquired, module, lineno, col, where))
+
+    @staticmethod
+    def _where(cls: Optional[ClassInfo], fn: ast.FunctionDef) -> str:
+        return f"{cls.name}.{fn.name}" if cls is not None else fn.name
+
+    # ------------------------------------------------------------------
+
+    def violations(self):
+        graph: Dict[str, Set[str]] = {}
+        evidence: Dict[Tuple[str, str], _Edge] = {}
+        for edge in self.edges:
+            if edge.held == edge.acquired:
+                # self-edge on a non-reentrant Lock: immediate deadlock
+                yield (
+                    edge.module,
+                    edge.lineno,
+                    edge.col,
+                    f"non-reentrant lock '{edge.held}' re-acquired while "
+                    f"already held in {edge.where}",
+                )
+                continue
+            graph.setdefault(edge.held, set()).add(edge.acquired)
+            graph.setdefault(edge.acquired, set())
+            evidence.setdefault((edge.held, edge.acquired), edge)
+        for component in _cycles(graph):
+            ordering = sorted(component)
+            pairs = [
+                (a, b)
+                for a in component
+                for b in graph.get(a, ())
+                if b in component
+            ]
+            for held, acquired in sorted(pairs):
+                edge = evidence[(held, acquired)]
+                yield (
+                    edge.module,
+                    edge.lineno,
+                    edge.col,
+                    f"lock-order cycle among {{{', '.join(ordering)}}}: "
+                    f"'{acquired}' acquired while holding '{held}' "
+                    f"in {edge.where}",
+                )
+
+
+def _walk_same_scope(root: ast.AST):
+    """Like :func:`ast.walk` but does not descend into nested function
+    definitions or lambdas — code in a closure may run after the
+    enclosing lock is released, so its calls are analyzed separately."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node is not root and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _child_blocks(stmt: ast.stmt) -> List[List[ast.stmt]]:
+    blocks = []
+    for field in ("body", "orelse", "finalbody"):
+        value = getattr(stmt, field, None)
+        if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+            blocks.append(value)
+    for handler in getattr(stmt, "handlers", []) or []:
+        blocks.append(handler.body)
+    return blocks
+
+
+def _cycles(graph: Dict[str, Set[str]]) -> List[Set[str]]:
+    """Strongly connected components with >= 2 nodes (Tarjan)."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    result: List[Set[str]] = []
+
+    def strongconnect(node: str) -> None:
+        # iterative Tarjan to dodge recursion limits on big graphs
+        work = [(node, iter(sorted(graph.get(node, ()))))]
+        index[node] = low[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        while work:
+            current, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[current] = min(low[current], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[current])
+            if low[current] == index[current]:
+                component: Set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == current:
+                        break
+                if len(component) >= 2:
+                    result.append(component)
+
+    for node in sorted(graph):
+        if node not in index:
+            strongconnect(node)
+    return result

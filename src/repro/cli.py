@@ -156,6 +156,41 @@ def build_parser() -> argparse.ArgumentParser:
     ablation.add_argument("--scale", type=float, default=0.002)
     ablation.add_argument("--z", default="2")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo-specific static-analysis rules (repro.analysis)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all, R001-R005)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "baseline file of grandfathered findings "
+            "(default: .repro-lint-baseline.json next to the first path, "
+            "if present)"
+        ),
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file with the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
     return parser
 
 
@@ -169,6 +204,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "experiment": _cmd_experiment,
         "ablation": _cmd_ablation,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 
@@ -628,6 +664,54 @@ def _cmd_ablation(args) -> int:
                 ],
             )
         )
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    import os
+
+    from repro.analysis import (
+        BASELINE_FILENAME,
+        RULES,
+        all_rule_ids,
+        lint_paths,
+        lint_project,
+        build_project,
+        save_baseline,
+    )
+
+    if args.list_rules:
+        for rule_id in all_rule_ids():
+            rule_cls = RULES[rule_id]
+            print(f"{rule_id}  {rule_cls.name:24s} {rule_cls.description}")
+        return 0
+
+    rules = args.rules.split(",") if args.rules else None
+    baseline = args.baseline
+    if baseline is None:
+        first = args.paths[0] if args.paths else "src"
+        root = first if os.path.isdir(first) else os.path.dirname(first) or "."
+        for candidate in (
+            os.path.join(root, BASELINE_FILENAME),
+            BASELINE_FILENAME,
+        ):
+            if os.path.exists(candidate):
+                baseline = candidate
+                break
+
+    if args.update_baseline:
+        findings = lint_project(build_project(args.paths), rules=rules)
+        target = args.baseline or BASELINE_FILENAME
+        save_baseline(target, findings)
+        print(f"wrote {len(findings)} finding(s) to {target}")
+        return 0
+
+    findings = lint_paths(args.paths, rules=rules, baseline=baseline)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} finding(s)")
+        return 1
     return 0
 
 

@@ -22,6 +22,7 @@ from repro.core.candidates import CandidateMode, candidate_statistics
 from repro.core.equivalence import TOptimizerCostEquivalence
 from repro.core.next_stat import find_next_stat_to_build
 from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.variables import EPSILON
 from repro.sql.query import Query
 from repro.stats.statistic import StatKey
 
@@ -31,7 +32,9 @@ class MnsaConfig:
     """Knobs of the MNSA loop.
 
     Attributes:
-        epsilon: the ε pinning value; the paper uses 0.0005 (Sec 4.1).
+        epsilon: the ε pinning value; defaults to the canonical
+            :data:`repro.optimizer.variables.EPSILON` (the paper's
+            0.0005, Sec 4.1).
         t_percent: the t-Optimizer-Cost equivalence threshold; the paper
             recommends 20% as conservative (Sec 8.2).
         min_table_rows: Sec 4.3's augmentation — candidates on tables
@@ -57,7 +60,7 @@ class MnsaConfig:
             throughout (Sec 3.2) and dropping more aggressively.
     """
 
-    epsilon: float = 0.0005
+    epsilon: float = EPSILON
     t_percent: float = 20.0
     min_table_rows: int = 0
     candidate_mode: CandidateMode = CandidateMode.HEURISTIC

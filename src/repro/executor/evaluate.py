@@ -45,6 +45,8 @@ def encode_literal(database, ref: ColumnRef, value):
     return value
 
 
+# joins are evaluated by the join operator, not as row masks
+# repro-lint: dispatch=Predicate except=JoinPredicate
 def predicate_mask(
     database, relation: Relation, predicate: Predicate
 ) -> np.ndarray:
@@ -81,6 +83,7 @@ def predicate_mask(
     raise ExecutionError(f"unsupported predicate {predicate}")
 
 
+# repro-lint: dispatch=ScalarExpression
 def evaluate_scalar(
     database, relation: Relation, expression: ScalarExpression
 ) -> np.ndarray:

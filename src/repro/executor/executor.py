@@ -198,6 +198,7 @@ class Executor:
     # node dispatch
     # ------------------------------------------------------------------
 
+    # repro-lint: dispatch=PlanNode
     def _run(self, node: PlanNode, needed) -> Tuple[Relation, float]:
         if isinstance(node, ScanNode):
             return self._run_scan(node, needed)

@@ -27,6 +27,7 @@ from repro.experiments.common import (
     workload_execution_cost,
 )
 from repro.optimizer import Optimizer
+from repro.optimizer.variables import EPSILON
 from repro.workload import generate_workload
 
 
@@ -112,7 +113,7 @@ def run_figure4(
     workload_name: str = "U25-S-100",
     max_queries: int = 40,
     t_percent: float = 20.0,
-    epsilon: float = 0.0005,
+    epsilon: float = EPSILON,
     workload_seed: int = 7,
 ) -> Figure4Result:
     """Run one Figure 4 bar (heuristic candidates, MNSA defaults)."""

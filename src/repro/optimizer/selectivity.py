@@ -91,6 +91,8 @@ class SelectivityEstimator:
         (ref,) = predicate.columns()
         return self._db.stats.has_histogram_for(ref)
 
+    # joins use join magic separately
+    # repro-lint: dispatch=Predicate except=JoinPredicate
     def _magic_for(self, predicate: Predicate) -> float:
         kind = predicate.kind
         magic = self._magic
@@ -109,6 +111,7 @@ class SelectivityEstimator:
             return magic.like
         raise OptimizerError(f"no magic number for predicate kind {kind}")
 
+    # repro-lint: dispatch=Predicate except=JoinPredicate
     def _histogram_selectivity(self, predicate: Predicate) -> float:
         (ref,) = predicate.columns()
         histogram = self._db.stats.histogram_for(ref)

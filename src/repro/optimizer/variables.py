@@ -24,6 +24,12 @@ from typing import Tuple
 
 from repro.sql.predicates import JoinPredicate, Predicate
 
+#: The canonical ε pinning value (paper Sec 4.1): variables lacking
+#: statistics are pinned to ε and 1−ε around their magic-number default.
+#: This is the single source of truth — lint rule R005 flags any other
+#: float literal equal to ε or 1−ε so pinning can never silently diverge.
+EPSILON = 0.0005
+
 
 class SelectivityVariable:
     """Marker base class; instances are hashable dict keys."""

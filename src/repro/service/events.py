@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.concurrency import guarded_by
 from repro.errors import ServiceError
 from repro.sql.query import Query
 
@@ -57,6 +58,13 @@ class CaptureLog:
     :class:`queue.Queue` so the service can drain: ``join`` returns once
     every appended event has been either processed or evicted.
     """
+
+    _events = guarded_by("_cond")
+    _closed = guarded_by("_cond")
+    _unfinished = guarded_by("_cond")
+    appended = guarded_by("_cond")
+    dropped = guarded_by("_cond")
+    drained = guarded_by("_cond")
 
     def __init__(self, capacity: int = 1024) -> None:
         if capacity < 1:
@@ -166,7 +174,8 @@ class CaptureLog:
             return len(self._events)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"CaptureLog(depth={len(self)}/{self.capacity}, "
-            f"appended={self.appended}, dropped={self.dropped})"
-        )
+        with self._cond:
+            return (
+                f"CaptureLog(depth={len(self._events)}/{self.capacity}, "
+                f"appended={self.appended}, dropped={self.dropped})"
+            )

@@ -14,9 +14,14 @@ import time
 from contextlib import contextmanager
 from typing import Dict
 
+from repro.concurrency import guarded_by
+
 
 class MetricsRegistry:
     """Named counters and gauges shared by every service component."""
+
+    _counters = guarded_by("_lock")
+    _gauges = guarded_by("_lock")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()

@@ -20,6 +20,7 @@ import math
 import threading
 from typing import List, Optional
 
+from repro.concurrency import guarded_by
 from repro.service.metrics import MetricsRegistry
 
 
@@ -37,6 +38,8 @@ class StalenessMonitor(threading.Thread):
         purge_drop_list: physically delete drop-listed statistics on a
             table before refreshing it.
     """
+
+    _errors = guarded_by("_errors_lock")
 
     def __init__(
         self,
@@ -59,7 +62,14 @@ class StalenessMonitor(threading.Thread):
         )
         self._purge = purge_drop_list
         self._stop_event = threading.Event()
-        self.errors: List[BaseException] = []
+        self._errors_lock = threading.Lock()
+        self._errors: List[BaseException] = []
+
+    @property
+    def errors(self) -> List[BaseException]:
+        """Exceptions swallowed to keep the monitor alive (a copy)."""
+        with self._errors_lock:
+            return list(self._errors)
 
     # ------------------------------------------------------------------
 
@@ -68,7 +78,8 @@ class StalenessMonitor(threading.Thread):
             try:
                 self.run_once()
             except BaseException as exc:  # keep the monitor alive
-                self.errors.append(exc)
+                with self._errors_lock:
+                    self._errors.append(exc)
                 self._metrics.inc("monitor.errors")
 
     def stop(self, timeout: Optional[float] = None) -> None:

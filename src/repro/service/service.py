@@ -30,6 +30,7 @@ import itertools
 import threading
 from typing import List, Optional, Union
 
+from repro.concurrency import guarded_by
 from repro.config import ServiceConfig
 from repro.core.mnsa import MnsaConfig
 from repro.errors import ServiceError
@@ -90,6 +91,9 @@ class StatsService:
         mnsa_config: analysis knobs handed to the advisor workers.
     """
 
+    _created_off_path = guarded_by("_created_lock")
+    _started = guarded_by("_state_lock")
+
     def __init__(
         self,
         database,
@@ -111,6 +115,9 @@ class StatsService:
         self._log: Optional[CaptureLog] = None
         self._workers: List[AdvisorWorker] = []
         self._monitor: Optional[StalenessMonitor] = None
+        #: guards the started flag only; never held across thread
+        #: starts/joins or any other lock
+        self._state_lock = threading.Lock()
         self._started = False
 
     # ------------------------------------------------------------------
@@ -119,8 +126,19 @@ class StatsService:
 
     def start(self) -> "StatsService":
         """Start the capture log, advisor workers, and staleness monitor."""
-        if self._started:
-            raise ServiceError("service already started")
+        with self._state_lock:
+            if self._started:
+                raise ServiceError("service already started")
+            self._started = True
+        try:
+            self._start_components()
+        except BaseException:
+            with self._state_lock:
+                self._started = False
+            raise
+        return self
+
+    def _start_components(self) -> None:
         cfg = self.config
         self._log = CaptureLog(cfg.capture_capacity)
         self._workers = [
@@ -150,9 +168,7 @@ class StatsService:
         for worker in self._workers:
             worker.start()
         self._monitor.start()
-        self._started = True
         self.metrics.gauge("service.workers", len(self._workers))
-        return self
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Block until every captured event has been processed.
@@ -177,8 +193,10 @@ class StatsService:
         late in the workload still trigger their refresh; with
         ``drain=False`` pending capture events are abandoned.
         """
-        if not self._started:
-            return
+        with self._state_lock:
+            if not self._started:
+                return
+            self._started = False
         drained = True
         if drain and self._workers:
             drained = self._log.join(timeout)
@@ -188,11 +206,10 @@ class StatsService:
         self._monitor.stop(timeout)
         if drain and drained:
             self._monitor.run_once()
-        self._started = False
         self._refresh_gauges()
 
     def __enter__(self) -> "StatsService":
-        if not self._started:
+        if not self.started:
             self.start()
         return self
 
@@ -201,7 +218,8 @@ class StatsService:
 
     @property
     def started(self) -> bool:
-        return self._started
+        with self._state_lock:
+            return self._started
 
     # ------------------------------------------------------------------
     # the submit path
@@ -313,14 +331,14 @@ class StatsService:
             self.metrics.gauge("capture.dropped", self._log.dropped)
 
     def _require_started(self) -> None:
-        if not self._started:
+        if not self.started:
             raise ServiceError(
                 "service is not running; call start() first "
                 "(or use it as a context manager)"
             )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        state = "running" if self._started else "stopped"
+        state = "running" if self.started else "stopped"
         return (
             f"StatsService({self.database.name!r}, {state}, "
             f"workers={len(self._workers)})"

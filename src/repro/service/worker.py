@@ -15,6 +15,7 @@ import threading
 import time
 from typing import Callable, List, Optional
 
+from repro.concurrency import guarded_by
 from repro.core.mnsa import MnsaConfig, mnsa_for_query
 from repro.core.mnsad import mnsad_for_query
 from repro.optimizer.optimizer import Optimizer
@@ -42,6 +43,8 @@ class AdvisorWorker(threading.Thread):
             the list of statistics a single analysis created.
     """
 
+    _errors = guarded_by("_errors_lock")
+
     def __init__(
         self,
         index: int,
@@ -66,7 +69,14 @@ class AdvisorWorker(threading.Thread):
         self._poll_seconds = poll_seconds
         self._on_created = on_created
         self._optimizer = Optimizer(database)
-        self.errors: List[BaseException] = []
+        self._errors_lock = threading.Lock()
+        self._errors: List[BaseException] = []
+
+    @property
+    def errors(self) -> List[BaseException]:
+        """Exceptions swallowed to keep the worker alive (a copy)."""
+        with self._errors_lock:
+            return list(self._errors)
 
     # ------------------------------------------------------------------
 
@@ -81,7 +91,8 @@ class AdvisorWorker(threading.Thread):
                 try:
                     self._process(event)
                 except BaseException as exc:  # keep the worker alive
-                    self.errors.append(exc)
+                    with self._errors_lock:
+                        self._errors.append(exc)
                     self._metrics.inc("advisor.errors")
                 finally:
                     self._log.task_done()

@@ -100,8 +100,16 @@ class RawLike(RawCondition):
 # ----------------------------------------------------------------------
 
 
+class StatementAst:
+    """Base class for unbound statements.
+
+    Every concrete subclass must be handled by
+    :func:`repro.sql.binder.bind` — enforced by lint rule R003.
+    """
+
+
 @dataclass
-class SelectAst:
+class SelectAst(StatementAst):
     """An unbound SELECT statement.
 
     ``select_items`` empty means ``SELECT *``.
@@ -118,7 +126,7 @@ class SelectAst:
 
 
 @dataclass
-class InsertAst:
+class InsertAst(StatementAst):
     table: str
     columns: List[str]
     rows: List[Tuple[RawLiteral, ...]]
@@ -126,14 +134,14 @@ class InsertAst:
 
 
 @dataclass
-class DeleteAst:
+class DeleteAst(StatementAst):
     table: str
     where: List[RawCondition] = field(default_factory=list)
     text: Optional[str] = None
 
 
 @dataclass
-class UpdateAst:
+class UpdateAst(StatementAst):
     table: str
     assignments: List[Tuple[str, RawLiteral]] = field(default_factory=list)
     where: List[RawCondition] = field(default_factory=list)

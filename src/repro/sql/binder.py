@@ -51,6 +51,7 @@ from repro.sql.query import DmlStatement, Query
 _FLIPPED_OP = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
 
 
+# repro-lint: dispatch=StatementAst
 def bind(ast, schema: Schema):
     """Bind a parsed statement against ``schema``.
 
@@ -237,6 +238,8 @@ class _Binder:
             return Aggregate(function, argument)
         return self._bind_scalar(item)
 
+    # aggregates are bound by _bind_select_item, not as scalars
+    # repro-lint: dispatch=RawExpression except=RawAggregate
     def _bind_scalar(self, expr: RawExpression):
         if isinstance(expr, RawColumn):
             return ColumnExpression(self._resolve(expr))
@@ -254,6 +257,7 @@ class _Binder:
     # conditions
     # ------------------------------------------------------------------
 
+    # repro-lint: dispatch=RawCondition
     def _bind_condition(self, condition: RawCondition):
         if isinstance(condition, RawComparison):
             return self._bind_comparison(condition)

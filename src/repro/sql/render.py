@@ -31,6 +31,7 @@ from repro.sql.predicates import (
 from repro.sql.query import DmlStatement, Query, Statement
 
 
+# repro-lint: dispatch=Statement
 def render_statement(statement: Statement, schema: Schema) -> str:
     """Render a bound statement to SQL text."""
     if isinstance(statement, Query):
@@ -87,6 +88,7 @@ class _Renderer:
             return f"{value:.1f}"
         return repr(value)
 
+    # joins render via join(); repro-lint: dispatch=Predicate except=JoinPredicate
     def predicate(self, predicate: Predicate) -> str:
         if isinstance(predicate, ComparisonPredicate):
             ref = predicate.column
@@ -113,6 +115,7 @@ class _Renderer:
 
     # ------------------------------------------------------------------
 
+    # repro-lint: dispatch=ScalarExpression
     def scalar(self, expression: ScalarExpression) -> str:
         if isinstance(expression, ColumnExpression):
             return str(expression.column)

@@ -31,6 +31,7 @@ import threading
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.catalog import ColumnRef
+from repro.concurrency import guarded_by
 from repro.config import DEFAULT_CONFIG, OptimizerConfig
 from repro.errors import StatisticsError
 from repro.stats.builder import build_statistic
@@ -41,6 +42,12 @@ from repro.stats.statistic import StatKey, Statistic
 
 class StatisticsManager:
     """Owns all statistics of one :class:`~repro.storage.Database`."""
+
+    _statistics = guarded_by("_lock")
+    _drop_list = guarded_by("_lock")
+    _ignored = guarded_by("_lock")
+    creation_cost_total = guarded_by("_lock")
+    update_cost_total = guarded_by("_lock")
 
     def __init__(
         self, database, config: OptimizerConfig = DEFAULT_CONFIG
@@ -435,10 +442,11 @@ class StatisticsManager:
         return StatKey.of(key_or_refs)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (
-            f"StatisticsManager(stats={len(self._statistics)}, "
-            f"drop_list={len(self._drop_list)})"
-        )
+        with self._lock:
+            return (
+                f"StatisticsManager(stats={len(self._statistics)}, "
+                f"drop_list={len(self._drop_list)})"
+            )
 
 
 def ensure_index_statistics(database) -> List[StatKey]:

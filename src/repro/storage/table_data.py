@@ -8,6 +8,7 @@ from typing import Dict, Iterable, Mapping, Optional
 import numpy as np
 
 from repro.catalog import ColumnType, TableSchema
+from repro.concurrency import guarded_by
 from repro.errors import StorageError
 from repro.storage.strings import StringDictionary
 
@@ -36,6 +37,11 @@ class TableData:
     counter increments.  Single-column reads are lock-free: column arrays
     are replaced atomically, never resized in place.
     """
+
+    #: mutations_only — column arrays are replaced atomically, never
+    #: resized in place, so unlocked single-column reads are safe
+    _columns = guarded_by("mutation_lock", mutations_only=True)
+    rows_modified_since_stats = guarded_by("mutation_lock")
 
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema

@@ -1,0 +1,33 @@
+"""R001 fixture: guarded attributes touched without the lock.
+
+Line numbers are asserted exactly in tests/analysis/test_rules.py --
+keep the layout stable (or update the test).
+"""
+
+import threading
+
+from repro.concurrency import guarded_by
+
+
+class BadHolder:
+    _items = guarded_by("_lock")
+    _cache = guarded_by("_lock", mutations_only=True)
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._items = []
+        self._cache = {}
+
+    def unlocked_read(self):
+        return len(self._items)  # line 22: read without lock
+
+    def unlocked_write(self):
+        self._items = []  # line 25: assignment without lock
+
+    def unlocked_subscript(self, key):
+        self._cache[key] = True  # line 28: mutations_only still needs lock
+
+    def wrong_lock(self):
+        other = threading.Lock()
+        with other:
+            self._items.append(1)  # line 33: 'other' is not self._lock

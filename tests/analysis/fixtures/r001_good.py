@@ -1,0 +1,33 @@
+"""R001 fixture: every guarded access holds the declared lock."""
+
+import threading
+
+from repro.concurrency import guarded_by
+
+
+class GoodHolder:
+    _items = guarded_by("_lock")
+    _cache = guarded_by("_lock", mutations_only=True)
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._items = []
+        self._cache = {}
+
+    def add(self, item):
+        with self._lock:
+            self._items.append(item)
+            self._cache[item] = True
+
+    def size(self):
+        with self._lock:
+            return len(self._items)
+
+    def peek_cache(self, key):
+        # mutations_only: lock-free reads are declared safe
+        return self._cache.get(key)
+
+    def closure_safe(self):
+        with self._lock:
+            items = list(self._items)
+        return lambda: items

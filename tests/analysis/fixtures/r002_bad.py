@@ -1,0 +1,35 @@
+"""R002 fixture: two locks acquired in opposite orders (deadlock).
+
+Line numbers are asserted exactly in tests/analysis/test_rules.py.
+"""
+
+import threading
+
+
+class Inverted:
+    def __init__(self):
+        self._alpha_lock = threading.Lock()
+        self._beta_lock = threading.Lock()
+
+    def forward(self):
+        with self._alpha_lock:
+            with self._beta_lock:  # line 16: alpha -> beta
+                pass
+
+    def backward(self):
+        with self._beta_lock:
+            with self._alpha_lock:  # line 21: beta -> alpha (inversion)
+                pass
+
+
+class SelfDeadlock:
+    def __init__(self):
+        self._plain_lock = threading.Lock()
+
+    def outer(self):
+        with self._plain_lock:
+            self.inner()  # line 31: re-acquires a non-reentrant Lock
+
+    def inner(self):
+        with self._plain_lock:
+            pass

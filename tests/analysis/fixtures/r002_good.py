@@ -1,0 +1,35 @@
+"""R002 fixture: locks always acquired in one global order (a -> b)."""
+
+import threading
+
+
+class Ordered:
+    def __init__(self):
+        self._alpha_lock = threading.Lock()
+        self._beta_lock = threading.Lock()
+
+    def outer(self):
+        with self._alpha_lock:
+            self.inner()
+
+    def inner(self):
+        with self._beta_lock:
+            pass
+
+    def both(self):
+        with self._alpha_lock:
+            with self._beta_lock:
+                pass
+
+
+class Reentrant:
+    def __init__(self):
+        self._rlock = threading.RLock()
+
+    def outer(self):
+        with self._rlock:
+            self.inner()
+
+    def inner(self):
+        with self._rlock:  # re-acquiring an RLock is legal
+            pass

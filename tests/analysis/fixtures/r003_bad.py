@@ -1,0 +1,29 @@
+"""R003 fixture: a marked dispatch missing one node class.
+
+Line numbers are asserted exactly in tests/analysis/test_rules.py.
+"""
+
+
+class Shape:
+    pass
+
+
+class Circle(Shape):
+    pass
+
+
+class Square(Shape):
+    pass
+
+
+class Triangle(Shape):
+    pass
+
+
+# repro-lint: dispatch=Shape
+def area(shape):  # line 24: Triangle is not handled
+    if isinstance(shape, Circle):
+        return 3.0
+    if isinstance(shape, Square):
+        return 4.0
+    raise TypeError(shape)

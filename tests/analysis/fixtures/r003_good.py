@@ -1,0 +1,42 @@
+"""R003 fixture: a marked dispatch that handles every node class."""
+
+
+class Node:
+    pass
+
+
+class AddNode(Node):
+    pass
+
+
+class MulNode(Node):
+    pass
+
+
+class NegNode(Node):
+    pass
+
+
+# repro-lint: dispatch=Node except=NegNode
+def evaluate(node):
+    if isinstance(node, AddNode):
+        return "add"
+    if isinstance(node, MulNode):
+        return "mul"
+    raise TypeError(node)
+
+
+# repro-lint: dispatch=Node
+def describe(node):
+    if isinstance(node, (AddNode, MulNode)):
+        return "binary"
+    if isinstance(node, NegNode):
+        return "unary"
+    raise TypeError(node)
+
+
+def unmarked_partial(node):
+    # no marker: partial dispatch is intentionally allowed here
+    if isinstance(node, AddNode):
+        return "add"
+    return None

@@ -1,0 +1,36 @@
+"""R004 fixture: blocking calls while holding a lock.
+
+Line numbers are asserted exactly in tests/analysis/test_rules.py.
+"""
+
+import threading
+import time
+
+
+class Blocker:
+    def __init__(self, queue, worker, executor):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._queue = queue
+        self._worker = worker
+        self._executor = executor
+
+    def sleepy(self):
+        with self._lock:
+            time.sleep(0.5)  # line 20: sleep under lock
+
+    def joiner(self):
+        with self._lock:
+            self._worker.join(1.0)  # line 24: thread join under lock
+
+    def getter(self):
+        with self._lock:
+            return self._queue.get(timeout=1.0)  # line 28: blocking get
+
+    def waiter(self):
+        with self._lock:
+            self._cond.wait(1.0)  # line 32: waiting on a lock NOT held
+
+    def executes(self, plan, query):
+        with self._lock:
+            return self._executor.execute(plan, query)  # line 36

@@ -1,0 +1,34 @@
+"""R004 fixture: blocking calls happen outside lock scopes."""
+
+import threading
+import time
+
+
+class Polite:
+    def __init__(self, queue, worker):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._queue = queue
+        self._worker = worker
+        self._pending = []
+
+    def drain(self):
+        item = self._queue.get(timeout=1.0)  # no lock held
+        with self._lock:
+            self._pending.append(item)
+
+    def shutdown(self):
+        self._worker.join(5.0)  # no lock held
+        time.sleep(0.01)
+
+    def wait_for_work(self):
+        with self._cond:
+            self._cond.wait(1.0)  # waiting on the held Condition is legal
+
+    def lookup(self, mapping, key):
+        with self._lock:
+            return mapping.get(key)  # dict.get under a lock is fine
+
+    def render(self, parts):
+        with self._lock:
+            return ", ".join(parts)  # str.join is not Thread.join

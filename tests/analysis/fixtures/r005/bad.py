@@ -1,0 +1,23 @@
+"""R005 fixture: inline pin literals.
+
+Line numbers are asserted exactly in tests/analysis/test_rules.py.
+"""
+
+
+def optimize(optimizer, query, variables):
+    low = optimizer.optimize(
+        query,
+        selectivity_overrides={v: 0.0005 for v in variables},  # line 10
+    )
+    high = optimizer.optimize(
+        query,
+        selectivity_overrides={v: 0.9995 for v in variables},  # line 14
+    )
+    mid = optimizer.optimize(
+        query,
+        selectivity_overrides={"t.a": 0.25},  # line 18: literal override
+    )
+    return low, high, mid
+
+
+THRESHOLD = 0.0005  # line 23: duplicates the EPSILON pin

@@ -1,0 +1,12 @@
+"""R005 fixture: pins referenced by name, other floats untouched."""
+
+from tests.analysis.fixtures.r005.variables import EPSILON
+
+
+def pin_overrides(variables):
+    low = {v: EPSILON for v in variables}
+    high = {v: 1.0 - EPSILON for v in variables}
+    return low, high
+
+
+UNRELATED_FLOAT = 0.25  # not a pin value; allowed

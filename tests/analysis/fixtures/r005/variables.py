@@ -1,0 +1,3 @@
+"""R005 fixture pin source — mirrors optimizer/variables.py."""
+
+EPSILON = 0.0005

@@ -1,0 +1,57 @@
+"""The ``repro lint`` CLI subcommand: exit codes, output, baseline flags."""
+
+import json
+import os
+
+from repro.cli import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+def test_lint_clean_path_exits_zero(capsys):
+    good = os.path.join(FIXTURES, "r001_good.py")
+    assert main(["lint", good]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_lint_findings_exit_one_with_locations(capsys):
+    bad = os.path.join(FIXTURES, "r001_bad.py")
+    assert main(["lint", bad]) == 1
+    out = capsys.readouterr().out
+    assert "4 finding(s)" in out
+    assert f"{bad}:22:" in out
+    assert "R001" in out
+
+
+def test_lint_rule_filter(capsys):
+    bad = os.path.join(FIXTURES, "r001_bad.py")
+    # only R004 requested: the R001 violations are not reported
+    assert main(["lint", bad, "--rules", "R004"]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_lint_list_rules(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+        assert rule_id in out
+    assert "guarded" in out
+
+
+def test_lint_update_baseline_then_clean(tmp_path, capsys):
+    bad = os.path.join(FIXTURES, "r001_bad.py")
+    baseline = str(tmp_path / "baseline.json")
+    assert main(["lint", bad, "--baseline", baseline, "--update-baseline"]) == 0
+    capsys.readouterr()
+
+    data = json.loads(open(baseline).read())
+    assert len(data["findings"]) == 4
+
+    # the grandfathered findings no longer fail the gate
+    assert main(["lint", bad, "--baseline", baseline]) == 0
+
+
+def test_lint_src_via_cli(capsys):
+    src = os.path.join(REPO_ROOT, "src")
+    assert main(["lint", src]) == 0

@@ -1,0 +1,127 @@
+"""Each analysis rule fires on its bad fixture (exact rule ids and line
+numbers) and stays silent on its good fixture."""
+
+import os
+
+from repro.analysis.framework import lint_paths
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def fixture(*names):
+    return [os.path.join(FIXTURES, name) for name in names]
+
+
+def ids_and_lines(findings):
+    return sorted((f.rule_id, f.line) for f in findings)
+
+
+# ----------------------------------------------------------------------
+# R001 guarded-by
+# ----------------------------------------------------------------------
+
+
+def test_r001_flags_unlocked_accesses():
+    findings = lint_paths(fixture("r001_bad.py"), rules=["R001"])
+    assert ids_and_lines(findings) == [
+        ("R001", 22),  # read without lock
+        ("R001", 25),  # assignment without lock
+        ("R001", 28),  # subscript store on a mutations_only attribute
+        ("R001", 33),  # held lock is not the declared one
+    ]
+    assert all("guarded_by" in f.message for f in findings)
+
+
+def test_r001_clean_on_good_fixture():
+    assert lint_paths(fixture("r001_good.py"), rules=["R001"]) == []
+
+
+def test_r001_mutations_only_allows_lock_free_reads():
+    findings = lint_paths(fixture("r001_good.py", "r001_bad.py"), rules=["R001"])
+    # peek_cache in the good fixture reads _cache without the lock and
+    # must not appear; only the bad fixture's four findings survive.
+    assert all(f.path.endswith("r001_bad.py") for f in findings)
+    assert len(findings) == 4
+
+
+# ----------------------------------------------------------------------
+# R002 lock-order
+# ----------------------------------------------------------------------
+
+
+def test_r002_flags_inversion_and_self_deadlock():
+    findings = lint_paths(fixture("r002_bad.py"), rules=["R002"])
+    assert ids_and_lines(findings) == [
+        ("R002", 16),  # alpha -> beta edge of the cycle
+        ("R002", 21),  # beta -> alpha edge of the cycle
+        ("R002", 31),  # non-reentrant self re-acquisition via inner()
+    ]
+    cycle_msgs = [f.message for f in findings if f.line in (16, 21)]
+    assert all("cycle" in m for m in cycle_msgs)
+    (self_msg,) = [f.message for f in findings if f.line == 31]
+    assert "re-acquired" in self_msg
+
+
+def test_r002_clean_on_consistent_order_and_rlock():
+    assert lint_paths(fixture("r002_good.py"), rules=["R002"]) == []
+
+
+# ----------------------------------------------------------------------
+# R003 exhaustive-dispatch
+# ----------------------------------------------------------------------
+
+
+def test_r003_flags_missing_subclass():
+    findings = lint_paths(fixture("r003_bad.py"), rules=["R003"])
+    assert ids_and_lines(findings) == [("R003", 24)]
+    assert "Triangle" in findings[0].message
+    assert "Shape" in findings[0].message
+
+
+def test_r003_clean_with_except_and_tuple_isinstance():
+    assert lint_paths(fixture("r003_good.py"), rules=["R003"]) == []
+
+
+# ----------------------------------------------------------------------
+# R004 no-blocking-under-lock
+# ----------------------------------------------------------------------
+
+
+def test_r004_flags_blocking_calls_under_lock():
+    findings = lint_paths(fixture("r004_bad.py"), rules=["R004"])
+    assert ids_and_lines(findings) == [
+        ("R004", 20),  # time.sleep
+        ("R004", 24),  # Thread.join
+        ("R004", 28),  # Queue.get(timeout=...)
+        ("R004", 32),  # cond.wait while holding a different lock
+        ("R004", 36),  # query execution under a non-db lock
+    ]
+
+
+def test_r004_clean_on_good_fixture():
+    # includes dict.get, str.join, and cond.wait under its own Condition
+    assert lint_paths(fixture("r004_good.py"), rules=["R004"]) == []
+
+
+# ----------------------------------------------------------------------
+# R005 magic-number-literals
+# ----------------------------------------------------------------------
+
+
+def test_r005_flags_inline_pin_literals():
+    findings = lint_paths(fixture("r005"), rules=["R005"])
+    assert all(f.path.endswith("bad.py") for f in findings)
+    assert ids_and_lines(findings) == [
+        ("R005", 10),  # inline EPSILON in an override dict-comp
+        ("R005", 14),  # inline 1 - EPSILON complement
+        ("R005", 18),  # non-pin float typed into selectivity_overrides
+        ("R005", 23),  # module-level constant duplicating the pin
+    ]
+
+
+def test_r005_pin_source_and_named_constants_are_clean():
+    # variables.py itself and good.py (which imports the constant) pass;
+    # an unrelated float like 0.25 outside an override dict is fine too.
+    findings = lint_paths(fixture("r005"), rules=["R005"])
+    assert not any(f.path.endswith("good.py") for f in findings)
+    assert not any(f.path.endswith("variables.py") for f in findings)

@@ -1,0 +1,21 @@
+"""The shipped source tree passes every rule with an empty baseline.
+
+This is the CI gate in test form: if a change introduces a guarded-by
+violation, lock-order cycle, unhandled AST node, blocking call under a
+lock, or inline selectivity pin, this test fails with the rendered
+findings in the assertion message.
+"""
+
+import os
+
+from repro.analysis.framework import all_rule_ids, lint_paths
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+def test_src_is_lint_clean():
+    findings = lint_paths(
+        [os.path.join(REPO_ROOT, "src")], rules=all_rule_ids()
+    )
+    rendered = "\n".join(f.render() for f in findings)
+    assert findings == [], f"repro lint src/ is not clean:\n{rendered}"
