@@ -4,15 +4,15 @@ Optimizers* (Chaudhuri & Narasayya, ICDE 2000).
 Quickstart::
 
     from repro import (
-        make_tpcd_database, Optimizer, Executor,
-        mnsa_for_query, candidate_statistics, parse_and_bind,
+        make_tpcd_database, Optimizer, OptimizationRequest, PlanCache,
+        Executor, mnsa_for_query, candidate_statistics, parse_and_bind,
     )
 
     db = make_tpcd_database(scale=0.005, z=2.0)
-    optimizer = Optimizer(db)
+    optimizer = Optimizer(db, cache=PlanCache())
     query = parse_and_bind("SELECT ... FROM ...", db.schema)
     result = mnsa_for_query(db, optimizer, query)   # builds what matters
-    plan = optimizer.optimize(query)
+    plan = optimizer.optimize_request(OptimizationRequest(query))
 
 See README.md for the architecture overview and DESIGN.md for the mapping
 from paper sections to modules.
@@ -38,6 +38,7 @@ from repro.core import (
     AutoDropPolicy,
     CandidateMode,
     CreationPolicy,
+    EquivalenceCriterion,
     ExecutionTreeEquivalence,
     MnsaConfig,
     MnsaResult,
@@ -46,6 +47,7 @@ from repro.core import (
     ShrinkingSetResult,
     StatisticsAdvisor,
     TOptimizerCostEquivalence,
+    WorkloadDriver,
     candidate_statistics,
     find_minimal_essential_set,
     find_next_stat_to_build,
@@ -57,6 +59,7 @@ from repro.core import (
     shrinking_set,
     workload_candidate_statistics,
 )
+from repro.errors import ReproDeprecationWarning, ReproError
 from repro.datagen import (
     SkewSpec,
     TpcdGenerator,
@@ -65,7 +68,13 @@ from repro.datagen import (
 )
 from repro.executor import ExecutionResult, Executor
 from repro.index import apply_tuned_tpcd_indexes
-from repro.optimizer import Optimizer, plan_signature
+from repro.optimizer import (
+    OptimizationRequest,
+    OptimizationResult,
+    Optimizer,
+    PlanCache,
+    plan_signature,
+)
 from repro.service import (
     CaptureLog,
     MetricsRegistry,
@@ -119,6 +128,9 @@ __all__ = [
     "StatisticsManager",
     # optimizer / executor
     "Optimizer",
+    "OptimizationRequest",
+    "OptimizationResult",
+    "PlanCache",
     "plan_signature",
     "Executor",
     "ExecutionResult",
@@ -128,6 +140,7 @@ __all__ = [
     "CandidateMode",
     "candidate_statistics",
     "workload_candidate_statistics",
+    "EquivalenceCriterion",
     "ExecutionTreeEquivalence",
     "OptimizerCostEquivalence",
     "TOptimizerCostEquivalence",
@@ -147,6 +160,10 @@ __all__ = [
     "AutoDropPolicy",
     "CreationPolicy",
     "StatisticsAdvisor",
+    "WorkloadDriver",
+    # errors
+    "ReproError",
+    "ReproDeprecationWarning",
     # online service
     "StatsService",
     "Session",

@@ -73,6 +73,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="offline",
     )
     tune.add_argument("--t", type=float, default=20.0)
+    tune.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        help="plan-cache capacity for analysis probes (0 disables)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -120,6 +126,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-execute",
         action="store_true",
         help="optimize only; skip plan execution",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=256,
+        help="shared plan-cache capacity (0 disables caching)",
+    )
+    serve.add_argument(
+        "--parallelism",
+        type=int,
+        default=None,
+        help="analysis parallelism: overrides --workers when given",
     )
 
     experiment = sub.add_parser(
@@ -282,6 +300,7 @@ def _cmd_tune(args) -> int:
     from repro.core.advisor import StatisticsAdvisor
     from repro.core.mnsa import MnsaConfig
     from repro.core.policy import CreationPolicy
+    from repro.optimizer.cache import PlanCache
     from repro.sql.render import load_workload
     from repro.storage.persistence import load_database
 
@@ -290,8 +309,11 @@ def _cmd_tune(args) -> int:
         workload = load_workload(handle.read(), db.schema)
 
     config = MnsaConfig(t_percent=args.t)
+    cache = PlanCache(args.cache_size) if args.cache_size > 0 else None
     if args.mode == "offline":
-        advisor = StatisticsAdvisor(db, CreationPolicy.NONE, config)
+        advisor = StatisticsAdvisor(
+            db, CreationPolicy.NONE, config, cache=cache
+        )
         shrink = advisor.offline_tune(workload.queries())
         print(
             f"offline tuning: MNSA created "
@@ -306,7 +328,7 @@ def _cmd_tune(args) -> int:
         "mnsad": CreationPolicy.MNSAD,
         "syntactic": CreationPolicy.SYNTACTIC,
     }[args.mode]
-    advisor = StatisticsAdvisor(db, policy, config)
+    advisor = StatisticsAdvisor(db, policy, config, cache=cache)
     report = advisor.run_workload(workload.statements)
     print(
         f"{args.mode}: processed {report.statements} statements, created "
@@ -339,20 +361,24 @@ def _cmd_serve(args) -> int:
             scale=args.scale, z=_parse_z(args.z), seed=args.seed
         )
     workload = generate_workload(db, args.workload, seed=args.seed)
+    workers = (
+        args.parallelism if args.parallelism is not None else args.workers
+    )
     config = ServiceConfig(
         capture_capacity=args.capture,
-        advisor_workers=args.workers,
+        advisor_workers=workers,
         creation_policy=args.policy,
         staleness_fraction=args.refresh_fraction,
         refresh_budget_per_cycle=args.refresh_budget,
         execute_queries=not args.no_execute,
+        plan_cache_size=args.cache_size,
     )
     service = StatsService(db, config)
     clients = max(1, args.clients)
     print(
         f"serving workload {args.workload} over {db.name}: "
-        f"{clients} client(s), {args.workers} advisor worker(s), "
-        f"policy {args.policy}"
+        f"{clients} client(s), {workers} advisor worker(s), "
+        f"policy {args.policy}, plan cache {args.cache_size}"
     )
 
     client_errors = []

@@ -199,6 +199,10 @@ class ServiceConfig:
             exactly the waste the drop-list exists to avoid.
         execute_queries: execute query plans (True) or stop after
             optimization (False, plan-only service).
+        plan_cache_size: capacity of the shared
+            :class:`~repro.optimizer.cache.PlanCache` the service's
+            session optimizer and advisor workers consult; ``0``
+            disables plan caching entirely.
     """
 
     capture_capacity: int = 1024
@@ -211,6 +215,7 @@ class ServiceConfig:
     refresh_budget_per_cycle: float | None = None
     purge_drop_list_before_refresh: bool = False
     execute_queries: bool = True
+    plan_cache_size: int = 256
 
     def __post_init__(self) -> None:
         if self.capture_capacity < 1:
@@ -247,6 +252,11 @@ class ServiceConfig:
             raise ValueError(
                 "refresh_budget_per_cycle must be > 0 or None, got "
                 f"{self.refresh_budget_per_cycle}"
+            )
+        if self.plan_cache_size < 0:
+            raise ValueError(
+                f"plan_cache_size must be >= 0 (0 disables caching), got "
+                f"{self.plan_cache_size}"
             )
 
 

@@ -33,6 +33,7 @@ from repro.core.shrinking import ShrinkingSetResult, shrinking_set
 from repro.errors import PolicyError
 from repro.executor.dml import apply_dml
 from repro.executor.executor import Executor
+from repro.optimizer.cache import PlanCache
 from repro.optimizer.optimizer import Optimizer
 from repro.sql.query import DmlStatement, Query
 from repro.stats.statistic import StatKey
@@ -75,9 +76,10 @@ class StatisticsAdvisor:
         aging: Optional[AgingPolicy] = None,
         execute_queries: bool = True,
         incremental_maintenance: bool = False,
+        cache: Optional[PlanCache] = None,
     ) -> None:
         self._db = database
-        self._optimizer = Optimizer(database)
+        self._optimizer = Optimizer(database, cache=cache)
         self._executor = Executor(database)
         self.creation_policy = creation_policy
         self.mnsa_config = mnsa_config or MnsaConfig()

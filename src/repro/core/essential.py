@@ -21,7 +21,9 @@ from repro.core.equivalence import (
     EquivalenceCriterion,
     ExecutionTreeEquivalence,
 )
+from repro.core.mnsa import MnsaConfig, resolve_config
 from repro.errors import StatisticsError
+from repro.optimizer.cache import OptimizationRequest
 from repro.optimizer.optimizer import OptimizationResult, Optimizer
 from repro.sql.query import Query
 from repro.stats.statistic import StatKey
@@ -44,7 +46,9 @@ def plan_with_stats(
                 f"plan_with_stats: statistic {key} is not built"
             )
     hidden = [key for key in database.stats.keys() if key not in available]
-    return optimizer.optimize(query, ignore_statistics=hidden)
+    return optimizer.optimize_request(
+        OptimizationRequest(query, ignore=hidden)
+    )
 
 
 def is_equivalent_to_candidates(
@@ -97,12 +101,20 @@ def find_minimal_essential_set(
     candidates: Sequence[StatKey],
     criterion: Optional[EquivalenceCriterion] = None,
     max_candidates: int = 12,
+    config: Optional[MnsaConfig] = None,
+    t_percent: Optional[float] = None,
 ) -> List[StatKey]:
     """Brute-force smallest essential set (exponential; tests only).
 
     Enumerates subsets by increasing size and returns the first subset
     equivalent to the full candidate set.  Guarded by ``max_candidates``
-    because the search is O(2^|C|).
+    because the search is O(2^|C|).  The criterion defaults to
+    execution-tree equivalence; ``config`` uses ``config.criterion()``.
+
+    .. deprecated::
+        ``t_percent`` is an alias for
+        ``MnsaConfig(t_percent=..., equivalence="t_cost").criterion()``;
+        pass a criterion or config instead.
     """
     candidates = list(candidates)
     if len(candidates) > max_candidates:
@@ -110,7 +122,16 @@ def find_minimal_essential_set(
             f"brute-force search over {len(candidates)} candidates refused "
             f"(max {max_candidates})"
         )
-    criterion = criterion or ExecutionTreeEquivalence()
+    if criterion is None:
+        if t_percent is not None:
+            base = config if config is not None else MnsaConfig()
+            criterion = resolve_config(
+                base, "find_minimal_essential_set", t_percent=t_percent
+            ).cost_criterion()
+        elif config is not None:
+            criterion = config.criterion()
+        else:
+            criterion = ExecutionTreeEquivalence()
     reference = plan_with_stats(optimizer, database, query, candidates)
     for size in range(0, len(candidates) + 1):
         for combo in itertools.combinations(candidates, size):

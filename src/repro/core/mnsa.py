@@ -15,12 +15,19 @@ to the creation-cost ledger via ``optimizer_call_cost``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Iterable, List, Optional, Sequence
 
 from repro.core.candidates import CandidateMode, candidate_statistics
-from repro.core.equivalence import TOptimizerCostEquivalence
+from repro.core.equivalence import (
+    EquivalenceCriterion,
+    ExecutionTreeEquivalence,
+    TOptimizerCostEquivalence,
+)
 from repro.core.next_stat import find_next_stat_to_build
+from repro.errors import ReproDeprecationWarning
+from repro.optimizer.cache import OptimizationRequest
 from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.variables import EPSILON
 from repro.sql.query import Query
@@ -89,6 +96,60 @@ class MnsaConfig:
                 f"'t_cost', got {self.mnsad_drop_equivalence!r}"
             )
 
+    def cost_criterion(self) -> TOptimizerCostEquivalence:
+        """The t-Optimizer-Cost criterion at this config's threshold —
+        what the Sec 4.1 sensitivity test compares P_low/P_high with."""
+        return TOptimizerCostEquivalence(self.t_percent)
+
+    def criterion(self) -> EquivalenceCriterion:
+        """The plan-equivalence criterion the ``equivalence`` field names.
+
+        This is the single construction point shared by MNSA, the
+        Shrinking Set, and the essential-set search, replacing the loose
+        ``t_percent`` floats those entry points used to take.
+        """
+        if self.equivalence == "execution_tree":
+            return ExecutionTreeEquivalence()
+        return self.cost_criterion()
+
+    def drop_criterion(self) -> EquivalenceCriterion:
+        """The criterion MNSA/D uses for its Sec 5.1 drop decision."""
+        if self.mnsad_drop_equivalence == "execution_tree":
+            return ExecutionTreeEquivalence()
+        return self.cost_criterion()
+
+
+def resolve_config(
+    config: Optional[MnsaConfig],
+    caller: str,
+    *,
+    t_percent: Optional[float] = None,
+    epsilon: Optional[float] = None,
+) -> MnsaConfig:
+    """Fold deprecated loose ``t_percent`` / ``epsilon`` floats into a
+    :class:`MnsaConfig`, warning when the old spellings are used.
+
+    Shared by every entry point that kept the old kwargs as aliases
+    (``mnsad_for_query``, ``shrinking_set``,
+    ``find_minimal_essential_set``, ``run_figure4``).
+    """
+    resolved = config if config is not None else MnsaConfig()
+    overrides = {}
+    if t_percent is not None:
+        overrides["t_percent"] = t_percent
+    if epsilon is not None:
+        overrides["epsilon"] = epsilon
+    if overrides:
+        warnings.warn(
+            f"{caller}: passing loose "
+            f"{'/'.join(sorted(overrides))} floats is deprecated; "
+            "pass an MnsaConfig (or an EquivalenceCriterion) instead",
+            ReproDeprecationWarning,
+            stacklevel=3,
+        )
+        resolved = replace(resolved, **overrides)
+    return resolved
+
 
 @dataclass
 class MnsaResult:
@@ -140,7 +201,7 @@ def mnsa_for_query(
     only missing candidates are considered for creation.
     """
     result = MnsaResult()
-    criterion = TOptimizerCostEquivalence(config.t_percent)
+    criterion = config.cost_criterion()
     calls_before = optimizer.call_count
     build_cost_before = database.stats.creation_cost_total
 
@@ -166,13 +227,15 @@ def mnsa_for_query(
         if not missing:
             result.stop_reason = "no_missing_variables"
             break
-        low = optimizer.optimize(
-            query,
-            selectivity_overrides={v: config.epsilon for v in missing},
+        low = optimizer.optimize_request(
+            OptimizationRequest(
+                query, {v: config.epsilon for v in missing}
+            )
         )
-        high = optimizer.optimize(
-            query,
-            selectivity_overrides={v: 1.0 - config.epsilon for v in missing},
+        high = optimizer.optimize_request(
+            OptimizationRequest(
+                query, {v: 1.0 - config.epsilon for v in missing}
+            )
         )
         if config.equivalence == "execution_tree":
             insensitive = low.signature == high.signature

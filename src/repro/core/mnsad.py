@@ -17,11 +17,10 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
 from repro.core.candidates import candidate_statistics
-from repro.core.equivalence import TOptimizerCostEquivalence
-from repro.core.mnsa import MnsaConfig
+from repro.core.mnsa import MnsaConfig, resolve_config
 from repro.core.next_stat import find_next_stat_to_build
+from repro.optimizer.cache import OptimizationRequest
 from repro.optimizer.optimizer import Optimizer
-from repro.optimizer.plans import plan_signature
 from repro.sql.query import Query
 from repro.stats.statistic import StatKey
 
@@ -65,11 +64,22 @@ def mnsad_for_query(
     optimizer: Optimizer,
     query: Query,
     candidates: Optional[Sequence[StatKey]] = None,
-    config: MnsaConfig = MnsaConfig(),
+    config: Optional[MnsaConfig] = None,
+    t_percent: Optional[float] = None,
+    epsilon: Optional[float] = None,
 ) -> MnsadResult:
-    """Run MNSA/D for one query."""
+    """Run MNSA/D for one query.
+
+    .. deprecated::
+        ``t_percent`` / ``epsilon`` are aliases for the corresponding
+        :class:`~repro.core.mnsa.MnsaConfig` fields; pass a config.
+    """
+    config = resolve_config(
+        config, "mnsad_for_query", t_percent=t_percent, epsilon=epsilon
+    )
     result = MnsadResult()
-    criterion = TOptimizerCostEquivalence(config.t_percent)
+    criterion = config.cost_criterion()
+    drop_criterion = config.drop_criterion()
     calls_before = optimizer.call_count
     build_cost_before = database.stats.creation_cost_total
 
@@ -95,13 +105,15 @@ def mnsad_for_query(
         if not missing:
             result.stop_reason = "no_missing_variables"
             break
-        low = optimizer.optimize(
-            query,
-            selectivity_overrides={v: config.epsilon for v in missing},
+        low = optimizer.optimize_request(
+            OptimizationRequest(
+                query, {v: config.epsilon for v in missing}
+            )
         )
-        high = optimizer.optimize(
-            query,
-            selectivity_overrides={v: 1.0 - config.epsilon for v in missing},
+        high = optimizer.optimize_request(
+            OptimizationRequest(
+                query, {v: 1.0 - config.epsilon for v in missing}
+            )
         )
         if criterion.costs_equivalent(low.cost, high.cost):
             result.stop_reason = "insensitive"
@@ -115,13 +127,7 @@ def mnsad_for_query(
             result.created.append(key)
             remaining.remove(key)
         new_plan = optimizer.optimize(query)
-        if config.mnsad_drop_equivalence == "t_cost":
-            unchanged = criterion.costs_equivalent(new_plan.cost, plan.cost)
-        else:
-            unchanged = plan_signature(new_plan.plan) == plan_signature(
-                plan.plan
-            )
-        if unchanged:
+        if drop_criterion.equivalent(new_plan, plan):
             # the new statistics changed nothing: heuristically non-essential
             for key in group:
                 database.stats.mark_droppable(key)
@@ -144,14 +150,23 @@ def mnsad_for_workload(
     database,
     optimizer: Optimizer,
     queries: Iterable[Query],
-    config: MnsaConfig = MnsaConfig(),
+    config: Optional[MnsaConfig] = None,
+    t_percent: Optional[float] = None,
+    epsilon: Optional[float] = None,
 ) -> MnsadResult:
     """Run MNSA/D over a workload, query by query.
 
     A statistic dropped while processing one query is *revived* if a later
     query creates (and retains) it — the paper's motivation for the
     drop-list over physical deletion.
+
+    .. deprecated::
+        ``t_percent`` / ``epsilon`` are aliases for the corresponding
+        :class:`~repro.core.mnsa.MnsaConfig` fields; pass a config.
     """
+    config = resolve_config(
+        config, "mnsad_for_workload", t_percent=t_percent, epsilon=epsilon
+    )
     total = MnsadResult()
     for query in queries:
         partial = mnsad_for_query(database, optimizer, query, config=config)

@@ -29,6 +29,8 @@ from repro.core.equivalence import (
     EquivalenceCriterion,
     ExecutionTreeEquivalence,
 )
+from repro.core.mnsa import MnsaConfig, resolve_config
+from repro.optimizer.cache import OptimizationRequest
 from repro.optimizer.optimizer import OptimizationResult, Optimizer
 from repro.sql.query import Query
 from repro.stats.statistic import StatKey
@@ -77,6 +79,8 @@ def shrinking_set(
     initial: Optional[Sequence[StatKey]] = None,
     criterion: Optional[EquivalenceCriterion] = None,
     memoize: bool = True,
+    config: Optional[MnsaConfig] = None,
+    t_percent: Optional[float] = None,
 ) -> ShrinkingSetResult:
     """Run Figure 2 over ``workload`` starting from set ``initial``.
 
@@ -91,11 +95,27 @@ def shrinking_set(
             :class:`~repro.core.equivalence.TOptimizerCostEquivalence`
             instance gives the t-cost variant.
         memoize: reuse probe results with identical relevant-visible sets.
+        config: alternative to ``criterion`` — use
+            ``config.criterion()``, the same equivalence MNSA runs with.
 
     Side effect: removed statistics are physically dropped from the
     manager (Figure 2 discards them and never considers them again).
+
+    .. deprecated::
+        ``t_percent`` is an alias for
+        ``MnsaConfig(t_percent=..., equivalence="t_cost").criterion()``;
+        pass a criterion or config instead.
     """
-    criterion = criterion or ExecutionTreeEquivalence()
+    if criterion is None:
+        if t_percent is not None:
+            base = config if config is not None else MnsaConfig()
+            criterion = resolve_config(
+                base, "shrinking_set", t_percent=t_percent
+            ).cost_criterion()
+        elif config is not None:
+            criterion = config.criterion()
+        else:
+            criterion = ExecutionTreeEquivalence()
     queries = [q for q in workload if isinstance(q, Query)]
     if initial is None:
         initial = database.stats.visible_keys()
@@ -116,7 +136,9 @@ def shrinking_set(
             for key in database.stats.keys()
             if key not in set(available)
         ]
-        result = optimizer.optimize(queries[i], ignore_statistics=hidden)
+        result = optimizer.optimize_request(
+            OptimizationRequest(queries[i], ignore=hidden)
+        )
         if memoize:
             memo[cache_key] = result
         return result

@@ -67,3 +67,12 @@ class PolicyError(ReproError):
 
 class ServiceError(ReproError):
     """The statistics-management service was misused or misconfigured."""
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """A deprecated repro API was used.
+
+    Distinct from the built-in :class:`DeprecationWarning` so the test
+    suite can escalate *first-party* deprecations to errors without being
+    derailed by third-party libraries deprecating their own internals.
+    """

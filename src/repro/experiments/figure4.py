@@ -13,21 +13,20 @@ candidate set is restricted to single-column statistics (reduction above
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
 
 from repro.core.candidates import (
     CandidateMode,
     workload_candidate_statistics,
 )
-from repro.core.mnsa import MnsaConfig, mnsa_for_workload
+from repro.core.mnsa import MnsaConfig, mnsa_for_workload, resolve_config
 from repro.experiments.common import (
     percent_increase,
     percent_reduction,
     workload_execution_cost,
 )
 from repro.optimizer import Optimizer
-from repro.optimizer.variables import EPSILON
 from repro.workload import generate_workload
 
 
@@ -112,16 +111,21 @@ def run_figure4(
     z,
     workload_name: str = "U25-S-100",
     max_queries: int = 40,
-    t_percent: float = 20.0,
-    epsilon: float = EPSILON,
+    t_percent: Optional[float] = None,
+    epsilon: Optional[float] = None,
     workload_seed: int = 7,
+    config: Optional[MnsaConfig] = None,
 ) -> Figure4Result:
-    """Run one Figure 4 bar (heuristic candidates, MNSA defaults)."""
-    config = MnsaConfig(
-        epsilon=epsilon,
-        t_percent=t_percent,
-        candidate_mode=CandidateMode.HEURISTIC,
+    """Run one Figure 4 bar (heuristic candidates, MNSA defaults).
+
+    .. deprecated::
+        ``t_percent`` / ``epsilon`` are aliases for the corresponding
+        :class:`~repro.core.mnsa.MnsaConfig` fields; pass ``config``.
+    """
+    config = resolve_config(
+        config, "run_figure4", t_percent=t_percent, epsilon=epsilon
     )
+    config = replace(config, candidate_mode=CandidateMode.HEURISTIC)
     return _run(
         database_factory,
         z,

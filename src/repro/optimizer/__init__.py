@@ -13,9 +13,14 @@ A System-R-style optimizer over the SPJ + aggregation subset:
 
 Public API::
 
-    from repro.optimizer import Optimizer, PlanNode, plan_signature
+    from repro.optimizer import Optimizer, OptimizationRequest, PlanCache
 """
 
+from repro.optimizer.cache import (
+    OptimizationRequest,
+    PlanCache,
+    statistics_fingerprint,
+)
 from repro.optimizer.variables import (
     GroupByVariable,
     JoinVariable,
@@ -53,4 +58,7 @@ __all__ = [
     "plan_signature",
     "Optimizer",
     "OptimizationResult",
+    "OptimizationRequest",
+    "PlanCache",
+    "statistics_fingerprint",
 ]

@@ -1,14 +1,22 @@
 """The optimizer facade: access paths, join enumeration, aggregation.
 
-``Optimizer.optimize(query, selectivity_overrides=..., ignore_statistics=...)``
-is the complete interface the paper's algorithms need:
+``Optimizer.optimize_request(OptimizationRequest(query, ...))`` is the
+canonical entry point; the request object carries everything the paper's
+algorithms need:
 
-* ``selectivity_overrides`` — the Sec 7.2 extension that feeds MNSA's
-  ε / 1-ε pinning of statistics-less selectivity variables;
-* ``ignore_statistics`` — the ``Ignore_Statistics_Subset`` extension the
-  Shrinking Set algorithm uses to obtain ``Plan(Q, S')`` for S' ⊂ S;
-* ``magic_variables(query)`` — which selectivity variables currently fall
-  back to magic numbers (step (a) of the Sec 4.1 test).
+* ``overrides`` — the Sec 7.2 extension that feeds MNSA's ε / 1-ε
+  pinning of statistics-less selectivity variables;
+* ``ignore`` — the ``Ignore_Statistics_Subset`` extension the Shrinking
+  Set algorithm uses to obtain ``Plan(Q, S')`` for S' ⊂ S.
+
+``magic_variables(query)`` reports which selectivity variables currently
+fall back to magic numbers (step (a) of the Sec 4.1 test).  The legacy
+``optimize(query, selectivity_overrides=..., ignore_statistics=...)``
+kwargs survive as a deprecated shim over ``optimize_request``.
+
+An optional :class:`~repro.optimizer.cache.PlanCache` memoizes results
+per request; see that module for the epoch / fingerprint invalidation
+contract.
 
 Join enumeration is left-deep dynamic programming (System R): states are
 table subsets; each extension joins one more base-table access path using
@@ -20,11 +28,19 @@ deterministic — essential for Execution-Tree equivalence experiments.
 from __future__ import annotations
 
 import itertools
+import threading
+import warnings
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
+from repro.concurrency import guarded_by
 from repro.config import DEFAULT_CONFIG, OptimizerConfig
-from repro.errors import OptimizerError
+from repro.errors import OptimizerError, ReproDeprecationWarning
+from repro.optimizer.cache import (
+    OptimizationRequest,
+    PlanCache,
+    statistics_fingerprint,
+)
 from repro.optimizer.cost_model import CostModel
 from repro.optimizer.plans import (
     AggregateNode,
@@ -68,24 +84,104 @@ class OptimizationResult:
 
 
 class Optimizer:
-    """Cost-based optimizer over one database."""
+    """Cost-based optimizer over one database.
+
+    Args:
+        database: the :class:`~repro.storage.Database` to plan against.
+        config: knobs for the cost model and enumeration space.
+        cache: optional shared :class:`~repro.optimizer.cache.PlanCache`.
+            When present, :meth:`optimize_request` consults it before
+            planning; :attr:`call_count` still counts every request (the
+            paper's metric is optimizer *invocations*, cached or not) while
+            :attr:`cold_optimize_count` counts only actual plan searches.
+    """
+
+    _call_count = guarded_by("_count_lock")
+    _cold_count = guarded_by("_count_lock")
 
     def __init__(
-        self, database, config: OptimizerConfig = DEFAULT_CONFIG
+        self,
+        database,
+        config: OptimizerConfig = DEFAULT_CONFIG,
+        cache: Optional[PlanCache] = None,
     ) -> None:
         self._db = database
         self._config = config
         self._cost = CostModel(config)
-        self.call_count = 0
-        """Number of optimize() invocations (MNSA charges 3 per statistic)."""
+        self._cache = cache
+        self._count_lock = threading.Lock()
+        self._call_count = 0
+        self._cold_count = 0
 
     @property
     def config(self) -> OptimizerConfig:
         return self._config
 
+    @property
+    def cache(self) -> Optional[PlanCache]:
+        return self._cache
+
+    def attach_cache(self, cache: PlanCache) -> None:
+        """Attach a plan cache after construction.
+
+        Raises:
+            OptimizerError: if a *different* cache is already attached
+                (silently swapping caches would corrupt hit accounting).
+        """
+        if self._cache is not None and self._cache is not cache:
+            raise OptimizerError(
+                "optimizer already has a different PlanCache attached"
+            )
+        self._cache = cache
+
+    @property
+    def call_count(self) -> int:
+        """Optimizer invocations, cached or not (MNSA charges 3 per
+        statistic); incremented atomically so parallel drivers and
+        service workers can share one optimizer."""
+        with self._count_lock:
+            return self._call_count
+
+    @property
+    def cold_optimize_count(self) -> int:
+        """Requests that missed the cache and ran a full plan search."""
+        with self._count_lock:
+            return self._cold_count
+
     # ------------------------------------------------------------------
     # public interface
     # ------------------------------------------------------------------
+
+    def optimize_request(
+        self, request: OptimizationRequest
+    ) -> OptimizationResult:
+        """Choose the cheapest plan for a canonical request.
+
+        With a cache attached, the lookup runs in two tiers: a stats-epoch
+        equality fast path, then fingerprint revalidation (see
+        :mod:`repro.optimizer.cache`).  Both the epoch and the fingerprint
+        are read *before* planning, so a concurrent statistics mutation
+        mid-flight leaves at worst a stale entry that fails revalidation —
+        never a wrong plan.
+        """
+        with self._count_lock:
+            self._call_count += 1
+        if self._cache is None:
+            return self._execute_request(request)
+        stats = self._db.stats
+        epoch = stats.epoch
+        result = self._cache.get_fresh(request, epoch)
+        if result is not None:
+            return result
+        fingerprint = statistics_fingerprint(
+            self._db, request.query, request.ignore
+        )
+        result = self._cache.get_validated(request, epoch, fingerprint)
+        if result is not None:
+            return result
+        result = self._execute_request(request)
+        self._cache.store(request, epoch, fingerprint, result)
+        return result
 
     def optimize(
         self,
@@ -95,18 +191,25 @@ class Optimizer:
     ) -> OptimizationResult:
         """Choose the cheapest plan for ``query``.
 
-        Args:
-            query: a bound :class:`~repro.sql.query.Query`.
-            selectivity_overrides: forced selectivities for variables that
-                lack statistics (MNSA's ε / 1-ε pinning).
-            ignore_statistics: statistics to hide for this call (the
-                ``Ignore_Statistics_Subset`` extension).
+        .. deprecated::
+            The ``selectivity_overrides`` / ``ignore_statistics`` kwargs
+            are a shim over :meth:`optimize_request`; build an
+            :class:`~repro.optimizer.cache.OptimizationRequest` instead.
+            Calling with just a query stays supported.
         """
-        self.call_count += 1
-        if ignore_statistics is not None:
-            with self._db.stats.ignore_subset(ignore_statistics):
-                return self._optimize(query, selectivity_overrides)
-        return self._optimize(query, selectivity_overrides)
+        if selectivity_overrides is not None or ignore_statistics is not None:
+            warnings.warn(
+                "optimize(query, selectivity_overrides=..., "
+                "ignore_statistics=...) is deprecated; pass an "
+                "OptimizationRequest to Optimizer.optimize_request()",
+                ReproDeprecationWarning,
+                stacklevel=2,
+            )
+        return self.optimize_request(
+            OptimizationRequest.of(
+                query, selectivity_overrides, ignore_statistics
+            )
+        )
 
     def magic_variables(self, query: Query) -> List[SelectivityVariable]:
         """Selectivity variables of ``query`` forced onto magic numbers."""
@@ -116,6 +219,18 @@ class Optimizer:
     # ------------------------------------------------------------------
     # plan construction
     # ------------------------------------------------------------------
+
+    def _execute_request(
+        self, request: OptimizationRequest
+    ) -> OptimizationResult:
+        """Run the actual plan search for a request (cache miss path)."""
+        with self._count_lock:
+            self._cold_count += 1
+        overrides = request.overrides_dict() if request.overrides else None
+        if request.ignore:
+            with self._db.stats.ignore_subset(request.ignore):
+                return self._optimize(request.query, overrides)
+        return self._optimize(request.query, overrides)
 
     def _optimize(self, query, overrides) -> OptimizationResult:
         estimator = SelectivityEstimator(self._db, self._config, overrides)

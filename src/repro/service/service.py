@@ -36,6 +36,7 @@ from repro.core.mnsa import MnsaConfig
 from repro.errors import ServiceError
 from repro.executor.dml import apply_dml
 from repro.executor.executor import ExecutionResult, Executor
+from repro.optimizer.cache import PlanCache
 from repro.optimizer.optimizer import OptimizationResult, Optimizer
 from repro.service.events import CaptureLog, QueryEvent
 from repro.service.metrics import MetricsRegistry
@@ -106,7 +107,14 @@ class StatsService:
         self.metrics = MetricsRegistry()
         #: serializes statement execution, advisor analysis, and refreshes
         self.db_lock = threading.RLock()
-        self._optimizer = Optimizer(database)
+        #: shared statistics-aware plan cache (sessions + advisor workers);
+        #: None when ``plan_cache_size`` is 0
+        self.plan_cache: Optional[PlanCache] = (
+            PlanCache(self.config.plan_cache_size, metrics=self.metrics)
+            if self.config.plan_cache_size > 0
+            else None
+        )
+        self._optimizer = Optimizer(database, cache=self.plan_cache)
         self._executor = Executor(database)
         self._seq = itertools.count(1)
         self._session_ids = itertools.count(1)
@@ -153,6 +161,7 @@ class StatsService:
                 batch_size=cfg.advisor_batch_size,
                 poll_seconds=cfg.advisor_poll_seconds,
                 on_created=self._note_created,
+                cache=self.plan_cache,
             )
             for index in range(cfg.advisor_workers)
         ]

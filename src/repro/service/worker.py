@@ -18,6 +18,7 @@ from typing import Callable, List, Optional
 from repro.concurrency import guarded_by
 from repro.core.mnsa import MnsaConfig, mnsa_for_query
 from repro.core.mnsad import mnsad_for_query
+from repro.optimizer.cache import PlanCache
 from repro.optimizer.optimizer import Optimizer
 from repro.service.events import CaptureLog, QueryEvent
 from repro.service.metrics import MetricsRegistry
@@ -41,6 +42,9 @@ class AdvisorWorker(threading.Thread):
         poll_seconds: idle block time waiting for events.
         on_created: optional callback invoked (outside the db lock) with
             the list of statistics a single analysis created.
+        cache: optional shared :class:`~repro.optimizer.cache.PlanCache`;
+            analysis probes repeated across workers and sessions are
+            answered from it instead of re-optimizing.
     """
 
     _errors = guarded_by("_errors_lock")
@@ -57,6 +61,7 @@ class AdvisorWorker(threading.Thread):
         batch_size: int = 16,
         poll_seconds: float = 0.05,
         on_created: Optional[Callable[[List[StatKey]], None]] = None,
+        cache: Optional[PlanCache] = None,
     ) -> None:
         super().__init__(name=f"stats-advisor-{index}", daemon=True)
         self._db = database
@@ -68,7 +73,7 @@ class AdvisorWorker(threading.Thread):
         self._batch_size = batch_size
         self._poll_seconds = poll_seconds
         self._on_created = on_created
-        self._optimizer = Optimizer(database)
+        self._optimizer = Optimizer(database, cache=cache)
         self._errors_lock = threading.Lock()
         self._errors: List[BaseException] = []
 

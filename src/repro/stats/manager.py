@@ -37,7 +37,7 @@ from repro.errors import StatisticsError
 from repro.stats.builder import build_statistic
 from repro.stats.cost import statistic_update_cost
 from repro.stats.histogram import HistogramKind
-from repro.stats.statistic import StatKey, Statistic
+from repro.stats.statistic import StatKey, Statistic, as_stat_key
 
 
 class StatisticsManager:
@@ -46,6 +46,7 @@ class StatisticsManager:
     _statistics = guarded_by("_lock")
     _drop_list = guarded_by("_lock")
     _ignored = guarded_by("_lock")
+    _epoch = guarded_by("_lock")
     creation_cost_total = guarded_by("_lock")
     update_cost_total = guarded_by("_lock")
 
@@ -58,8 +59,38 @@ class StatisticsManager:
         self._drop_list: Set[StatKey] = set()
         self._ignored: Set[StatKey] = set()
         self._lock = threading.RLock()
+        self._epoch = 0
         self.creation_cost_total = 0.0
         self.update_cost_total = 0.0
+
+    # ------------------------------------------------------------------
+    # statistics epoch (plan-cache invalidation)
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Monotonically increasing counter of statistics-affecting change.
+
+        Bumped by every mutation that can alter an optimization outcome:
+        creation, physical drop, drop-list membership, refresh / rebuild,
+        incremental maintenance, ignore-buffer changes, and DML against
+        the underlying tables (via :meth:`note_data_change`).  The plan
+        cache (:mod:`repro.optimizer.cache`) uses equality of this value
+        as its freshness fast path.
+        """
+        with self._lock:
+            return self._epoch
+
+    def note_data_change(self) -> None:
+        """Record that table contents changed under existing statistics.
+
+        Called by :class:`~repro.storage.Database` DML entry points so
+        cached plans cannot outlive the data they were costed against
+        (row counts and modification counters feed the cost model even
+        when no statistic object is touched).
+        """
+        with self._lock:
+            self._epoch += 1
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -92,6 +123,7 @@ class StatisticsManager:
             )
             self._statistics[key] = statistic
             self.creation_cost_total += statistic.build_cost
+            self._epoch += 1
             return statistic
 
     def drop(self, key_or_refs) -> None:
@@ -107,6 +139,7 @@ class StatisticsManager:
             del self._statistics[key]
             self._drop_list.discard(key)
             self._ignored.discard(key)
+            self._epoch += 1
 
     def drop_all(self) -> None:
         """Remove every statistic (used between experiment arms)."""
@@ -114,6 +147,7 @@ class StatisticsManager:
             self._statistics.clear()
             self._drop_list.clear()
             self._ignored.clear()
+            self._epoch += 1
 
     def reset_cost_ledger(self) -> None:
         with self._lock:
@@ -156,6 +190,7 @@ class StatisticsManager:
             if key not in self._statistics:
                 raise StatisticsError(f"no statistic {key}")
             self._drop_list.add(key)
+            self._epoch += 1
 
     def revive(self, key_or_refs) -> None:
         """Remove a statistic from the drop-list, making it visible again."""
@@ -164,6 +199,7 @@ class StatisticsManager:
             if key not in self._statistics:
                 raise StatisticsError(f"no statistic {key}")
             self._drop_list.discard(key)
+            self._epoch += 1
 
     def drop_list(self) -> List[StatKey]:
         with self._lock:
@@ -180,6 +216,7 @@ class StatisticsManager:
             for key in purged:
                 del self._statistics[key]
             self._drop_list.clear()
+            self._epoch += 1
             return purged
 
     # ------------------------------------------------------------------
@@ -198,20 +235,24 @@ class StatisticsManager:
         with self._lock:
             previous = set(self._ignored)
             self._ignored |= added
+            self._epoch += 1
         try:
             yield
         finally:
             with self._lock:
                 self._ignored = previous
+                self._epoch += 1
 
     def set_ignored(self, keys: Iterable) -> None:
         """Non-scoped variant used by long-running experiments."""
         with self._lock:
             self._ignored = {self._as_key(k) for k in keys}
+            self._epoch += 1
 
     def clear_ignored(self) -> None:
         with self._lock:
             self._ignored = set()
+            self._epoch += 1
 
     # ------------------------------------------------------------------
     # visibility and estimator lookups
@@ -357,6 +398,7 @@ class StatisticsManager:
                 total += cost
             data.reset_modification_counter()
             self.update_cost_total += total
+            self._epoch += 1
         return total
 
     def apply_incremental_inserts(
@@ -385,6 +427,7 @@ class StatisticsManager:
                 statistic.row_count += len(values)
                 total += len(values) * per_row
             self.update_cost_total += total
+            self._epoch += 1
         return total
 
     def keys_needing_rebuild(
@@ -415,6 +458,7 @@ class StatisticsManager:
                 data.row_count, key, self.config.cost, self.config.sample_rows
             )
             self.update_cost_total += cost
+            self._epoch += 1
         return cost
 
     def update_cost_of_keys(self, keys: Iterable) -> float:
@@ -435,11 +479,7 @@ class StatisticsManager:
     # ------------------------------------------------------------------
 
     def _as_key(self, key_or_refs) -> StatKey:
-        if isinstance(key_or_refs, StatKey):
-            return key_or_refs
-        if isinstance(key_or_refs, ColumnRef):
-            return StatKey.single(key_or_refs)
-        return StatKey.of(key_or_refs)
+        return as_stat_key(key_or_refs)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         with self._lock:

@@ -81,6 +81,22 @@ class StatKey:
         return f"{self.table}.{self.columns[0]}"
 
 
+def as_stat_key(key_or_refs) -> StatKey:
+    """Coerce a :class:`StatKey`, a single :class:`ColumnRef`, or an
+    ordered iterable of refs into a :class:`StatKey`.
+
+    This is the canonical identity conversion used by the statistics
+    manager and by :class:`~repro.optimizer.cache.OptimizationRequest`,
+    so the same statistic always hashes identically regardless of how a
+    caller spelled it.
+    """
+    if isinstance(key_or_refs, StatKey):
+        return key_or_refs
+    if isinstance(key_or_refs, ColumnRef):
+        return StatKey.single(key_or_refs)
+    return StatKey.of(key_or_refs)
+
+
 class Statistic:
     """A built statistic: leading-column histogram + prefix densities.
 

@@ -100,6 +100,8 @@ class Database:
         count = self.table(table_name).insert_rows(rows)
         if count and self._index_manager is not None:
             self._index_manager.invalidate(table_name)
+        if count and self._stats_manager is not None:
+            self._stats_manager.note_data_change()
         return count
 
     def delete(self, table_name: str, mask) -> int:
@@ -107,6 +109,8 @@ class Database:
         count = self.table(table_name).delete_rows(mask)
         if count and self._index_manager is not None:
             self._index_manager.invalidate(table_name)
+        if count and self._stats_manager is not None:
+            self._stats_manager.note_data_change()
         return count
 
     def update(self, table_name: str, mask, assignments: Mapping) -> int:
@@ -114,6 +118,8 @@ class Database:
         count = self.table(table_name).update_rows(mask, assignments)
         if count and self._index_manager is not None:
             self._index_manager.invalidate(table_name)
+        if count and self._stats_manager is not None:
+            self._stats_manager.note_data_change()
         return count
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

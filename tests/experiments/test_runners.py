@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.mnsa import MnsaConfig
 from repro.experiments import (
     default_database_factory,
     run_figure3,
@@ -83,7 +84,9 @@ class TestFigure4Runner:
         assert result.mnsa_creation_cost <= result.all_creation_cost * 1.1
 
     def test_huge_t_maximizes_savings(self, factory):
-        loose = run_figure4(factory, 2.0, max_queries=10, t_percent=1e9)
+        loose = run_figure4(
+            factory, 2.0, max_queries=10, config=MnsaConfig(t_percent=1e9)
+        )
         assert loose.mnsa_created_count == 0
 
     def test_single_column_mode(self, factory):

@@ -1,0 +1,345 @@
+"""Tests for repro.optimizer.cache (OptimizationRequest + PlanCache).
+
+Covers request canonicalization, the epoch/fingerprint invalidation
+matrix over every StatisticsManager mutation path, LRU bounding, the
+deprecated ``optimize(...)`` kwargs shim, and call-count atomicity.
+"""
+
+import threading
+
+import pytest
+
+from repro.catalog import ColumnRef
+from repro.errors import OptimizerError, ReproDeprecationWarning
+from repro.optimizer import OptimizationRequest, Optimizer, PlanCache
+from repro.optimizer.cache import statistics_fingerprint
+from repro.optimizer.variables import PredicateVariable
+from repro.service import MetricsRegistry
+from repro.sql.builder import QueryBuilder
+from repro.sql.predicates import ComparisonPredicate
+from repro.stats import StatKey
+
+AGE = ColumnRef("emp", "age")
+SALARY = ColumnRef("emp", "salary")
+DEPT_ID = ColumnRef("emp", "dept_id")
+
+
+def _age_query(db, value=30):
+    return QueryBuilder(db.schema).where("emp.age", "<", value).build()
+
+
+class TestOptimizationRequest:
+    def test_dict_and_pairs_canonicalize_identically(self, db):
+        query = _age_query(db)
+        pred = ComparisonPredicate(AGE, "<", 30)
+        variable = PredicateVariable(pred)
+        a = OptimizationRequest(query, {variable: 0.25})
+        b = OptimizationRequest(query, [(variable, 0.25)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_override_order_is_irrelevant(self, db):
+        query = (
+            QueryBuilder(db.schema)
+            .where("emp.age", "<", 30)
+            .where("emp.salary", ">", 50_000.0)
+            .build()
+        )
+        variables = Optimizer(db).magic_variables(query)
+        assert len(variables) == 2
+        forward = dict(zip(variables, (0.1, 0.9)))
+        backward = dict(
+            zip(reversed(variables), reversed((0.1, 0.9)))
+        )
+        assert OptimizationRequest(query, forward) == OptimizationRequest(
+            query, backward
+        )
+
+    def test_ignore_set_deduped_and_sorted(self, db):
+        query = _age_query(db)
+        a = OptimizationRequest(query, ignore=[AGE, SALARY, AGE])
+        b = OptimizationRequest(
+            query, ignore=[StatKey.single(SALARY), StatKey.single(AGE)]
+        )
+        assert a == b
+        assert a.ignore == tuple(
+            sorted({StatKey.single(AGE), StatKey.single(SALARY)})
+        )
+
+    def test_requires_bound_query(self):
+        with pytest.raises(OptimizerError):
+            OptimizationRequest("SELECT * FROM emp")
+
+    def test_of_mirrors_optimize_kwargs(self, db):
+        query = _age_query(db)
+        request = OptimizationRequest.of(
+            query, selectivity_overrides=None, ignore_statistics=[AGE]
+        )
+        assert request == OptimizationRequest(query, ignore=[AGE])
+
+
+class TestPlanCacheBasics:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(OptimizerError):
+            PlanCache(0)
+
+    def test_cold_then_hot(self, db):
+        cache = PlanCache(8)
+        opt = Optimizer(db, cache=cache)
+        query = _age_query(db)
+        first = opt.optimize_request(OptimizationRequest(query))
+        second = opt.optimize_request(OptimizationRequest(query))
+        assert first is second
+        assert opt.cold_optimize_count == 1
+        assert opt.call_count == 2
+        assert cache.hit_count == 1
+        assert cache.miss_count == 1
+
+    def test_lru_eviction(self, db):
+        cache = PlanCache(2)
+        opt = Optimizer(db, cache=cache)
+        requests = [
+            OptimizationRequest(_age_query(db, value)) for value in (25, 35, 45)
+        ]
+        for request in requests:
+            opt.optimize_request(request)
+        assert len(cache) == 2
+        assert cache.eviction_count == 1
+        assert cache.requests() == requests[1:]
+        # the evicted request is cold again
+        opt.optimize_request(requests[0])
+        assert opt.cold_optimize_count == 4
+
+    def test_metrics_registry_mirrors_counters(self, db):
+        metrics = MetricsRegistry()
+        cache = PlanCache(4, metrics=metrics)
+        opt = Optimizer(db, cache=cache)
+        request = OptimizationRequest(_age_query(db))
+        opt.optimize_request(request)
+        opt.optimize_request(request)
+        assert metrics.counter("plan_cache.misses") == 1
+        assert metrics.counter("plan_cache.hits") == 1
+        assert metrics.gauge_value("plan_cache.size") == 1
+
+    def test_attach_cache_conflict(self, db):
+        opt = Optimizer(db, cache=PlanCache(4))
+        opt.attach_cache(opt.cache)  # idempotent
+        with pytest.raises(OptimizerError):
+            opt.attach_cache(PlanCache(4))
+
+    def test_clear(self, db):
+        cache = PlanCache(4)
+        opt = Optimizer(db, cache=cache)
+        opt.optimize_request(OptimizationRequest(_age_query(db)))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestInvalidationMatrix:
+    """Every StatisticsManager mutation path must bump the epoch and
+    force the cache to re-optimize rather than serve a stale plan."""
+
+    def _warm(self, db, opt, query):
+        request = OptimizationRequest(query)
+        result = opt.optimize_request(request)
+        # hot on the second call: fresh-epoch fast path
+        assert opt.optimize_request(request) is result
+        return request, result
+
+    def test_create_invalidates(self, db):
+        opt = Optimizer(db, cache=PlanCache(8))
+        query = _age_query(db)
+        request, stale = self._warm(db, opt, query)
+        before = db.stats.epoch
+        db.stats.create(AGE)
+        assert db.stats.epoch > before
+        fresh = opt.optimize_request(request)
+        assert fresh is not stale
+        assert opt.cold_optimize_count == 2
+
+    def test_drop_invalidates(self, db):
+        db.stats.create(AGE)
+        opt = Optimizer(db, cache=PlanCache(8))
+        request, stale = self._warm(db, opt, _age_query(db))
+        before = db.stats.epoch
+        db.stats.drop(AGE)
+        assert db.stats.epoch > before
+        assert opt.optimize_request(request) is not stale
+        assert opt.cold_optimize_count == 2
+
+    def test_drop_all_invalidates(self, db):
+        db.stats.create(AGE)
+        opt = Optimizer(db, cache=PlanCache(8))
+        request, stale = self._warm(db, opt, _age_query(db))
+        before = db.stats.epoch
+        db.stats.drop_all()
+        assert db.stats.epoch > before
+        assert opt.optimize_request(request) is not stale
+
+    def test_refresh_table_invalidates(self, db):
+        db.stats.create(AGE)
+        opt = Optimizer(db, cache=PlanCache(8))
+        request, stale = self._warm(db, opt, _age_query(db))
+        before = db.stats.epoch
+        db.stats.refresh_table("emp")
+        assert db.stats.epoch > before
+        # update_count changed, so the fingerprint no longer matches
+        assert opt.optimize_request(request) is not stale
+        assert opt.cold_optimize_count == 2
+
+    def test_apply_incremental_inserts_invalidates(self, db):
+        import numpy as np
+
+        db.stats.create(AGE)
+        opt = Optimizer(db, cache=PlanCache(8))
+        request, stale = self._warm(db, opt, _age_query(db))
+        before = db.stats.epoch
+        db.stats.apply_incremental_inserts(
+            "emp", {"age": np.array([21, 22, 23], dtype=np.int64)}
+        )
+        assert db.stats.epoch > before
+        assert opt.optimize_request(request) is not stale
+
+    def test_ignore_subset_enter_and_exit_invalidate(self, db):
+        db.stats.create(AGE)
+        opt = Optimizer(db, cache=PlanCache(8))
+        query = QueryBuilder(db.schema).where("emp.age", "=", 30).build()
+        request, with_stats = self._warm(db, opt, query)
+        before = db.stats.epoch
+        with db.stats.ignore_subset([AGE]):
+            assert db.stats.epoch > before
+            hidden = opt.optimize_request(request)
+            assert hidden.rows != with_stats.rows
+        after = db.stats.epoch
+        assert after > before + 1
+        restored = opt.optimize_request(request)
+        assert restored.rows == with_stats.rows
+
+    def test_set_ignored_invalidates(self, db):
+        db.stats.create(AGE)
+        opt = Optimizer(db, cache=PlanCache(8))
+        query = QueryBuilder(db.schema).where("emp.age", "=", 30).build()
+        request, with_stats = self._warm(db, opt, query)
+        before = db.stats.epoch
+        db.stats.set_ignored([AGE])
+        assert db.stats.epoch > before
+        assert opt.optimize_request(request).rows != with_stats.rows
+        db.stats.clear_ignored()
+        assert opt.optimize_request(request).rows == with_stats.rows
+
+    def test_dml_invalidates_via_data_change(self, db):
+        opt = Optimizer(db, cache=PlanCache(8))
+        query = QueryBuilder(db.schema).table("emp").build()
+        request, stale = self._warm(db, opt, query)
+        before = db.stats.epoch
+        db.insert(
+            "emp",
+            [
+                {
+                    "id": 10_001,
+                    "age": 40,
+                    "salary": 90_000.0,
+                    "dept_id": 1,
+                    "name": "late",
+                    "hired": 100,
+                }
+            ],
+        )
+        assert db.stats.epoch > before
+        fresh = opt.optimize_request(request)
+        assert fresh is not stale
+        assert fresh.rows == stale.rows + 1
+
+    def test_irrelevant_change_revalidates_without_reoptimizing(self, db):
+        """A mutation that cannot affect the query's plan costs one
+        fingerprint check, not a cold optimization."""
+        opt = Optimizer(db, cache=PlanCache(8))
+        query = _age_query(db)
+        request, cached = self._warm(db, opt, query)
+        db.stats.create(ColumnRef("dept", "budget"))
+        assert opt.optimize_request(request) is cached
+        assert opt.cold_optimize_count == 1
+        assert opt.cache.revalidation_count == 1
+
+
+class TestFingerprint:
+    def test_fingerprint_ignores_unrelated_tables(self, db):
+        query = _age_query(db)
+        before = statistics_fingerprint(db, query)
+        db.stats.create(ColumnRef("dept", "budget"))
+        assert statistics_fingerprint(db, query) == before
+        db.stats.create(AGE)
+        assert statistics_fingerprint(db, query) != before
+
+    def test_fingerprint_respects_ignore(self, db):
+        db.stats.create(AGE)
+        query = _age_query(db)
+        ignoring = statistics_fingerprint(db, query, ignore=(StatKey.single(AGE),))
+        seeing = statistics_fingerprint(db, query)
+        assert ignoring != seeing
+
+
+class TestDeprecatedShims:
+    def test_optimize_kwargs_warn(self, db):
+        opt = Optimizer(db, cache=PlanCache(4))
+        query = _age_query(db)
+        pred = ComparisonPredicate(AGE, "<", 30)
+        pin = {PredicateVariable(pred): 0.25}
+        with pytest.warns(ReproDeprecationWarning):
+            via_shim = opt.optimize(query, selectivity_overrides=pin)
+        direct = opt.optimize_request(OptimizationRequest(query, pin))
+        assert via_shim is direct  # same cache entry
+        with pytest.warns(ReproDeprecationWarning):
+            opt.optimize(query, ignore_statistics=[AGE])
+
+    def test_plain_optimize_does_not_warn(self, db, recwarn):
+        Optimizer(db).optimize(_age_query(db))
+        assert not [
+            w
+            for w in recwarn.list
+            if issubclass(w.category, ReproDeprecationWarning)
+        ]
+
+    def test_mnsad_loose_floats_warn(self, db):
+        from repro.core.mnsad import mnsad_for_query
+
+        db.stats.create(AGE)
+        query = _age_query(db)
+        with pytest.warns(ReproDeprecationWarning):
+            mnsad_for_query(db, Optimizer(db), query, t_percent=25.0)
+
+    def test_shrinking_set_loose_float_warns(self, db):
+        from repro.core.shrinking import shrinking_set
+
+        db.stats.create(AGE)
+        query = _age_query(db)
+        with pytest.warns(ReproDeprecationWarning):
+            shrinking_set(db, Optimizer(db), [query], t_percent=25.0)
+
+    def test_essential_loose_float_warns(self, db):
+        from repro.core.essential import find_minimal_essential_set
+
+        db.stats.create(AGE)
+        query = _age_query(db)
+        with pytest.warns(ReproDeprecationWarning):
+            find_minimal_essential_set(
+                Optimizer(db), db, query, [StatKey.single(AGE)], t_percent=25.0
+            )
+
+
+class TestCallCountAtomicity:
+    def test_concurrent_increments_are_not_lost(self, db):
+        opt = Optimizer(db, cache=PlanCache(8))
+        request = OptimizationRequest(_age_query(db))
+        opt.optimize_request(request)  # warm once so threads only hit
+
+        def hammer():
+            for _ in range(50):
+                opt.optimize_request(request)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert opt.call_count == 1 + 8 * 50

@@ -4,7 +4,7 @@ import pytest
 
 from repro.catalog import ColumnRef
 from repro.config import OptimizerConfig
-from repro.optimizer import Optimizer
+from repro.optimizer import OptimizationRequest, Optimizer
 from repro.optimizer.plans import (
     AggregateNode,
     IndexSeekNode,
@@ -224,11 +224,11 @@ class TestServerExtensions:
         pred = ComparisonPredicate(AGE, "<", 30)
         query = QueryBuilder(db.schema).where("emp.age", "<", 30).build()
         opt = Optimizer(db)
-        low = opt.optimize(
-            query, selectivity_overrides={PredicateVariable(pred): 0.001}
+        low = opt.optimize_request(
+            OptimizationRequest(query, {PredicateVariable(pred): 0.001})
         )
-        high = opt.optimize(
-            query, selectivity_overrides={PredicateVariable(pred): 0.999}
+        high = opt.optimize_request(
+            OptimizationRequest(query, {PredicateVariable(pred): 0.999})
         )
         assert low.rows < high.rows
         assert low.cost <= high.cost
@@ -238,8 +238,8 @@ class TestServerExtensions:
         query = QueryBuilder(db.schema).where("emp.age", "=", 30).build()
         opt = Optimizer(db)
         with_stats = opt.optimize(query)
-        without = opt.optimize(
-            query, ignore_statistics=[AGE]
+        without = opt.optimize_request(
+            OptimizationRequest(query, ignore=[AGE])
         )
         assert without.rows != with_stats.rows
         # the ignore set is restored after the call

@@ -11,7 +11,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.optimizer import Optimizer
+from repro.optimizer import OptimizationRequest, Optimizer
 from repro.sql.builder import QueryBuilder
 
 from tests.util import simple_db
@@ -51,14 +51,14 @@ class TestCostMonotonicity:
         db, opt, query, variables = setup
         assert len(variables) == 4
         base_overrides = dict(zip(variables, values))
-        base_cost = opt.optimize(
-            query, selectivity_overrides=base_overrides
+        base_cost = opt.optimize_request(
+            OptimizationRequest(query, base_overrides)
         ).cost
         for variable in variables:
             raised = dict(base_overrides)
             raised[variable] = min(0.9995, raised[variable] + bump / 2)
-            raised_cost = opt.optimize(
-                query, selectivity_overrides=raised
+            raised_cost = opt.optimize_request(
+                OptimizationRequest(query, raised)
             ).cost
             assert raised_cost >= base_cost - 1e-9
 
@@ -69,17 +69,14 @@ class TestCostMonotonicity:
         between Cost(P_low) and Cost(P_high)."""
         db, opt, query, variables = setup
         epsilon = 0.0005
-        low = opt.optimize(
-            query,
-            selectivity_overrides={v: epsilon for v in variables},
+        low = opt.optimize_request(
+            OptimizationRequest(query, {v: epsilon for v in variables})
         ).cost
-        high = opt.optimize(
-            query,
-            selectivity_overrides={v: 1 - epsilon for v in variables},
+        high = opt.optimize_request(
+            OptimizationRequest(query, {v: 1 - epsilon for v in variables})
         ).cost
-        mid = opt.optimize(
-            query,
-            selectivity_overrides=dict(zip(variables, values)),
+        mid = opt.optimize_request(
+            OptimizationRequest(query, dict(zip(variables, values)))
         ).cost
         assert low - 1e-9 <= mid <= high + 1e-9
 
@@ -88,9 +85,9 @@ class TestCostMonotonicity:
     def test_rows_monotone_too(self, setup, values):
         db, opt, query, variables = setup
         overrides = dict(zip(variables, values))
-        base = opt.optimize(query, selectivity_overrides=overrides)
+        base = opt.optimize_request(OptimizationRequest(query, overrides))
         raised = {
             v: min(0.9995, s * 1.5) for v, s in overrides.items()
         }
-        more = opt.optimize(query, selectivity_overrides=raised)
+        more = opt.optimize_request(OptimizationRequest(query, raised))
         assert more.rows >= base.rows - 1e-9

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro.core.candidates import candidate_statistics
 from repro.core.equivalence import TOptimizerCostEquivalence
 from repro.core.mnsa import MnsaConfig, mnsa_for_query
-from repro.optimizer import Optimizer
+from repro.optimizer import OptimizationRequest, Optimizer
 from repro.workload import generate_workload
 
 from tests.util import simple_db
@@ -48,15 +48,15 @@ class TestMnsaPostconditions:
             return
         missing = optimizer.magic_variables(query)
         assert missing  # otherwise the stop reason would differ
-        low = optimizer.optimize(
-            query,
-            selectivity_overrides={v: config.epsilon for v in missing},
+        low = optimizer.optimize_request(
+            OptimizationRequest(
+                query, {v: config.epsilon for v in missing}
+            )
         )
-        high = optimizer.optimize(
-            query,
-            selectivity_overrides={
-                v: 1 - config.epsilon for v in missing
-            },
+        high = optimizer.optimize_request(
+            OptimizationRequest(
+                query, {v: 1 - config.epsilon for v in missing}
+            )
         )
         criterion = TOptimizerCostEquivalence(t)
         assert criterion.costs_equivalent(low.cost, high.cost)

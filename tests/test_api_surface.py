@@ -1,0 +1,104 @@
+"""Snapshot test of the curated public API surface.
+
+``repro.__all__`` is a contract: adding a name means committing to it,
+removing one is a breaking change.  Either direction must be deliberate —
+update ``EXPECTED`` here in the same change, and note removals in the
+CONTRIBUTING.md deprecation timeline.
+"""
+
+import repro
+
+EXPECTED = [
+    "AgingPolicy",
+    "AutoDropPolicy",
+    "CandidateMode",
+    "CaptureLog",
+    "Column",
+    "ColumnRef",
+    "ColumnType",
+    "CostModelConfig",
+    "CreationPolicy",
+    "DEFAULT_CONFIG",
+    "Database",
+    "EquivalenceCriterion",
+    "ExecutionResult",
+    "ExecutionTreeEquivalence",
+    "Executor",
+    "ForeignKey",
+    "MagicNumbers",
+    "MetricsRegistry",
+    "MnsaConfig",
+    "MnsaResult",
+    "MnsadResult",
+    "OptimizationRequest",
+    "OptimizationResult",
+    "Optimizer",
+    "OptimizerConfig",
+    "OptimizerCostEquivalence",
+    "PlanCache",
+    "Query",
+    "QueryBuilder",
+    "QueryEvent",
+    "RagsConfig",
+    "ReproDeprecationWarning",
+    "ReproError",
+    "Schema",
+    "ServiceConfig",
+    "Session",
+    "ShrinkingSetResult",
+    "SkewSpec",
+    "StalenessMonitor",
+    "StatKey",
+    "Statistic",
+    "StatisticsAdvisor",
+    "StatisticsManager",
+    "StatsService",
+    "TOptimizerCostEquivalence",
+    "TableSchema",
+    "TpcdGenerator",
+    "Workload",
+    "WorkloadDriver",
+    "apply_tuned_tpcd_indexes",
+    "bind",
+    "candidate_statistics",
+    "find_minimal_essential_set",
+    "find_next_stat_to_build",
+    "generate_workload",
+    "is_essential_set",
+    "make_tpcd_database",
+    "mnsa_for_query",
+    "mnsa_for_workload",
+    "mnsad_for_query",
+    "mnsad_for_workload",
+    "parse_and_bind",
+    "parse_statement",
+    "plan_signature",
+    "shrinking_set",
+    "tpcd_queries",
+    "tpcd_schema",
+    "workload_candidate_statistics",
+]
+
+
+class TestApiSurface:
+    def test_all_matches_snapshot(self):
+        actual = sorted(repro.__all__)
+        added = sorted(set(actual) - set(EXPECTED))
+        removed = sorted(set(EXPECTED) - set(actual))
+        assert actual == EXPECTED, (
+            f"public API drifted: added={added} removed={removed}; "
+            "update tests/test_api_surface.py deliberately"
+        )
+
+    def test_no_duplicates(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_every_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_star_import_is_exactly_all(self):
+        namespace = {}
+        exec("from repro import *", namespace)
+        exported = {k for k in namespace if not k.startswith("__")}
+        assert exported == set(repro.__all__)
