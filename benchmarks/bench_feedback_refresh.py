@@ -1,0 +1,144 @@
+"""Feedback-driven vs churn-driven statistics refresh on an aging workload.
+
+The scenario the feedback subsystem targets: an update-heavy workload
+(the aging experiment's ``U50-S-100``) repeatedly modifies tables after
+an initial MNSA tuning pass, so statistics go stale.  Two refresh arms
+stream the same statements through the same deterministic loop (optimize
+→ execute → DML → one staleness-monitor sweep per statement):
+
+* **churn** — the SQL Server 7.0 baseline: refresh once a table's
+  row-modification counter reaches ``CHURN_FRACTION`` of its rows,
+  whether or not any estimate actually degraded;
+* **qerror** — execution feedback: of the churn-due tables, refresh
+  only those whose observed per-operator q-error reached
+  ``QERROR_THRESHOLD`` — i.e. whose stale statistics were demonstrably
+  misleading the optimizer.
+
+The feedback arm must match or beat the churn arm's execution cost (its
+refreshes target the statistics that were actually misleading the
+optimizer) while performing strictly fewer statistic rebuilds (it skips
+the refreshes churn performs on heavily-updated tables whose estimates
+were still fine).
+
+Deliberately plain pytest (no ``benchmark`` fixture) so it doubles as
+the CI smoke step without pytest-benchmark installed.  Everything is
+single-threaded: the monitor thread object is never started, only its
+``run_once`` is driven, so both arms are exactly reproducible.
+"""
+
+import threading
+
+import pytest
+
+from repro.config import RefreshPolicy
+from repro.core.mnsa import mnsa_for_workload
+from repro.executor import Executor
+from repro.executor.dml import apply_dml
+from repro.feedback import FeedbackPolicy, FeedbackStore
+from repro.optimizer import Optimizer
+from repro.service import MetricsRegistry, StalenessMonitor
+from repro.sql.query import Query
+from repro.workload import generate_workload
+
+from benchmarks.conftest import bench_query_cap
+
+Z = 2.0
+WORKLOAD = "U50-S-100"  # the aging experiment's update-heavy workload
+REPEATS = 2
+CHURN_FRACTION = 0.2  # ServiceConfig.staleness_fraction default
+# Low enough that any materially misestimating churn-due table still
+# refreshes (keeping plan quality at the churn arm's level); the saved
+# rebuilds are the churn-due tables whose estimates stayed within 2x.
+QERROR_THRESHOLD = 2.0
+
+
+def _capped_statements(workload):
+    """Workload prefix holding the query/DML mix, capped on query count."""
+    cap = bench_query_cap()
+    statements, queries = [], 0
+    for statement in workload.statements:
+        statements.append(statement)
+        if isinstance(statement, Query):
+            queries += 1
+            if queries >= cap:
+                break
+    return statements
+
+
+def _run_arm(factory, refresh_policy: str):
+    """One refresh arm; returns (execution cost, rebuilds, refresh cost)."""
+    db = factory(Z)
+    workload = generate_workload(db, WORKLOAD)
+    statements = _capped_statements(workload)
+    queries = [s for s in statements if isinstance(s, Query)]
+
+    optimizer = Optimizer(db)
+    executor = Executor(db)
+    mnsa_for_workload(db, optimizer, queries)  # initial tuning pass
+
+    feedback = policy = None
+    if refresh_policy == "qerror":
+        feedback = FeedbackStore()
+        policy = FeedbackPolicy(
+            feedback,
+            refresh_policy=RefreshPolicy.QERROR,
+            refresh_threshold=QERROR_THRESHOLD,
+        )
+    monitor = StalenessMonitor(
+        db,
+        MetricsRegistry(),
+        threading.RLock(),
+        fraction=CHURN_FRACTION,
+        policy=policy,
+    )
+
+    execution_cost = 0.0
+    refresh_cost = 0.0
+    for _ in range(REPEATS):
+        for statement in statements:
+            if isinstance(statement, Query):
+                plan = optimizer.optimize(statement)
+                result = executor.execute(
+                    plan.plan, statement, feedback=feedback
+                )
+                execution_cost += result.actual_cost
+            else:
+                apply_dml(db, statement)
+            refresh_cost += monitor.run_once()
+    rebuilds = sum(s.update_count for s in db.stats.statistics())
+    return execution_cost, rebuilds, refresh_cost
+
+
+@pytest.fixture(scope="module")
+def arms(factory):
+    churn = _run_arm(factory, "churn")
+    qerror = _run_arm(factory, "qerror")
+    return churn, qerror
+
+
+def test_feedback_refresh_matches_churn_with_fewer_rebuilds(arms, report):
+    (churn_exec, churn_rebuilds, churn_refresh) = arms[0]
+    (qerror_exec, qerror_rebuilds, qerror_refresh) = arms[1]
+    report.add_section(
+        "Feedback-driven refresh — aging workload " + WORKLOAD,
+        (
+            f"churn:  exec cost {churn_exec:,.0f}, "
+            f"rebuilds {churn_rebuilds}, "
+            f"refresh cost {churn_refresh:,.0f}\n"
+            f"qerror: exec cost {qerror_exec:,.0f}, "
+            f"rebuilds {qerror_rebuilds}, "
+            f"refresh cost {qerror_refresh:,.0f}"
+        ),
+    )
+    assert churn_rebuilds > 0, (
+        "churn arm never refreshed — the workload is not aging the "
+        "statistics and the comparison is vacuous"
+    )
+    assert qerror_exec <= churn_exec, (
+        f"feedback-driven refresh regressed execution cost: "
+        f"{qerror_exec:,.0f} > {churn_exec:,.0f}"
+    )
+    assert qerror_rebuilds < churn_rebuilds, (
+        f"feedback-driven refresh did not save rebuilds: "
+        f"{qerror_rebuilds} >= {churn_rebuilds}"
+    )

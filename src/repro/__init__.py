@@ -31,6 +31,7 @@ from repro.config import (
     DEFAULT_CONFIG,
     MagicNumbers,
     OptimizerConfig,
+    RefreshPolicy,
     ServiceConfig,
 )
 from repro.core import (
@@ -67,6 +68,16 @@ from repro.datagen import (
     tpcd_schema,
 )
 from repro.executor import ExecutionResult, Executor
+from repro.feedback import (
+    FeedbackKey,
+    FeedbackPolicy,
+    FeedbackStore,
+    OperatorObservation,
+    PlanInstrumenter,
+    QErrorTracker,
+    q_error,
+    worst_plan_q_error,
+)
 from repro.index import apply_tuned_tpcd_indexes
 from repro.optimizer import (
     OptimizationRequest,
@@ -110,6 +121,7 @@ __all__ = [
     "CostModelConfig",
     "OptimizerConfig",
     "ServiceConfig",
+    "RefreshPolicy",
     "DEFAULT_CONFIG",
     # data generation
     "SkewSpec",
@@ -134,6 +146,15 @@ __all__ = [
     "plan_signature",
     "Executor",
     "ExecutionResult",
+    # execution feedback
+    "q_error",
+    "worst_plan_q_error",
+    "FeedbackKey",
+    "FeedbackPolicy",
+    "FeedbackStore",
+    "OperatorObservation",
+    "PlanInstrumenter",
+    "QErrorTracker",
     # indexes
     "apply_tuned_tpcd_indexes",
     # core algorithms

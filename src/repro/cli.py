@@ -139,6 +139,62 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="analysis parallelism: overrides --workers when given",
     )
+    serve.add_argument(
+        "--feedback",
+        action="store_true",
+        help=(
+            "capture per-operator estimated-vs-actual cardinalities and "
+            "let observed q-error drive refresh/re-tune decisions"
+        ),
+    )
+    serve.add_argument(
+        "--refresh-policy",
+        choices=("churn", "qerror", "hybrid"),
+        default="churn",
+        help=(
+            "staleness-monitor trigger: row churn (SQL Server 7.0 "
+            "baseline), observed q-error, or both (implies --feedback)"
+        ),
+    )
+    serve.add_argument(
+        "--qerror-refresh-threshold",
+        type=float,
+        default=4.0,
+        help="decayed q-error at which a table becomes due for refresh",
+    )
+    serve.add_argument(
+        "--qerror-retune-threshold",
+        type=float,
+        default=10.0,
+        help="worst plan q-error that queues an MNSA re-tune",
+    )
+
+    feedback = sub.add_parser(
+        "feedback",
+        help=(
+            "execute a workload inline with per-operator feedback capture "
+            "and report q-error aggregates per (table, column-set) target"
+        ),
+    )
+    feedback.add_argument(
+        "--db", default=None, help="existing database directory (default: "
+        "generate a TPC-D database in memory)"
+    )
+    feedback.add_argument("--scale", type=float, default=0.002)
+    feedback.add_argument("--z", default="2")
+    feedback.add_argument("--seed", type=int, default=42)
+    feedback.add_argument(
+        "--workload", default="U25-S-100", help="U<pct>-<S|C>-<n> spec"
+    )
+    feedback.add_argument(
+        "--threshold",
+        type=float,
+        default=4.0,
+        help="flag targets whose decayed q-error reaches this value",
+    )
+    feedback.add_argument(
+        "--top", type=int, default=20, help="show at most this many targets"
+    )
 
     experiment = sub.add_parser(
         "experiment", help="reproduce a paper table or figure"
@@ -220,6 +276,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "workload": _cmd_workload,
         "tune": _cmd_tune,
         "serve": _cmd_serve,
+        "feedback": _cmd_feedback,
         "experiment": _cmd_experiment,
         "ablation": _cmd_ablation,
         "lint": _cmd_lint,
@@ -364,6 +421,7 @@ def _cmd_serve(args) -> int:
     workers = (
         args.parallelism if args.parallelism is not None else args.workers
     )
+    feedback_on = args.feedback or args.refresh_policy != "churn"
     config = ServiceConfig(
         capture_capacity=args.capture,
         advisor_workers=workers,
@@ -372,13 +430,23 @@ def _cmd_serve(args) -> int:
         refresh_budget_per_cycle=args.refresh_budget,
         execute_queries=not args.no_execute,
         plan_cache_size=args.cache_size,
+        feedback_enabled=feedback_on,
+        refresh_policy=args.refresh_policy,
+        qerror_refresh_threshold=args.qerror_refresh_threshold,
+        qerror_retune_threshold=args.qerror_retune_threshold,
     )
     service = StatsService(db, config)
     clients = max(1, args.clients)
+    feedback_note = (
+        f", feedback on ({args.refresh_policy} refresh)"
+        if feedback_on
+        else ""
+    )
     print(
         f"serving workload {args.workload} over {db.name}: "
         f"{clients} client(s), {workers} advisor worker(s), "
         f"policy {args.policy}, plan cache {args.cache_size}"
+        f"{feedback_note}"
     )
 
     client_errors = []
@@ -414,6 +482,9 @@ def _cmd_serve(args) -> int:
     drop_list = db.stats.drop_list()
     if drop_list:
         print(f"  drop-list: {', '.join(str(k) for k in drop_list)}")
+    if service.feedback is not None:
+        print("\n--- feedback (worst targets)")
+        print(_feedback_table(service.feedback, threshold=None, top=10))
     print("\n--- metrics")
     print(service.metrics_text())
     for exc in service.worker_errors():
@@ -421,6 +492,92 @@ def _cmd_serve(args) -> int:
     for exc in client_errors:
         print(f"client error: {exc!r}")
     return 1 if (client_errors or service.worker_errors()) else 0
+
+
+def _feedback_table(store, threshold, top) -> str:
+    """Render a feedback store's worst targets as a report table."""
+    rows = []
+    for key, aggregate in store.snapshot()[:top]:
+        flagged = (
+            threshold is not None
+            and aggregate["decayed_q_error"] >= threshold
+        )
+        rows.append(
+            [
+                str(key),
+                aggregate["count"],
+                f"{aggregate['max_q_error']:.1f}",
+                f"{aggregate['p95_q_error']:.1f}",
+                f"{aggregate['decayed_q_error']:.1f}",
+                f"{aggregate['last_estimated']:.0f}",
+                aggregate["last_actual"],
+                "refresh" if flagged else "",
+            ]
+        )
+    return format_table(
+        [
+            "target",
+            "obs",
+            "max q",
+            "p95 q",
+            "decayed q",
+            "last est",
+            "last actual",
+            "action",
+        ],
+        rows,
+    )
+
+
+def _cmd_feedback(args) -> int:
+    from repro.datagen import make_tpcd_database
+    from repro.executor import Executor
+    from repro.executor.dml import apply_dml
+    from repro.feedback import FeedbackStore
+    from repro.optimizer import Optimizer
+    from repro.sql.query import Query
+    from repro.workload import generate_workload
+
+    if args.db:
+        from repro.storage.persistence import load_database
+
+        db = load_database(args.db)
+    else:
+        db = make_tpcd_database(
+            scale=args.scale, z=_parse_z(args.z), seed=args.seed
+        )
+    workload = generate_workload(db, args.workload, seed=args.seed)
+    optimizer = Optimizer(db)
+    executor = Executor(db)
+    store = FeedbackStore()
+    queries = dml = 0
+    for statement in workload.statements:
+        if isinstance(statement, Query):
+            plan = optimizer.optimize(statement)
+            executor.execute(plan.plan, statement, feedback=store)
+            queries += 1
+        else:
+            apply_dml(db, statement)
+            dml += 1
+    counters = store.counters()
+    print(
+        f"executed {queries} queries / {dml} DML over {db.name}: "
+        f"{counters['observations']} operator observations, "
+        f"{counters['tracked']} feedback targets"
+    )
+    print(_feedback_table(store, threshold=args.threshold, top=args.top))
+    flagged = store.tables_by_error(args.threshold)
+    if flagged:
+        print(
+            f"\ntables due for refresh at q-error >= {args.threshold:g}: "
+            f"{', '.join(flagged)}"
+        )
+    else:
+        print(
+            f"\nno table reaches the q-error refresh threshold "
+            f"({args.threshold:g})"
+        )
+    return 0
 
 
 def _cmd_experiment(args) -> int:

@@ -23,7 +23,29 @@ next to the algorithm it parameterizes.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
+
+
+class RefreshPolicy(enum.Enum):
+    """What triggers a statistics refresh in the staleness monitor.
+
+    * ``CHURN`` — the SQL Server 7.0 baseline: a table is refreshed once
+      its row-modification counter reaches ``staleness_fraction`` of its
+      row count, regardless of whether estimates actually degraded.
+    * ``QERROR`` — execution feedback: a table is refreshed once the
+      decayed observed q-error on any of its feedback targets reaches
+      ``qerror_refresh_threshold``; churn counters are ignored.
+    * ``HYBRID`` — union of both triggers, feedback-flagged tables first.
+
+    ``QERROR`` and ``HYBRID`` require ``feedback_enabled=True`` — without
+    a :class:`~repro.feedback.store.FeedbackStore` there is no error
+    signal to act on.
+    """
+
+    CHURN = "churn"
+    QERROR = "qerror"
+    HYBRID = "hybrid"
 
 
 @dataclass(frozen=True)
@@ -203,6 +225,22 @@ class ServiceConfig:
             :class:`~repro.optimizer.cache.PlanCache` the service's
             session optimizer and advisor workers consult; ``0``
             disables plan caching entirely.
+        feedback_enabled: collect per-operator estimated-vs-actual
+            cardinality observations into a
+            :class:`~repro.feedback.store.FeedbackStore` and let the
+            feedback policy drive refresh/re-tune decisions.  Off by
+            default: the paper's experiments predate execution feedback
+            and must stay byte-identical.
+        feedback_capacity: maximum (table, column-set) targets the
+            feedback store tracks before least-recently-observed
+            eviction.
+        refresh_policy: which trigger drives the staleness monitor
+            (:class:`RefreshPolicy`; a plain ``"churn"`` / ``"qerror"``
+            / ``"hybrid"`` string is accepted and coerced).
+        qerror_refresh_threshold: decayed q-error at which a table
+            becomes due for refresh under ``qerror`` / ``hybrid``.
+        qerror_retune_threshold: worst per-plan q-error at which the
+            service queues an MNSA re-tune for the offending query.
     """
 
     capture_capacity: int = 1024
@@ -216,6 +254,11 @@ class ServiceConfig:
     purge_drop_list_before_refresh: bool = False
     execute_queries: bool = True
     plan_cache_size: int = 256
+    feedback_enabled: bool = False
+    feedback_capacity: int = 512
+    refresh_policy: RefreshPolicy = RefreshPolicy.CHURN
+    qerror_refresh_threshold: float = 4.0
+    qerror_retune_threshold: float = 10.0
 
     def __post_init__(self) -> None:
         if self.capture_capacity < 1:
@@ -257,6 +300,35 @@ class ServiceConfig:
             raise ValueError(
                 f"plan_cache_size must be >= 0 (0 disables caching), got "
                 f"{self.plan_cache_size}"
+            )
+        # frozen dataclass: coerce the string spelling in place
+        object.__setattr__(
+            self, "refresh_policy", RefreshPolicy(self.refresh_policy)
+        )
+        if self.feedback_capacity < 1:
+            raise ValueError(
+                f"feedback_capacity must be >= 1, got "
+                f"{self.feedback_capacity}"
+            )
+        if self.qerror_refresh_threshold < 1.0:
+            raise ValueError(
+                f"qerror_refresh_threshold must be >= 1, got "
+                f"{self.qerror_refresh_threshold}"
+            )
+        if self.qerror_retune_threshold < self.qerror_refresh_threshold:
+            raise ValueError(
+                "qerror_retune_threshold must be >= "
+                "qerror_refresh_threshold, got "
+                f"{self.qerror_retune_threshold} < "
+                f"{self.qerror_refresh_threshold}"
+            )
+        if (
+            self.refresh_policy is not RefreshPolicy.CHURN
+            and not self.feedback_enabled
+        ):
+            raise ValueError(
+                f"refresh_policy {self.refresh_policy.value!r} requires "
+                "feedback_enabled=True"
             )
 
 

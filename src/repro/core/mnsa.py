@@ -194,11 +194,16 @@ def mnsa_for_query(
     query: Query,
     candidates: Optional[Sequence[StatKey]] = None,
     config: MnsaConfig = MnsaConfig(),
+    feedback=None,
 ) -> MnsaResult:
     """Run Figure 1's algorithm for one query.
 
     Statistics already present (and visible) are treated as existing set S;
-    only missing candidates are considered for creation.
+    only missing candidates are considered for creation.  ``feedback``
+    (an optional :class:`~repro.feedback.store.FeedbackStore`) lets
+    ``FindNextStatToBuild`` break candidate ties toward the
+    highest-error observed predicate columns; ``None`` reproduces the
+    paper's candidate-order choice exactly.
     """
     result = MnsaResult()
     criterion = config.cost_criterion()
@@ -244,7 +249,9 @@ def mnsa_for_query(
         if insensitive:  # step 7
             result.stop_reason = "insensitive"
             break
-        group = find_next_stat_to_build(plan.plan, query, remaining)  # step 8
+        group = find_next_stat_to_build(
+            plan.plan, query, remaining, feedback=feedback
+        )  # step 8
         if not group:
             result.stop_reason = "exhausted"
             break

@@ -67,8 +67,14 @@ def mnsad_for_query(
     config: Optional[MnsaConfig] = None,
     t_percent: Optional[float] = None,
     epsilon: Optional[float] = None,
+    feedback=None,
 ) -> MnsadResult:
     """Run MNSA/D for one query.
+
+    ``feedback`` (an optional
+    :class:`~repro.feedback.store.FeedbackStore`) biases
+    ``FindNextStatToBuild`` toward the highest-error observed predicate
+    columns, as in :func:`~repro.core.mnsa.mnsa_for_query`.
 
     .. deprecated::
         ``t_percent`` / ``epsilon`` are aliases for the corresponding
@@ -118,7 +124,9 @@ def mnsad_for_query(
         if criterion.costs_equivalent(low.cost, high.cost):
             result.stop_reason = "insensitive"
             break
-        group = find_next_stat_to_build(plan.plan, query, remaining)
+        group = find_next_stat_to_build(
+            plan.plan, query, remaining, feedback=feedback
+        )
         if not group:
             result.stop_reason = "exhausted"
             break

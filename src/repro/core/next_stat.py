@@ -30,6 +30,7 @@ def find_next_stat_to_build(
     plan: PlanNode,
     query: Query,
     remaining: Sequence[StatKey],
+    feedback=None,
 ) -> Optional[List[StatKey]]:
     """The next statistic (or dependent pair) to create, or ``None``.
 
@@ -38,6 +39,12 @@ def find_next_stat_to_build(
             (Figure 1 uses P, not P_low/P_high, for this step).
         query: the query being analyzed.
         remaining: candidate statistics not yet built, in candidate order.
+        feedback: optional :class:`~repro.feedback.store.FeedbackStore`.
+            When several candidates are relevant at the chosen node, the
+            one covering the highest-error observed predicate columns is
+            built first (candidate order breaks remaining ties).  With
+            ``None`` the choice is exactly the paper's: first relevant
+            candidate in candidate order.
 
     Returns:
         A non-empty list of keys from ``remaining`` to build together, or
@@ -48,38 +55,63 @@ def find_next_stat_to_build(
         return None
     nodes = sorted(plan.walk(), key=lambda n: -n.local_cost)
     for node in nodes:
-        group = _relevant_remaining(node, query, remaining)
+        group = _relevant_remaining(node, query, remaining, feedback)
         if group:
             return group
     return None
 
 
 def _relevant_remaining(
-    node: PlanNode, query: Query, remaining: List[StatKey]
+    node: PlanNode, query: Query, remaining: List[StatKey], feedback
 ) -> Optional[List[StatKey]]:
     if isinstance(node, (ScanNode, IndexSeekNode)):
-        return _for_scan(node, remaining)
+        return _for_scan(node, remaining, feedback)
     if isinstance(node, JoinNode):
-        return _for_join(node, remaining)
+        return _for_join(node, remaining, feedback)
     if isinstance(node, AggregateNode):
-        return _for_aggregate(node, remaining)
+        return _for_aggregate(node, remaining, feedback)
     return None
 
 
-def _for_scan(node, remaining: List[StatKey]) -> Optional[List[StatKey]]:
+def _pick(candidates: List[StatKey], feedback) -> StatKey:
+    """Feedback tie-break: the candidate over the worst-estimated columns.
+
+    Strict ``>`` keeps candidate order authoritative when feedback has
+    nothing to say (all errors 1.0) or says the same about several
+    candidates.
+    """
+    if feedback is None or len(candidates) == 1:
+        return candidates[0]
+    best = candidates[0]
+    best_error = feedback.q_error_for_columns(best.table, best.columns)
+    for key in candidates[1:]:
+        error = feedback.q_error_for_columns(key.table, key.columns)
+        if error > best_error:
+            best, best_error = key, error
+    return best
+
+
+def _for_scan(
+    node, remaining: List[StatKey], feedback
+) -> Optional[List[StatKey]]:
     """Statistics over the columns of the node's selection predicates."""
     predicate_columns = {
         ref.column for pred in node.predicates for ref in pred.columns()
     }
-    for key in remaining:
-        if key.table == node.tables()[0] and (
-            set(key.columns) <= predicate_columns
-        ):
-            return [key]
-    return None
+    relevant = [
+        key
+        for key in remaining
+        if key.table == node.tables()[0]
+        and set(key.columns) <= predicate_columns
+    ]
+    if not relevant:
+        return None
+    return [_pick(relevant, feedback)]
 
 
-def _for_join(node: JoinNode, remaining: List[StatKey]) -> Optional[List]:
+def _for_join(
+    node: JoinNode, remaining: List[StatKey], feedback
+) -> Optional[List]:
     """Statistics on the join columns of both sides, built as a pair.
 
     Picks the first remaining key that covers some side's join columns,
@@ -94,14 +126,15 @@ def _for_join(node: JoinNode, remaining: List[StatKey]) -> Optional[List]:
             side_columns.setdefault(ref.table, set()).add(ref.column)
     tables = list(side_columns)
 
-    def relevant(key: StatKey) -> bool:
-        return key.table in side_columns and (
-            set(key.columns) <= side_columns[key.table]
-        )
-
-    first = next((key for key in remaining if relevant(key)), None)
-    if first is None:
+    relevant_keys = [
+        key
+        for key in remaining
+        if key.table in side_columns
+        and set(key.columns) <= side_columns[key.table]
+    ]
+    if not relevant_keys:
         return None
+    first = _pick(relevant_keys, feedback)
     group = [first]
     # the dependent statistic: same shape on the opposite side(s)
     for other_table in tables:
@@ -141,13 +174,17 @@ def _matching_partner(
 
 
 def _for_aggregate(
-    node: AggregateNode, remaining: List[StatKey]
+    node: AggregateNode, remaining: List[StatKey], feedback
 ) -> Optional[List[StatKey]]:
     """Statistics over the grouping columns."""
     by_table = {}
     for ref in node.group_by:
         by_table.setdefault(ref.table, set()).add(ref.column)
-    for key in remaining:
-        if key.table in by_table and set(key.columns) <= by_table[key.table]:
-            return [key]
-    return None
+    relevant = [
+        key
+        for key in remaining
+        if key.table in by_table and set(key.columns) <= by_table[key.table]
+    ]
+    if not relevant:
+        return None
+    return [_pick(relevant, feedback)]

@@ -32,6 +32,7 @@ from repro.executor.operators import (
     joint_composite_keys,
 )
 from repro.executor.relation import Relation
+from repro.feedback.observation import OperatorObservation, PlanInstrumenter
 from repro.optimizer.cost_model import CostModel
 from repro.optimizer.plans import (
     AggregateNode,
@@ -56,6 +57,10 @@ class ExecutionResult:
         actual_cost: cost-model units at observed cardinalities — the
             experiments' "execution cost".
         row_count: rows produced by the final operator.
+        operator_observations: one
+            :class:`~repro.feedback.observation.OperatorObservation` per
+            executed operator (bottom-up order) — the raw material of
+            the execution-feedback loop.
     """
 
     def __init__(
@@ -65,16 +70,25 @@ class ExecutionResult:
         actual_cost: float,
         projections: tuple,
         query: Optional[Query],
+        operator_observations: Tuple[OperatorObservation, ...] = (),
     ) -> None:
         self._db = database
         self.relation = relation
         self.actual_cost = float(actual_cost)
         self._projections = projections
         self._query = query
+        self.operator_observations = operator_observations
 
     @property
     def row_count(self) -> int:
         return self.relation.row_count
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutionResult(row_count={self.row_count}, "
+            f"actual_cost={self.actual_cost:.2f}, "
+            f"operators={len(self.operator_observations)})"
+        )
 
     def output_keys(self) -> list:
         """Column keys of the projected output, in SELECT-list order."""
@@ -138,17 +152,40 @@ class Executor:
         self._db = database
         self._config = config
         self._cost = CostModel(config)
+        self._instrumenter = PlanInstrumenter()
 
     # ------------------------------------------------------------------
 
     def execute(
-        self, plan: PlanNode, query: Optional[Query] = None
+        self,
+        plan: PlanNode,
+        query: Optional[Query] = None,
+        feedback=None,
     ) -> ExecutionResult:
-        """Run ``plan``; ``query`` (when given) scopes projected columns."""
+        """Run ``plan``; ``query`` (when given) scopes projected columns.
+
+        Every operator's actual output cardinality is zipped with its
+        optimization-time estimate into the result's
+        ``operator_observations``; when ``feedback`` (a
+        :class:`~repro.feedback.store.FeedbackStore`) is given, the
+        observations are also recorded there.  Observation capture never
+        changes rows or costs — execution with feedback off is
+        byte-identical to execution before the feedback subsystem.
+        """
         needed = self._needed_columns(query) if query is not None else None
-        relation, cost = self._run(plan, needed)
+        sink: List[Tuple[PlanNode, int]] = []
+        relation, cost = self._run(plan, needed, sink)
+        annotations = self._instrumenter.instrument(plan)
+        observations = tuple(
+            self._instrumenter.observe(annotations, node, rows)
+            for node, rows in sink
+        )
+        if feedback is not None:
+            feedback.record_all(observations)
         projections = query.projections if query is not None else ()
-        return ExecutionResult(self._db, relation, cost, projections, query)
+        return ExecutionResult(
+            self._db, relation, cost, projections, query, observations
+        )
 
     # ------------------------------------------------------------------
     # column pruning
@@ -198,24 +235,36 @@ class Executor:
     # node dispatch
     # ------------------------------------------------------------------
 
+    def _run(
+        self, node: PlanNode, needed, sink: List[Tuple[PlanNode, int]]
+    ) -> Tuple[Relation, float]:
+        """Dispatch one node and record its observed cardinality."""
+        relation, cost = self._dispatch(node, needed, sink)
+        sink.append((node, relation.row_count))
+        return relation, cost
+
     # repro-lint: dispatch=PlanNode
-    def _run(self, node: PlanNode, needed) -> Tuple[Relation, float]:
+    def _dispatch(
+        self, node: PlanNode, needed, sink: List[Tuple[PlanNode, int]]
+    ) -> Tuple[Relation, float]:
         if isinstance(node, ScanNode):
             return self._run_scan(node, needed)
         if isinstance(node, IndexSeekNode):
             return self._run_seek(node, needed)
         if isinstance(node, JoinNode):
-            return self._run_join(node, needed)
+            return self._run_join(node, needed, sink)
         if isinstance(node, AggregateNode):
-            return self._run_aggregate(node, needed)
+            return self._run_aggregate(node, needed, sink)
         if isinstance(node, HavingNode):
-            return self._run_having(node, needed)
+            return self._run_having(node, needed, sink)
         if isinstance(node, SortNode):
-            return self._run_sort(node, needed)
+            return self._run_sort(node, needed, sink)
         raise ExecutionError(f"unknown plan node {type(node).__name__}")
 
-    def _run_having(self, node: HavingNode, needed) -> Tuple[Relation, float]:
-        child_rel, child_cost = self._run(node.child, needed)
+    def _run_having(
+        self, node: HavingNode, needed, sink
+    ) -> Tuple[Relation, float]:
+        child_rel, child_cost = self._run(node.child, needed, sink)
         comparators = {
             "=": np.equal,
             "<>": np.not_equal,
@@ -296,9 +345,11 @@ class Executor:
     # joins
     # ------------------------------------------------------------------
 
-    def _run_join(self, node: JoinNode, needed) -> Tuple[Relation, float]:
-        left_rel, left_cost = self._run(node.left, needed)
-        right_rel, right_cost = self._run(node.right, needed)
+    def _run_join(
+        self, node: JoinNode, needed, sink
+    ) -> Tuple[Relation, float]:
+        left_rel, left_cost = self._run(node.left, needed, sink)
+        right_rel, right_cost = self._run(node.right, needed, sink)
 
         if node.join_predicates:
             left_arrays, right_arrays = align_join_keys(
@@ -341,9 +392,9 @@ class Executor:
     # ------------------------------------------------------------------
 
     def _run_aggregate(
-        self, node: AggregateNode, needed
+        self, node: AggregateNode, needed, sink
     ) -> Tuple[Relation, float]:
-        child_rel, child_cost = self._run(node.child, needed)
+        child_rel, child_cost = self._run(node.child, needed, sink)
         input_rows = child_rel.row_count
 
         if node.group_by:
@@ -431,8 +482,10 @@ class Executor:
             return np.where(np.isfinite(out), out, 0.0)
         raise ExecutionError(f"unsupported aggregate {aggregate}")
 
-    def _run_sort(self, node: SortNode, needed) -> Tuple[Relation, float]:
-        child_rel, child_cost = self._run(node.child, needed)
+    def _run_sort(
+        self, node: SortNode, needed, sink
+    ) -> Tuple[Relation, float]:
+        child_rel, child_cost = self._run(node.child, needed, sink)
         child_rel = self._sorted_by(child_rel, node.keys)
         cost = child_cost + self._cost.sort(child_rel.row_count)
         return child_rel, cost

@@ -1,0 +1,47 @@
+"""Execution-feedback subsystem: estimate → execute → observe → refresh.
+
+The paper's MNSA loop chooses *which* statistics to build from optimizer
+estimates alone, and refreshes them on row-churn counters.  This package
+closes the loop with the signal the executor already computes and used
+to throw away — actual per-operator cardinalities:
+
+* :mod:`repro.feedback.observation` — :func:`q_error`,
+  :class:`OperatorObservation`, and the :class:`PlanInstrumenter` that
+  derives the estimate-side half of each observation from a plan;
+* :mod:`repro.feedback.store` — :class:`QErrorTracker` streaming
+  aggregates inside a bounded, thread-safe :class:`FeedbackStore`;
+* :mod:`repro.feedback.policy` — :class:`FeedbackPolicy`, which turns
+  aggregates into refresh ordering and MNSA re-tune decisions.
+
+Deliberately independent of :mod:`repro.service` (the executor imports
+this package; the service imports the executor), so the metrics hook is
+duck-typed rather than typed against :class:`MetricsRegistry`.
+"""
+
+from repro.feedback.observation import (
+    MIN_CARDINALITY,
+    FeedbackKey,
+    NodeAnnotation,
+    OperatorObservation,
+    PlanInstrumenter,
+    q_error,
+)
+from repro.feedback.policy import FeedbackPolicy
+from repro.feedback.store import (
+    FeedbackStore,
+    QErrorTracker,
+    worst_plan_q_error,
+)
+
+__all__ = [
+    "MIN_CARDINALITY",
+    "FeedbackKey",
+    "FeedbackPolicy",
+    "FeedbackStore",
+    "NodeAnnotation",
+    "OperatorObservation",
+    "PlanInstrumenter",
+    "QErrorTracker",
+    "q_error",
+    "worst_plan_q_error",
+]

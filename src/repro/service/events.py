@@ -38,8 +38,15 @@ class QueryEvent:
         estimated_cost: optimizer-estimated plan cost at execution time.
         magic_variable_count: selectivity variables that fell back to
             magic numbers — 0 means existing statistics fully covered the
-            query and the advisor can skip it.
+            query and the advisor can skip it (unless the event is a
+            re-tune request).
         tables: tables the query touches, for per-table attribution.
+        retune: execution feedback flagged this query's plan as badly
+            misestimated; the advisor must re-analyze it even if no
+            selectivity variable fell back to a magic number.
+        worst_q_error: worst per-operator q-error observed executing the
+            plan (1.0 when the query was not executed or feedback is
+            off).
     """
 
     seq: int
@@ -47,6 +54,8 @@ class QueryEvent:
     estimated_cost: float
     magic_variable_count: int
     tables: Tuple[str, ...] = field(default=())
+    retune: bool = False
+    worst_q_error: float = 1.0
 
 
 class CaptureLog:

@@ -1,4 +1,4 @@
-"""The staleness monitor: counter-triggered refresh off the query path.
+"""The staleness monitor: triggered refresh off the query path.
 
 SQL Server 7.0 refreshes a table's statistics when its row-modification
 counter reaches a fraction of the table size (paper Sec 2, Sec 6) — but it
@@ -9,6 +9,12 @@ statistics manager which tables are due
 and refreshes them under a configurable per-cycle cost budget, so a burst
 of DML cannot translate into an unbounded refresh stall.
 
+With a :class:`~repro.feedback.policy.FeedbackPolicy` attached, *what is
+due* is decided by observed estimation error instead of (or in addition
+to) raw row churn — see :class:`~repro.config.RefreshPolicy`.  A table
+whose statistics were just refreshed has its feedback aggregates reset:
+the recorded errors described the statistics that no longer exist.
+
 Optionally the monitor purges drop-listed statistics on a table before
 refreshing it — the Sec 6 improvement: refreshing statistics the optimizer
 will never see is exactly the update overhead the drop-list identifies.
@@ -18,9 +24,11 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import List, Optional
+import warnings
+from typing import Dict, List, Optional, Tuple
 
 from repro.concurrency import guarded_by
+from repro.errors import ReproDeprecationWarning
 from repro.service.metrics import MetricsRegistry
 
 
@@ -37,9 +45,19 @@ class StalenessMonitor(threading.Thread):
             = unbounded); tables beyond the budget are deferred.
         purge_drop_list: physically delete drop-listed statistics on a
             table before refreshing it.
+        policy: optional :class:`~repro.feedback.policy.FeedbackPolicy`.
+            When given, it decides which tables are due (by q-error,
+            churn, or both per its
+            :class:`~repro.config.RefreshPolicy`), and a successful
+            refresh resets the table's feedback aggregates.
+        update_threshold: deprecated alias for ``fraction``; configure
+            :class:`~repro.config.ServiceConfig` (``staleness_fraction``
+            and ``refresh_policy``) instead.
     """
 
     _errors = guarded_by("_errors_lock")
+    _failed = guarded_by("_db_lock")
+    _cycle = guarded_by("_db_lock")
 
     def __init__(
         self,
@@ -50,8 +68,19 @@ class StalenessMonitor(threading.Thread):
         poll_seconds: float = 0.25,
         budget_per_cycle: Optional[float] = None,
         purge_drop_list: bool = False,
+        policy=None,
+        update_threshold: Optional[float] = None,
     ) -> None:
         super().__init__(name="stats-staleness-monitor", daemon=True)
+        if update_threshold is not None:
+            warnings.warn(
+                "StalenessMonitor(update_threshold=...) is deprecated; "
+                "pass fraction=..., or configure the service through "
+                "ServiceConfig(staleness_fraction=..., refresh_policy=...)",
+                ReproDeprecationWarning,
+                stacklevel=2,
+            )
+            fraction = update_threshold
         self._db = database
         self._metrics = metrics
         self._db_lock = db_lock
@@ -61,15 +90,24 @@ class StalenessMonitor(threading.Thread):
             math.inf if budget_per_cycle is None else budget_per_cycle
         )
         self._purge = purge_drop_list
+        self._policy = policy
         self._stop_event = threading.Event()
         self._errors_lock = threading.Lock()
         self._errors: List[BaseException] = []
+        #: table -> (failed attempts, first cycle eligible to retry)
+        self._failed: Dict[str, Tuple[int, int]] = {}
+        self._cycle = 0
 
     @property
     def errors(self) -> List[BaseException]:
         """Exceptions swallowed to keep the monitor alive (a copy)."""
         with self._errors_lock:
             return list(self._errors)
+
+    def failed_tables(self) -> Dict[str, Tuple[int, int]]:
+        """Backoff state: table -> (attempts, next eligible cycle)."""
+        with self._db_lock:
+            return dict(self._failed)
 
     # ------------------------------------------------------------------
 
@@ -96,24 +134,58 @@ class StalenessMonitor(threading.Thread):
         Exposed for deterministic tests and for the service's final drain
         pass (so modification counters accumulated late in a workload
         still get their refresh before shutdown).
+
+        A table whose refresh raises is not silently dropped from future
+        sweeps: the error is recorded (``errors`` /
+        ``monitor.refresh_errors``), the remaining due tables still get
+        their refresh this cycle, and the failing table is retried with
+        exponential backoff (1, 2, 4, ... cycles) until a refresh
+        succeeds.
         """
         spent = 0.0
         with self._db_lock:
+            self._cycle += 1
+            cycle = self._cycle
             stats = self._db.stats
-            due = stats.tables_needing_refresh(self._fraction)
+            due = self._due_tables(stats)
             self._metrics.gauge("monitor.tables_due", len(due))
-            for index, table in enumerate(due):
+            deferred = 0
+            for table in due:
+                attempts, eligible = self._failed.get(table, (0, 0))
+                if attempts and cycle < eligible:
+                    self._metrics.inc("monitor.backoff_skips")
+                    continue
                 if spent >= self._budget:
-                    self._metrics.inc("monitor.deferred", len(due) - index)
-                    break
+                    deferred += 1
+                    continue
                 if self._purge:
                     for key in stats.drop_list():
                         if key.table == table:
                             stats.drop(key)
                             self._metrics.inc("monitor.purged")
-                cost = stats.refresh_table(table)
+                try:
+                    cost = stats.refresh_table(table)
+                except Exception as exc:
+                    with self._errors_lock:
+                        self._errors.append(exc)
+                    self._metrics.inc("monitor.refresh_errors")
+                    self._failed[table] = (
+                        attempts + 1,
+                        cycle + 2 ** (attempts + 1),
+                    )
+                    continue
+                self._failed.pop(table, None)
                 spent += cost
                 self._metrics.inc("monitor.refreshes")
                 self._metrics.inc("monitor.refresh_cost", cost)
+                if self._policy is not None:
+                    self._policy.store.reset_table(table)
+            if deferred:
+                self._metrics.inc("monitor.deferred", deferred)
         self._metrics.inc("monitor.cycles")
         return spent
+
+    def _due_tables(self, stats) -> List[str]:
+        if self._policy is not None:
+            return self._policy.tables_due(stats, self._fraction)
+        return stats.tables_needing_refresh(self._fraction)

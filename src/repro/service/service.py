@@ -36,6 +36,7 @@ from repro.core.mnsa import MnsaConfig
 from repro.errors import ServiceError
 from repro.executor.dml import apply_dml
 from repro.executor.executor import ExecutionResult, Executor
+from repro.feedback import FeedbackPolicy, FeedbackStore, worst_plan_q_error
 from repro.optimizer.cache import PlanCache
 from repro.optimizer.optimizer import OptimizationResult, Optimizer
 from repro.service.events import CaptureLog, QueryEvent
@@ -116,6 +117,22 @@ class StatsService:
         )
         self._optimizer = Optimizer(database, cache=self.plan_cache)
         self._executor = Executor(database)
+        #: execution-feedback store + policy; None unless
+        #: ``config.feedback_enabled`` (the default keeps the service
+        #: byte-identical to its pre-feedback behaviour)
+        self.feedback: Optional[FeedbackStore] = None
+        self.feedback_policy: Optional[FeedbackPolicy] = None
+        if self.config.feedback_enabled:
+            self.feedback = FeedbackStore(
+                capacity=self.config.feedback_capacity,
+                metrics=self.metrics,
+            )
+            self.feedback_policy = FeedbackPolicy(
+                self.feedback,
+                refresh_policy=self.config.refresh_policy,
+                refresh_threshold=self.config.qerror_refresh_threshold,
+                retune_threshold=self.config.qerror_retune_threshold,
+            )
         self._seq = itertools.count(1)
         self._session_ids = itertools.count(1)
         self._created_lock = threading.Lock()
@@ -162,6 +179,7 @@ class StatsService:
                 poll_seconds=cfg.advisor_poll_seconds,
                 on_created=self._note_created,
                 cache=self.plan_cache,
+                feedback_policy=self.feedback_policy,
             )
             for index in range(cfg.advisor_workers)
         ]
@@ -173,6 +191,7 @@ class StatsService:
             poll_seconds=cfg.staleness_poll_seconds,
             budget_per_cycle=cfg.refresh_budget_per_cycle,
             purge_drop_list=cfg.purge_drop_list_before_refresh,
+            policy=self.feedback_policy,
         )
         for worker in self._workers:
             worker.start()
@@ -271,13 +290,27 @@ class StatsService:
                 missing = self._optimizer.magic_variables(query)
                 executed = None
                 if self.config.execute_queries:
-                    executed = self._executor.execute(optimized.plan, query)
+                    executed = self._executor.execute(
+                        optimized.plan, query, feedback=self.feedback
+                    )
+                stats_epoch = self.database.stats.epoch
+        retune = False
+        worst = 1.0
+        if executed is not None and self.feedback_policy is not None:
+            worst = worst_plan_q_error(executed.operator_observations)
+            retune = self.feedback_policy.should_retune(
+                worst, optimized.signature, stats_epoch
+            )
+            if retune:
+                self.metrics.inc("feedback.retunes_requested")
         event = QueryEvent(
             seq=next(self._seq),
             query=query,
             estimated_cost=optimized.cost,
             magic_variable_count=len(missing),
             tables=tuple(query.tables),
+            retune=retune,
+            worst_q_error=worst,
         )
         accepted = self._log.append(event)
         self.metrics.inc("capture.events")

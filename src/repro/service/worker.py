@@ -45,6 +45,12 @@ class AdvisorWorker(threading.Thread):
         cache: optional shared :class:`~repro.optimizer.cache.PlanCache`;
             analysis probes repeated across workers and sessions are
             answered from it instead of re-optimizing.
+        feedback_policy: optional
+            :class:`~repro.feedback.policy.FeedbackPolicy`.  When given,
+            re-tune events (queries whose executed plan was badly
+            misestimated) first rebuild the flagged statistics on the
+            query's tables, and the analysis breaks candidate ties
+            toward the highest-error observed columns.
     """
 
     _errors = guarded_by("_errors_lock")
@@ -62,6 +68,7 @@ class AdvisorWorker(threading.Thread):
         poll_seconds: float = 0.05,
         on_created: Optional[Callable[[List[StatKey]], None]] = None,
         cache: Optional[PlanCache] = None,
+        feedback_policy=None,
     ) -> None:
         super().__init__(name=f"stats-advisor-{index}", daemon=True)
         self._db = database
@@ -74,6 +81,10 @@ class AdvisorWorker(threading.Thread):
         self._poll_seconds = poll_seconds
         self._on_created = on_created
         self._optimizer = Optimizer(database, cache=cache)
+        self._feedback_policy = feedback_policy
+        self._feedback = (
+            feedback_policy.store if feedback_policy is not None else None
+        )
         self._errors_lock = threading.Lock()
         self._errors: List[BaseException] = []
 
@@ -105,18 +116,21 @@ class AdvisorWorker(threading.Thread):
     # ------------------------------------------------------------------
 
     def _process(self, event: QueryEvent) -> None:
-        if event.magic_variable_count == 0:
+        if event.magic_variable_count == 0 and not event.retune:
             # existing statistics already covered every predicate
             self._metrics.inc("advisor.skipped")
             return
         started = time.perf_counter()
         with self._db_lock:
+            if event.retune and self._feedback_policy is not None:
+                self._retune(event)
             if self._policy == "mnsa":
                 result = mnsa_for_query(
                     self._db,
                     self._optimizer,
                     event.query,
                     config=self._config,
+                    feedback=self._feedback,
                 )
                 drop_listed: List[StatKey] = []
             else:
@@ -125,6 +139,7 @@ class AdvisorWorker(threading.Thread):
                     self._optimizer,
                     event.query,
                     config=self._config,
+                    feedback=self._feedback,
                 )
                 drop_listed = result.dropped
         elapsed = time.perf_counter() - started
@@ -140,3 +155,20 @@ class AdvisorWorker(threading.Thread):
             )
         if result.created and self._on_created is not None:
             self._on_created(list(result.created))
+
+    def _retune(self, event: QueryEvent) -> None:
+        """Rebuild the statistics feedback blames for a misestimated plan.
+
+        Runs under the db lock, before the regular analysis, so the
+        analysis sees the rebuilt statistics.  The rebuilt targets'
+        feedback aggregates are reset: the recorded errors belonged to
+        the statistics that were just replaced.
+        """
+        self._metrics.inc("advisor.retunes")
+        targets = self._feedback_policy.rebuild_targets(
+            self._db.stats, event.tables
+        )
+        for key, _error in targets:
+            self._db.stats.rebuild(key)
+            self._feedback.reset_columns(key.table, key.columns)
+            self._metrics.inc("advisor.retune_rebuilds")

@@ -1,0 +1,29 @@
+"""R001 fixture: a FeedbackStore-shaped class whose guarded counters are
+touched without the lock.
+
+Mirrors the real :class:`repro.feedback.store.FeedbackStore` contract —
+its counters declare ``guarded_by("_lock")`` — so this fixture documents
+what the linter catches if those locks are dropped.  Line numbers are
+asserted exactly in tests/analysis/test_feedback_lint.py.
+"""
+
+import threading
+
+from repro.concurrency import guarded_by
+
+
+class UnlockedFeedbackStore:
+    _trackers = guarded_by("_lock")
+    observations_total = guarded_by("_lock")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._trackers = {}
+        self.observations_total = 0
+
+    def record(self, key):
+        self.observations_total += 1  # line 25: counter bump without lock
+        self._trackers[key] = object()  # line 26: map store without lock
+
+    def counters(self):
+        return {"observations": self.observations_total}  # line 29: read

@@ -1,0 +1,41 @@
+"""The feedback subsystem honors the repo's thread-safety lint contract.
+
+The FeedbackStore is the one object shared by the executor (producer),
+the staleness monitor, and the advisor workers — its counters declare
+``guarded_by("_lock")`` and R001 enforces that every access holds it.
+The bad fixture is the counter-example: the same class shape with the
+lock discipline dropped, which the rule must flag.
+"""
+
+import os
+
+from repro.analysis.framework import lint_paths
+from repro.concurrency import guarded_by
+from repro.feedback.store import FeedbackStore
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+FEEDBACK_SRC = os.path.join(REPO_ROOT, "src", "repro", "feedback")
+
+
+def test_feedback_package_is_r001_clean():
+    assert lint_paths([FEEDBACK_SRC], rules=["R001"]) == []
+
+
+def test_store_counters_declare_their_guard():
+    for attribute in ("_trackers", "observations_total", "evicted_total",
+                      "resets_total"):
+        declared = FeedbackStore.__dict__[attribute]
+        assert isinstance(declared, type(guarded_by("_lock")))
+        assert declared.lock == "_lock"
+
+
+def test_unguarded_store_shape_is_flagged():
+    findings = lint_paths(
+        [os.path.join(FIXTURES, "r001_feedback_bad.py")], rules=["R001"]
+    )
+    assert sorted((f.rule_id, f.line) for f in findings) == [
+        ("R001", 25),  # counter bump without the lock
+        ("R001", 26),  # tracker-map store without the lock
+        ("R001", 29),  # counter read without the lock
+    ]

@@ -285,3 +285,41 @@ class TestOutputRendering:
         query = QueryBuilder(db.schema).table("dept").build()
         rows = _run(db, query).rows()
         assert len(rows[0]) == 3
+
+
+class TestOperatorObservations:
+    def test_every_operator_observed_bottom_up(self, db):
+        query = (
+            QueryBuilder(db.schema)
+            .where("emp.age", ">", 25)
+            .join("emp.dept_id", "dept.id")
+            .build()
+        )
+        result = _run(db, query)
+        kinds = [o.operator for o in result.operator_observations]
+        assert kinds.count("join") == 1
+        assert len(kinds) >= 3  # two inputs + the join
+        # the root operator is observed last and its actual cardinality
+        # is the result's row count
+        assert result.operator_observations[-1].actual_rows == result.row_count
+
+    def test_observations_feed_a_store(self, db):
+        from repro.feedback import FeedbackStore
+
+        store = FeedbackStore()
+        query = QueryBuilder(db.schema).where("emp.age", "=", 30).build()
+        opt, exe = Optimizer(db), Executor(db)
+        plan = opt.optimize(query).plan
+        exe.execute(plan, query, feedback=store)
+        assert store.counters()["observations"] == len(
+            exe.execute(plan, query).operator_observations
+        )
+        assert store.q_error_for_columns("emp", ["age"]) >= 1.0
+
+    def test_repr_has_rows_cost_and_operator_count(self, db):
+        query = QueryBuilder(db.schema).where("emp.age", "=", 30).build()
+        result = _run(db, query)
+        text = repr(result)
+        assert text.startswith(f"ExecutionResult(row_count={result.row_count}")
+        assert f"actual_cost={result.actual_cost:.2f}" in text
+        assert f"operators={len(result.operator_observations)}" in text

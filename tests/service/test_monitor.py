@@ -4,7 +4,16 @@ import threading
 import time
 
 import numpy as np
+import pytest
 
+from repro.config import RefreshPolicy
+from repro.errors import ReproDeprecationWarning
+from repro.feedback import FeedbackPolicy, FeedbackStore
+from repro.feedback.observation import (
+    FeedbackKey,
+    OperatorObservation,
+    q_error,
+)
 from repro.service.metrics import MetricsRegistry
 from repro.service.monitor import StalenessMonitor
 from repro.stats.statistic import StatKey
@@ -65,6 +74,113 @@ class TestRunOnce:
         assert not db.stats.has(AGE)  # purged, not refreshed
         assert db.stats.get(StatKey("emp", ("salary",))).update_count == 1
         assert monitor._metrics.counter("monitor.purged") == 1
+
+
+class TestRefreshFailureBackoff:
+    """Regression: a failing table refresh must not be silently skipped
+    forever — the error is recorded, other tables still refresh, and the
+    failing table is retried with exponential backoff."""
+
+    def _failing_refresh(self, db, broken):
+        """Patch ``refresh_table`` to raise for ``broken`` while a flag
+        is set; returns the flag holder."""
+        original = db.stats.refresh_table
+        state = {"broken": True}
+
+        def refresh_table(table):
+            if table == broken and state["broken"]:
+                raise RuntimeError(f"simulated I/O error on {table}")
+            return original(table)
+
+        db.stats.refresh_table = refresh_table
+        return state
+
+    def test_failure_recorded_and_other_tables_still_refresh(self, db):
+        db.stats.create(AGE)
+        db.stats.create(BUDGET)
+        touch_all_rows(db, "emp", {"age": 44})
+        touch_all_rows(db, "dept", {"budget": 1.0})
+        self._failing_refresh(db, broken="emp")
+        monitor = make_monitor(db)
+        monitor.run_once()
+        # dept was refreshed despite emp's failure earlier in the sweep
+        assert db.stats.get(BUDGET).update_count == 1
+        assert db.stats.get(AGE).update_count == 0
+        assert len(monitor.errors) == 1
+        assert "simulated I/O error" in str(monitor.errors[0])
+        assert monitor._metrics.counter("monitor.refresh_errors") == 1
+        # first failure: retry eligible two cycles later
+        assert monitor.failed_tables() == {"emp": (1, 3)}
+
+    def test_backoff_skips_then_retries_and_recovers(self, db):
+        db.stats.create(AGE)
+        touch_all_rows(db, "emp", {"age": 44})
+        state = self._failing_refresh(db, broken="emp")
+        monitor = make_monitor(db)
+        monitor.run_once()  # cycle 1: fails, eligible at cycle 3
+        monitor.run_once()  # cycle 2: backed off, no new attempt
+        metrics = monitor._metrics
+        assert metrics.counter("monitor.backoff_skips") == 1
+        assert len(monitor.errors) == 1
+        state["broken"] = False  # the transient fault clears
+        monitor.run_once()  # cycle 3: retried and succeeds
+        assert db.stats.get(AGE).update_count == 1
+        assert monitor.failed_tables() == {}
+        assert metrics.counter("monitor.refreshes") == 1
+
+    def test_backoff_doubles_on_repeated_failure(self, db):
+        db.stats.create(AGE)
+        touch_all_rows(db, "emp", {"age": 44})
+        self._failing_refresh(db, broken="emp")
+        monitor = make_monitor(db)
+        monitor.run_once()  # cycle 1: attempt 1, eligible at 3
+        monitor.run_once()  # cycle 2: skipped
+        monitor.run_once()  # cycle 3: attempt 2, eligible at 3 + 4
+        assert monitor.failed_tables() == {"emp": (2, 7)}
+        assert len(monitor.errors) == 2
+
+
+class TestFeedbackPolicyIntegration:
+    def _observe(self, store, table, columns, estimated, actual):
+        store.record(
+            OperatorObservation(
+                operator="scan",
+                tables=(table,),
+                targets=(FeedbackKey.of(table, columns),),
+                estimated_rows=float(estimated),
+                actual_rows=int(actual),
+                q_error=q_error(estimated, actual),
+            )
+        )
+
+    def test_qerror_policy_defers_accurate_churned_table(self, db):
+        db.stats.create(AGE)
+        touch_all_rows(db, "emp", {"age": 44})
+        store = FeedbackStore()
+        policy = FeedbackPolicy(
+            store, refresh_policy=RefreshPolicy.QERROR
+        )
+        monitor = make_monitor(db, policy=policy)
+        # churn-due, but no observed misestimation: deferred
+        assert monitor.run_once() == 0.0
+        assert db.stats.get(AGE).update_count == 0
+        # a bad estimate lands; the same churn now triggers a refresh
+        self._observe(store, "emp", ("age",), 1000, 2)
+        assert monitor.run_once() > 0.0
+        assert db.stats.get(AGE).update_count == 1
+        # refreshed table's aggregates were reset
+        assert store.table_q_error("emp") == 1.0
+
+
+class TestUpdateThresholdDeprecation:
+    def test_shim_warns_and_maps_to_fraction(self, db):
+        with pytest.warns(ReproDeprecationWarning):
+            monitor = make_monitor(db, update_threshold=0.5)
+        assert monitor._fraction == 0.5
+
+    def test_fraction_path_does_not_warn(self, db):
+        monitor = make_monitor(db, fraction=0.5)  # no warning escalation
+        assert monitor._fraction == 0.5
 
 
 class TestThreadLifecycle:

@@ -164,3 +164,48 @@ class TestConfigValidation:
     def test_bad_values_rejected(self, field, value):
         with pytest.raises(ValueError):
             ServiceConfig(**{field: value})
+
+
+class TestFeedbackLoop:
+    def test_feedback_off_by_default(self, db):
+        service = make_service(db)
+        assert service.feedback is None
+        assert service.feedback_policy is None
+
+    def test_observations_flow_into_the_store(self, db):
+        with make_service(db, feedback_enabled=True) as service:
+            service.submit("SELECT COUNT(*) FROM emp WHERE age > 40")
+            service.drain(timeout=30.0)
+        assert service.feedback.counters()["observations"] >= 1
+        assert service.feedback.q_error_for_columns("emp", ["age"]) >= 1.0
+        assert (
+            service.metrics.gauge_value("feedback.observations") >= 1
+        )
+
+    def test_misestimated_plan_queues_a_retune(self, db):
+        # thresholds of 1.0 make any estimation error retune-worthy, so
+        # the first executed query exercises the full retune path
+        with make_service(
+            db,
+            feedback_enabled=True,
+            refresh_policy="qerror",
+            qerror_refresh_threshold=1.0,
+            qerror_retune_threshold=1.0,
+        ) as service:
+            service.submit("SELECT COUNT(*) FROM emp WHERE age > 40")
+            service.drain(timeout=30.0)
+        metrics = service.metrics
+        assert metrics.counter("feedback.retunes_requested") >= 1
+        assert metrics.counter("advisor.retunes") >= 1
+
+    def test_same_plan_retunes_once_per_epoch(self, db):
+        with make_service(
+            db,
+            feedback_enabled=True,
+            advisor_workers=0,  # capture only: the epoch never moves
+            qerror_refresh_threshold=1.0,
+            qerror_retune_threshold=1.0,
+        ) as service:
+            service.submit("SELECT COUNT(*) FROM emp WHERE age > 40")
+            service.submit("SELECT COUNT(*) FROM emp WHERE age > 40")
+        assert service.metrics.counter("feedback.retunes_requested") == 1

@@ -24,22 +24,29 @@ EXPECTED = [
     "ExecutionResult",
     "ExecutionTreeEquivalence",
     "Executor",
+    "FeedbackKey",
+    "FeedbackPolicy",
+    "FeedbackStore",
     "ForeignKey",
     "MagicNumbers",
     "MetricsRegistry",
     "MnsaConfig",
     "MnsaResult",
     "MnsadResult",
+    "OperatorObservation",
     "OptimizationRequest",
     "OptimizationResult",
     "Optimizer",
     "OptimizerConfig",
     "OptimizerCostEquivalence",
     "PlanCache",
+    "PlanInstrumenter",
+    "QErrorTracker",
     "Query",
     "QueryBuilder",
     "QueryEvent",
     "RagsConfig",
+    "RefreshPolicy",
     "ReproDeprecationWarning",
     "ReproError",
     "Schema",
@@ -73,10 +80,12 @@ EXPECTED = [
     "parse_and_bind",
     "parse_statement",
     "plan_signature",
+    "q_error",
     "shrinking_set",
     "tpcd_queries",
     "tpcd_schema",
     "workload_candidate_statistics",
+    "worst_plan_q_error",
 ]
 
 

@@ -231,6 +231,49 @@ class TestServe:
         assert "service.execution_cost" not in out
         assert "service.queries" in out
 
+    def test_serve_with_feedback(self, tpcd_dir, capsys):
+        code = main(
+            [
+                "serve",
+                "--db",
+                tpcd_dir,
+                "--workload",
+                "U25-S-10",
+                "--refresh-policy",
+                "qerror",
+                "--clients",
+                "1",
+                "--seed",
+                "7",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "feedback on (qerror refresh)" in out
+        assert "--- feedback (worst targets)" in out
+        assert "feedback.observations" in out
+
+
+class TestFeedbackCommand:
+    def test_feedback_report(self, capsys):
+        code = main(
+            [
+                "feedback",
+                "--scale",
+                "0.002",
+                "--workload",
+                "U50-S-20",
+                "--seed",
+                "7",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "operator observations" in out
+        assert "decayed q" in out  # the report table rendered
+        # the update-heavy workload misestimates something somewhere
+        assert "due for refresh" in out or "no table reaches" in out
+
 
 class TestExperiments:
     def test_intro(self, capsys):

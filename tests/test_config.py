@@ -7,6 +7,8 @@ from repro.config import (
     DEFAULT_CONFIG,
     MagicNumbers,
     OptimizerConfig,
+    RefreshPolicy,
+    ServiceConfig,
 )
 
 
@@ -87,3 +89,45 @@ class TestOptimizerConfig:
         config = OptimizerConfig(magic=MagicNumbers(equality=0.2))
         assert config.magic.equality == 0.2
         assert config.cost.io_page_cost == 1.0
+
+
+class TestRefreshPolicyConfig:
+    def test_default_is_churn_with_feedback_off(self):
+        config = ServiceConfig()
+        assert config.refresh_policy is RefreshPolicy.CHURN
+        assert config.feedback_enabled is False
+
+    def test_policy_accepts_strings(self):
+        config = ServiceConfig(
+            feedback_enabled=True, refresh_policy="qerror"
+        )
+        assert config.refresh_policy is RefreshPolicy.QERROR
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(feedback_enabled=True, refresh_policy="psychic")
+
+    def test_non_churn_policy_requires_feedback(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(refresh_policy="qerror")
+        with pytest.raises(ValueError):
+            ServiceConfig(refresh_policy=RefreshPolicy.HYBRID)
+
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(
+                feedback_enabled=True,
+                qerror_refresh_threshold=8.0,
+                qerror_retune_threshold=4.0,
+            )
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("feedback_capacity", 0),
+            ("qerror_refresh_threshold", 0.5),
+        ],
+    )
+    def test_bad_feedback_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            ServiceConfig(feedback_enabled=True, **{field: value})
