@@ -27,6 +27,7 @@ single-threaded: the monitor thread object is never started, only its
 """
 
 import threading
+import time
 
 import pytest
 
@@ -40,7 +41,7 @@ from repro.service import MetricsRegistry, StalenessMonitor
 from repro.sql.query import Query
 from repro.workload import generate_workload
 
-from benchmarks.conftest import bench_query_cap
+from benchmarks.conftest import bench_query_cap, write_bench_json
 
 Z = 2.0
 WORKLOAD = "U50-S-100"  # the aging experiment's update-heavy workload
@@ -94,6 +95,7 @@ def _run_arm(factory, refresh_policy: str):
 
     execution_cost = 0.0
     refresh_cost = 0.0
+    started = time.perf_counter()
     for _ in range(REPEATS):
         for statement in statements:
             if isinstance(statement, Query):
@@ -105,8 +107,9 @@ def _run_arm(factory, refresh_policy: str):
             else:
                 apply_dml(db, statement)
             refresh_cost += monitor.run_once()
+    wall = time.perf_counter() - started
     rebuilds = sum(s.update_count for s in db.stats.statistics())
-    return execution_cost, rebuilds, refresh_cost
+    return execution_cost, rebuilds, refresh_cost, wall
 
 
 @pytest.fixture(scope="module")
@@ -117,8 +120,30 @@ def arms(factory):
 
 
 def test_feedback_refresh_matches_churn_with_fewer_rebuilds(arms, report):
-    (churn_exec, churn_rebuilds, churn_refresh) = arms[0]
-    (qerror_exec, qerror_rebuilds, qerror_refresh) = arms[1]
+    (churn_exec, churn_rebuilds, churn_refresh, churn_wall) = arms[0]
+    (qerror_exec, qerror_rebuilds, qerror_refresh, qerror_wall) = arms[1]
+    write_bench_json(
+        "feedback_refresh",
+        {
+            "workload": WORKLOAD,
+            "repeats": REPEATS,
+            "qerror_threshold": QERROR_THRESHOLD,
+            "churn": {
+                "execution_cost": round(churn_exec, 2),
+                "rebuilds": churn_rebuilds,
+                "refresh_cost": round(churn_refresh, 2),
+                "wall_seconds": round(churn_wall, 4),
+            },
+            "qerror": {
+                "execution_cost": round(qerror_exec, 2),
+                "rebuilds": qerror_rebuilds,
+                "refresh_cost": round(qerror_refresh, 2),
+                "wall_seconds": round(qerror_wall, 4),
+            },
+            "execution_cost_ratio": round(qerror_exec / churn_exec, 4),
+            "rebuilds_saved": churn_rebuilds - qerror_rebuilds,
+        },
+    )
     report.add_section(
         "Feedback-driven refresh — aging workload " + WORKLOAD,
         (

@@ -12,6 +12,8 @@ Deliberately plain pytest (no ``benchmark`` fixture) so it doubles as
 the CI smoke step without pytest-benchmark installed.
 """
 
+import time
+
 import pytest
 
 from repro.core.mnsa import mnsa_for_workload
@@ -19,7 +21,7 @@ from repro.core.mnsad import mnsad_for_workload
 from repro.optimizer import OptimizationRequest, Optimizer, PlanCache
 from repro.workload import generate_workload
 
-from benchmarks.conftest import bench_query_cap
+from benchmarks.conftest import bench_query_cap, write_bench_json
 
 SERVE_PASSES = 40
 Z = 2.0
@@ -44,9 +46,11 @@ def _serve(optimizer, queries, passes=SERVE_PASSES):
 def _tune_and_serve(factory, workload_name, algorithm, cache):
     db, queries = _queries(factory, workload_name)
     optimizer = Optimizer(db, cache=cache)
+    started = time.perf_counter()
     result = algorithm(db, optimizer, queries)
     _serve(optimizer, queries)
-    return result, optimizer, queries
+    wall = time.perf_counter() - started
+    return result, optimizer, queries, wall
 
 
 def _mnsa_key(result):
@@ -92,6 +96,35 @@ def mnsad_runs(factory):
     return uncached, cached
 
 
+@pytest.fixture(scope="module")
+def bench_payload():
+    """Accumulates per-arm numbers; written as BENCH_plan_cache.json."""
+    payload = {"serve_passes": SERVE_PASSES}
+    yield payload
+    if len(payload) > 1:
+        write_bench_json("plan_cache", payload)
+
+
+def _payload_entry(workload_name, uncached, cached):
+    _, opt_off, _, wall_off = uncached
+    _, opt_on, _, wall_on = cached
+    counters = opt_on.cache.counters()
+    return {
+        "workload": workload_name,
+        "cold_optimize_uncached": opt_off.cold_optimize_count,
+        "cold_optimize_cached": opt_on.cold_optimize_count,
+        "cold_optimize_reduction": round(
+            opt_off.cold_optimize_count / opt_on.cold_optimize_count, 3
+        ),
+        "cache_hits": counters["hits"],
+        "cache_misses": counters["misses"],
+        "cache_revalidations": counters["revalidations"],
+        "wall_seconds_uncached": round(wall_off, 4),
+        "wall_seconds_cached": round(wall_on, 4),
+        "wall_speedup": round(wall_off / wall_on, 3),
+    }
+
+
 def _report_row(label, cold_off, cold_on, cache):
     counters = cache.counters()
     return (
@@ -102,11 +135,12 @@ def _report_row(label, cold_off, cold_on, cache):
     )
 
 
-def test_mnsa_cache_halves_cold_optimizations(mnsa_runs, report):
-    (result_off, opt_off, _), (result_on, opt_on, _) = mnsa_runs
+def test_mnsa_cache_halves_cold_optimizations(mnsa_runs, report, bench_payload):
+    (result_off, opt_off, _, _), (result_on, opt_on, _, _) = mnsa_runs
     assert _mnsa_key(result_on) == _mnsa_key(result_off)
     assert opt_on.call_count == opt_off.call_count
     ratio = opt_off.cold_optimize_count / opt_on.cold_optimize_count
+    bench_payload["mnsa"] = _payload_entry(MNSA_WORKLOAD, *mnsa_runs)
     report.add_section(
         "Plan cache — Figure 4 MNSA tuning + serving loop",
         _report_row(
@@ -122,11 +156,12 @@ def test_mnsa_cache_halves_cold_optimizations(mnsa_runs, report):
     )
 
 
-def test_mnsad_cache_halves_cold_optimizations(mnsad_runs, report):
-    (result_off, opt_off, _), (result_on, opt_on, _) = mnsad_runs
+def test_mnsad_cache_halves_cold_optimizations(mnsad_runs, report, bench_payload):
+    (result_off, opt_off, _, _), (result_on, opt_on, _, _) = mnsad_runs
     assert _mnsad_key(result_on) == _mnsad_key(result_off)
     assert opt_on.call_count == opt_off.call_count
     ratio = opt_off.cold_optimize_count / opt_on.cold_optimize_count
+    bench_payload["mnsad"] = _payload_entry(MNSAD_WORKLOAD, *mnsad_runs)
     report.add_section(
         "Plan cache — Table 1 MNSA/D tuning + serving loop",
         _report_row(
@@ -144,7 +179,7 @@ def test_mnsad_cache_halves_cold_optimizations(mnsad_runs, report):
 
 def test_serving_steady_state_is_all_hits(mnsa_runs):
     """After the first serve pass, every pass is a pure cache hit."""
-    _, (_, opt_on, queries) = mnsa_runs
+    _, (_, opt_on, queries, _) = mnsa_runs
     cold_before = opt_on.cold_optimize_count
     hits_before = opt_on.cache.hit_count
     _serve(opt_on, queries, passes=2)

@@ -17,6 +17,7 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -32,6 +33,21 @@ def bench_scale() -> float:
 
 def bench_query_cap() -> int:
     return int(os.environ.get("REPRO_BENCH_QUERIES", "30"))
+
+
+def write_bench_json(name: str, payload: dict) -> str:
+    """Persist one bench's machine-readable results as BENCH_<name>.json.
+
+    CI uploads these as build artifacts so runs can be compared across
+    commits.  ``REPRO_BENCH_JSON_DIR`` overrides the output directory
+    (default: the current working directory).
+    """
+    directory = os.environ.get("REPRO_BENCH_JSON_DIR", os.getcwd())
+    target = os.path.join(directory, f"BENCH_{name}.json")
+    with open(target, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
 
 
 @pytest.fixture(scope="session")

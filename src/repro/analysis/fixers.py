@@ -1,0 +1,260 @@
+"""``repro lint --fix``: mechanical rewrites for fixable findings.
+
+Two fixers exist, deliberately narrow:
+
+* **R005 (safe, on by default under ``--fix``)** — an inline float
+  literal equal to a selectivity pin is replaced by the named constant
+  from ``repro.optimizer.variables`` (``0.0005`` → ``EPSILON``,
+  ``0.9995`` → ``(1 - EPSILON)``), and the import is inserted when
+  missing.  The replacement is value-preserving by construction: the
+  rule only fires when the literal *equals* the constant.
+* **R007 missing registry entries (unsafe, behind ``--fix-unsafe``)** —
+  an emitted-but-unregistered metric name is inserted into the
+  ``METRICS`` dict of ``metric_names.py`` in sorted position with a
+  ``TODO`` description.  Unsafe because it blesses the very name the
+  finding questions — a typo'd name gets registered, not caught; a
+  human must still replace the TODO.
+
+Fixers edit files in place, bottom-up per file so earlier edits don't
+shift later spans, and the CLI re-lints afterwards — remaining findings
+(including ``literal selectivity override`` R005 findings, which have
+no mechanical rewrite) are reported normally.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.framework import Finding
+
+PIN_MODULE = "repro.optimizer.variables"
+
+_PIN_MESSAGE = re.compile(
+    r"duplicates selectivity pin (?P<pin>.+?); import it from "
+)
+_UNREGISTERED_MESSAGE = re.compile(
+    r"metric name '(?P<name>[^']+)' is not registered in "
+    r"(?P<registry>.+?); add a METRICS entry$"
+)
+
+TODO_DESCRIPTION = "TODO: describe this metric"
+
+
+@dataclass
+class FixReport:
+    """What ``--fix`` changed: per-file fix counts + what it skipped."""
+
+    files: Dict[str, int] = field(default_factory=dict)
+    skipped: List[Finding] = field(default_factory=list)
+
+    def count(self) -> int:
+        return sum(self.files.values())
+
+    def _fixed(self, path: str, n: int = 1) -> None:
+        self.files[path] = self.files.get(path, 0) + n
+
+
+def apply_fixes(
+    findings: Sequence[Finding], unsafe: bool = False
+) -> FixReport:
+    """Apply mechanical fixes for the fixable subset of ``findings``."""
+    report = FixReport()
+    _fix_pin_literals(findings, report)
+    if unsafe:
+        _fix_registry_entries(findings, report)
+    return report
+
+
+# ----------------------------------------------------------------------
+# R005: inline pin literals -> named constants
+# ----------------------------------------------------------------------
+
+
+def _fix_pin_literals(
+    findings: Sequence[Finding], report: FixReport
+) -> None:
+    by_path: Dict[str, List[Tuple[Finding, str]]] = {}
+    for finding in findings:
+        if finding.rule_id != "R005":
+            continue
+        match = _PIN_MESSAGE.search(finding.message)
+        if match is None:
+            report.skipped.append(finding)  # override-dict findings
+            continue
+        by_path.setdefault(finding.path, []).append(
+            (finding, match.group("pin"))
+        )
+    for path in sorted(by_path):
+        fixed = _rewrite_pins(path, by_path[path], report)
+        if fixed:
+            report._fixed(path, fixed)
+
+
+def _rewrite_pins(
+    path: str, targets: List[Tuple[Finding, str]], report: FixReport
+) -> int:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        tree = ast.parse(source)
+    except (OSError, SyntaxError):
+        report.skipped.extend(f for f, _ in targets)
+        return 0
+    spans: Dict[Tuple[int, int], ast.Constant] = {
+        (node.lineno, node.col_offset): node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Constant) and isinstance(node.value, float)
+    }
+    lines = source.splitlines(keepends=True)
+    edits: List[Tuple[int, int, int, str, str]] = []
+    for finding, pin in targets:
+        node = spans.get((finding.line, finding.col))
+        if node is None or node.end_col_offset is None:
+            report.skipped.append(finding)
+            continue
+        replacement = pin if " " not in pin else f"({pin})"
+        base_name = pin.split()[-1]
+        edits.append(
+            (
+                finding.line,
+                finding.col,
+                node.end_col_offset,
+                replacement,
+                base_name,
+            )
+        )
+    if not edits:
+        return 0
+    # bottom-up so earlier edits don't shift later spans
+    needed_names = set()
+    for lineno, col, end_col, replacement, base_name in sorted(
+        edits, reverse=True
+    ):
+        text = lines[lineno - 1]
+        lines[lineno - 1] = text[:col] + replacement + text[end_col:]
+        needed_names.add(base_name)
+    missing = needed_names - _imported_pin_names(tree)
+    if missing:
+        insert_at = _import_insertion_line(tree)
+        lines.insert(
+            insert_at,
+            f"from {PIN_MODULE} import {', '.join(sorted(missing))}\n",
+        )
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("".join(lines))
+    return len(edits)
+
+
+def _imported_pin_names(tree: ast.Module) -> set:
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == PIN_MODULE:
+            names.update(alias.asname or alias.name for alias in node.names)
+    return names
+
+
+def _import_insertion_line(tree: ast.Module) -> int:
+    """0-based line index to insert an import at: after the last
+    top-level import, else after the module docstring, else line 0."""
+    last_import = 0
+    docstring_end = 0
+    for index, stmt in enumerate(tree.body):
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            last_import = max(last_import, stmt.end_lineno or stmt.lineno)
+        elif (
+            index == 0
+            and isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        ):
+            docstring_end = stmt.end_lineno or stmt.lineno
+    return last_import or docstring_end
+
+
+# ----------------------------------------------------------------------
+# R007 (unsafe): register emitted-but-unknown metric names
+# ----------------------------------------------------------------------
+
+
+def _fix_registry_entries(
+    findings: Sequence[Finding], report: FixReport
+) -> None:
+    wanted: Dict[str, List[str]] = {}
+    for finding in findings:
+        if finding.rule_id != "R007":
+            continue
+        match = _UNREGISTERED_MESSAGE.search(finding.message)
+        if match is None:
+            continue
+        wanted.setdefault(match.group("registry"), []).append(
+            match.group("name")
+        )
+    for registry_path in sorted(wanted):
+        added = 0
+        for name in sorted(set(wanted[registry_path])):
+            if _insert_registry_entry(registry_path, name):
+                added += 1
+        if added:
+            report._fixed(registry_path, added)
+
+
+def _insert_registry_entry(registry_path: str, name: str) -> bool:
+    """Insert one METRICS entry in sorted key position (re-parsing per
+    insert keeps line numbers honest across successive inserts)."""
+    try:
+        with open(registry_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        tree = ast.parse(source)
+    except (OSError, SyntaxError):
+        return False
+    dict_node = _metrics_dict(tree)
+    if dict_node is None:
+        return False
+    keys = [
+        k for k in dict_node.keys
+        if isinstance(k, ast.Constant) and isinstance(k.value, str)
+    ]
+    if any(k.value == name for k in keys):
+        return False
+    successor: Optional[ast.Constant] = None
+    for key in keys:
+        if key.value > name and (
+            successor is None or key.value < successor.value
+        ):
+            successor = key
+    if successor is not None:
+        insert_at = successor.lineno - 1
+        indent = " " * successor.col_offset
+    elif keys:
+        last_value = dict_node.values[dict_node.keys.index(keys[-1])]
+        insert_at = last_value.end_lineno or last_value.lineno
+        indent = " " * keys[-1].col_offset
+    else:
+        insert_at = (dict_node.end_lineno or dict_node.lineno) - 1
+        indent = " " * (dict_node.col_offset + 4)
+    lines = source.splitlines(keepends=True)
+    lines.insert(insert_at, f'{indent}"{name}": "{TODO_DESCRIPTION}",\n')
+    with open(registry_path, "w", encoding="utf-8") as handle:
+        handle.write("".join(lines))
+    return True
+
+
+def _metrics_dict(tree: ast.Module) -> Optional[ast.Dict]:
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        if any(
+            isinstance(t, ast.Name) and t.id == "METRICS" for t in targets
+        ) and isinstance(value, ast.Dict):
+            return value
+    return None

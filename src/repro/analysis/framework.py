@@ -35,6 +35,19 @@ class Finding:
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
 
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Finding":
+        return cls(
+            rule_id=str(data["rule_id"]),
+            path=str(data["path"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            col=int(data["col"]),  # type: ignore[arg-type]
+            message=str(data["message"]),
+        )
+
     @property
     def fingerprint(self) -> str:
         """Line-insensitive identity used by the baseline file, so that
@@ -53,6 +66,13 @@ class Rule:
     id: str = ""
     name: str = ""
     description: str = ""
+    #: "file" when findings depend only on the file they are in (the
+    #: incremental cache may reuse them per file); "project" when other
+    #: files — or inputs outside the analyzed set, like CONTRIBUTING.md
+    #: for R008 — can change the result.
+    scope: str = "project"
+    #: bump on any behavior change so stale cache entries self-invalidate
+    version: int = 1
 
     def check(self, project: Project) -> List[Finding]:
         raise NotImplementedError

@@ -35,6 +35,11 @@ REENTRANT_KINDS = {"RLock", "Condition", "injected"}
 #: Attribute suffixes that mark an injected parameter/attribute as a lock.
 _LOCKISH_SUFFIXES = ("lock", "cond", "condition", "mutex")
 
+#: (module path, owning class name or None, function name) — the
+#: project-wide identity of one function, used by every interprocedural
+#: analysis (lock-order summaries, effect summaries).
+FnKey = Tuple[str, Optional[str], str]
+
 #: Method names too generic to resolve project-wide by name alone: they
 #: collide with dict/list/deque/str/thread builtins and would fabricate
 #: call-graph edges (``self._counters.get(...)`` is not
@@ -234,6 +239,46 @@ def _canonicalize_locks(project: Project) -> Dict[Tuple[str, str], str]:
 
 
 # ----------------------------------------------------------------------
+# call resolution (shared by the interprocedural analyses)
+# ----------------------------------------------------------------------
+
+
+def resolve_call(
+    project: Project, cls: Optional[ClassInfo], call: ast.Call
+) -> List[FnKey]:
+    """Possible targets of one call site, name-based and conservative.
+
+    ``self.m()`` resolves within the enclosing class first; other calls
+    resolve by name project-wide *except* for names colliding with
+    builtin container / threading APIs (:data:`GENERIC_METHOD_NAMES`),
+    which would fabricate edges from ``dict.get`` or ``Thread.join`` to
+    unrelated project methods.  Used by the lock-order rule (R002) and
+    the effect analysis (R006/R007) so both see the same call graph.
+    """
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        name = func.attr
+        receiver = dotted(func.value)
+        if receiver == "self" and cls is not None and name in cls.methods:
+            return [(cls.module.path, cls.name, name)]
+        if name in GENERIC_METHOD_NAMES:
+            return []
+        return [
+            (owner.module.path, owner.name, name)
+            for owner, _ in project.methods_by_name.get(name, [])
+        ]
+    if isinstance(func, ast.Name):
+        name = func.id
+        if name in GENERIC_METHOD_NAMES:
+            return []
+        return [
+            (module.path, None, name)
+            for module, _ in project.functions_by_name.get(name, [])
+        ]
+    return []
+
+
+# ----------------------------------------------------------------------
 # module parsing
 # ----------------------------------------------------------------------
 
@@ -372,6 +417,28 @@ def dispatch_marker(
         marker = _parse_dispatch_comment(module.comment(lineno), lineno)
         if marker is not None:
             return marker
+    return None
+
+
+def function_marker_value(
+    module: SourceModule, fn: ast.FunctionDef, key: str
+) -> Optional[str]:
+    """Value of a ``# repro-lint: <key>=<value>`` marker attached to
+    ``fn`` (same placement rules as :func:`dispatch_marker`), with the
+    whole comment tail after ``<key>=`` as the value — so values may
+    contain spaces, unlike the whitespace-split dispatch fields.
+    Returns None when no marker is present; "" when the value is empty.
+    """
+    start = min([fn.lineno] + [d.lineno for d in fn.decorator_list]) - 1
+    stop = fn.body[0].lineno if fn.body else fn.lineno
+    needle = key + "="
+    for lineno in range(max(1, start), stop + 1):
+        text = module.comment(lineno)
+        if _MARKER_PREFIX not in text:
+            continue
+        tail = text.split(_MARKER_PREFIX, 1)[1].strip()
+        if tail.startswith(needle):
+            return tail[len(needle):].strip()
     return None
 
 

@@ -1,0 +1,110 @@
+"""Machine-readable lint output: ``--format json`` and ``--format sarif``.
+
+Both renderers are deterministic (stable key order, findings already
+sorted by the driver) so CI can diff serial, parallel, and cached runs
+byte-for-byte.  The SARIF document is minimal SARIF 2.1.0 — enough for
+GitHub code scanning upload and for artifact archiving.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Type
+
+from repro.analysis.framework import RULES, Finding, Rule, _load_builtin_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    lines = [finding.render() for finding in findings]
+    if findings:
+        lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    document = {
+        "tool": TOOL_NAME,
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    _load_builtin_rules()
+    rules: Dict[str, Type[Rule]] = RULES
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": "docs/analysis.md",
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "name": rules[rule_id].name,
+                                "shortDescription": {
+                                    "text": rules[rule_id].description
+                                },
+                            }
+                            for rule_id in sorted(rules)
+                        ],
+                    }
+                },
+                "results": [_sarif_result(finding) for finding in findings],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.rule_id,
+        "level": "warning",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/")
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        # SARIF columns are 1-based; ast's are 0-based
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+
+
+def render(findings: Sequence[Finding], fmt: str) -> str:
+    """Dispatch on a ``--format`` value ("text" | "json" | "sarif")."""
+    renderers = {
+        "text": render_text,
+        "json": render_json,
+        "sarif": render_sarif,
+    }
+    if fmt not in renderers:
+        raise ValueError(f"unknown output format: {fmt}")
+    return renderers[fmt](findings)
+
+
+__all__: List[str] = [
+    "render",
+    "render_json",
+    "render_sarif",
+    "render_text",
+]

@@ -6,6 +6,9 @@ from repro.analysis.rules.lock_order import LockOrderRule
 from repro.analysis.rules.dispatch import ExhaustiveDispatchRule
 from repro.analysis.rules.blocking import NoBlockingUnderLockRule
 from repro.analysis.rules.literals import MagicLiteralRule
+from repro.analysis.rules.epoch import EpochBumpRule
+from repro.analysis.rules.metrics_registry import MetricsRegistryRule
+from repro.analysis.rules.deprecation import DeprecationShimRule
 
 __all__ = [
     "GuardedByRule",
@@ -13,4 +16,7 @@ __all__ = [
     "ExhaustiveDispatchRule",
     "NoBlockingUnderLockRule",
     "MagicLiteralRule",
+    "EpochBumpRule",
+    "MetricsRegistryRule",
+    "DeprecationShimRule",
 ]

@@ -46,6 +46,7 @@ EXECUTION_ALLOWED_UNDER = {"db_lock"}
 class NoBlockingUnderLockRule(Rule):
     id = "R004"
     name = "no-blocking-under-lock"
+    scope = "file"  # blocking calls and the with-lock block share a file
     description = (
         "no sleep/join/wait/blocking-get or statement execution while "
         "holding a lock"

@@ -1,0 +1,173 @@
+"""R008: deprecation shims must be documented and test-covered.
+
+The deprecation policy (CONTRIBUTING.md) requires every
+``ReproDeprecationWarning`` shim to (a) have a row in the CONTRIBUTING
+deprecation table and (b) be exercised by a ``pytest.warns`` test, so a
+shim can't be added — or its docs/test deleted — without the other two
+legs moving in lockstep.  This rule cross-checks all three from the warn
+sites the effect analysis collects.
+
+Each ``warnings.warn(..., ReproDeprecationWarning)`` site names a shim:
+
+* explicitly, via a ``# repro-lint: deprecation-shim=<needle>`` marker
+  on the enclosing function (used when one helper warns on behalf of
+  several entry points — the needle is matched verbatim, e.g. the
+  ``t_percent=`` kwarg spelling shared by the MNSA entry points); or
+* derived from the enclosing scope: ``Class.method`` for methods,
+  ``Class`` for ``__init__`` (the shim is a constructor kwarg), the
+  function name at module level.
+
+Checks, relative to the nearest enclosing directory holding a
+``CONTRIBUTING.md`` (none found ⇒ the site is skipped, keeping partial
+lints quiet):
+
+* the needle appears in a ``|``-delimited CONTRIBUTING.md table row;
+* some ``tests/**/*.py`` file contains both
+  ``pytest.warns(ReproDeprecationWarning`` and the test needle (the
+  marker needle verbatim, or ``method(`` for derived names).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.effects import WarnSite, effect_analysis
+from repro.analysis.framework import Finding, Rule, rule
+from repro.analysis.model import Project, function_marker_value
+
+_SHIM_KEY = "deprecation-shim"
+_CATEGORY = "ReproDeprecationWarning"
+_WARNS_NEEDLE = "pytest.warns(" + _CATEGORY
+
+
+@rule
+class DeprecationShimRule(Rule):
+    id = "R008"
+    name = "deprecation-shims"
+    description = (
+        "ReproDeprecationWarning shims must appear in the CONTRIBUTING.md "
+        "deprecation table and be exercised by a pytest.warns test"
+    )
+
+    def check(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        roots: Dict[str, Optional[str]] = {}
+        corpora: Dict[str, Tuple[List[str], List[str]]] = {}
+        for site in effect_analysis(project).iter_warn_sites():
+            if site.category != _CATEGORY:
+                continue
+            directory = os.path.dirname(site.module.path)
+            if directory not in roots:
+                roots[directory] = _find_root(directory)
+            root = roots[directory]
+            if root is None:
+                continue
+            if root not in corpora:
+                corpora[root] = (_table_rows(root), _test_sources(root))
+            table_rows, test_sources = corpora[root]
+            needles = self._needles(site)
+            if needles is None:
+                findings.append(
+                    self.finding(
+                        site.module,
+                        site.fn.lineno,
+                        site.fn.col_offset,
+                        f"{_qualname(site)}: {_SHIM_KEY} marker must name "
+                        f"the shim ('# repro-lint: {_SHIM_KEY}=<needle>')",
+                    )
+                )
+                continue
+            shim, doc_needle, test_needle = needles
+            if not any(doc_needle in row for row in table_rows):
+                findings.append(
+                    self.finding(
+                        site.module,
+                        site.lineno,
+                        site.col,
+                        f"deprecation shim '{shim}' is not documented in "
+                        "the CONTRIBUTING.md deprecation table "
+                        f"(no table row mentions '{doc_needle}')",
+                    )
+                )
+            if not any(
+                _WARNS_NEEDLE in source and test_needle in source
+                for source in test_sources
+            ):
+                findings.append(
+                    self.finding(
+                        site.module,
+                        site.lineno,
+                        site.col,
+                        f"deprecation shim '{shim}' is not exercised by any "
+                        f"pytest.warns({_CATEGORY}) test mentioning "
+                        f"'{test_needle}' under tests/",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _needles(site: WarnSite) -> Optional[Tuple[str, str, str]]:
+        """``(shim label, CONTRIBUTING needle, test needle)`` — None when
+        an explicit marker is present but empty."""
+        marker = function_marker_value(site.module, site.fn, _SHIM_KEY)
+        if marker is not None:
+            if not marker:
+                return None
+            return marker, marker, marker
+        shim = _qualname(site)
+        return shim, shim, shim.rsplit(".", 1)[-1] + "("
+
+
+def _qualname(site: WarnSite) -> str:
+    if site.cls is None:
+        return site.fn.name
+    if site.fn.name == "__init__":
+        return site.cls.name  # the shim is a constructor kwarg
+    return f"{site.cls.name}.{site.fn.name}"
+
+
+def _find_root(directory: str) -> Optional[str]:
+    """Nearest enclosing directory (of a relative or absolute module
+    path) containing CONTRIBUTING.md; '' means the working directory."""
+    current = directory
+    while True:
+        if os.path.exists(os.path.join(current, "CONTRIBUTING.md")):
+            return current
+        parent = os.path.dirname(current)
+        if parent == current:  # filesystem root
+            return None
+        if current == "":
+            return None
+        current = parent
+
+
+def _table_rows(root: str) -> List[str]:
+    path = os.path.join(root, "CONTRIBUTING.md")
+    with open(path, "r", encoding="utf-8") as handle:
+        return [
+            line for line in handle.read().splitlines()
+            if line.lstrip().startswith("|")
+        ]
+
+
+def _test_sources(root: str) -> List[str]:
+    tests_dir = os.path.join(root, "tests")
+    sources: List[str] = []
+    if not os.path.isdir(tests_dir):
+        return sources
+    for walk_root, dirs, names in os.walk(tests_dir):
+        dirs[:] = sorted(
+            d for d in dirs if d != "__pycache__" and not d.startswith(".")
+        )
+        for name in sorted(names):
+            if not name.endswith(".py"):
+                continue
+            try:
+                with open(
+                    os.path.join(walk_root, name), "r", encoding="utf-8"
+                ) as handle:
+                    sources.append(handle.read())
+            except OSError:
+                continue
+    return sources

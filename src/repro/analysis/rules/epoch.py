@@ -1,0 +1,243 @@
+"""R006: every mutating path through epoch-versioned state must bump
+``_epoch``.
+
+The plan cache (PR 3) is keyed by :class:`StatisticsManager`'s monotone
+``_epoch``; a mutation path that forgets to bump it lets a stale cached
+plan silently survive its statistics.  This rule makes the convention
+structural: in any class that declares ``_epoch = guarded_by(...)``,
+every method that mutates another ``guarded_by``-annotated attribute —
+directly, or transitively through a ``self.method()`` whose effect
+summary mutates one — must also increment ``self._epoch`` on **every
+path** that mutates (one bump per call covers all of that path's
+mutations, in either order, since the epoch only needs to move).
+
+The analysis is path-sensitive over a finite abstraction: each abstract
+path carries ``(first uncovered mutation site, bumped?)``; branches fork
+it, loops run zero-or-one iterations, and ``return`` / ``raise`` / end
+of body are the exit points where an uncovered mutation is reported.
+``__init__`` is exempt (the instance is unshared during construction),
+and a method may opt out explicitly::
+
+    def reset_cost_ledger(self) -> None:
+        # repro-lint: epoch-exempt=cost ledger is not planner-visible state
+        ...
+
+The reason is mandatory — a bare ``epoch-exempt=`` is itself a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.effects import (
+    EPOCH_ATTR,
+    EffectAnalysis,
+    direct_mutation_target,
+    effect_analysis,
+)
+from repro.analysis.framework import Finding, Rule, rule
+from repro.analysis.model import (
+    ClassInfo,
+    Project,
+    SourceModule,
+    function_marker_value,
+)
+
+_EXEMPT_KEY = "epoch-exempt"
+
+#: (lineno, col, attribute) of the first uncovered mutation on a path
+_Site = Tuple[int, int, str]
+#: one abstract path: (first uncovered mutation site or None, bumped?)
+_State = Tuple[Optional[_Site], bool]
+
+
+@rule
+class EpochBumpRule(Rule):
+    id = "R006"
+    name = "epoch-bump"
+    description = (
+        "methods mutating epoch-versioned guarded state must bump _epoch "
+        "on every mutating path"
+    )
+
+    def check(self, project: Project) -> List[Finding]:
+        analysis = effect_analysis(project)
+        findings: List[Finding] = []
+        for module in project.modules:
+            for cls in module.classes.values():
+                if EPOCH_ATTR not in cls.guarded:
+                    continue
+                guarded = frozenset(cls.guarded) - {EPOCH_ATTR}
+                if not guarded:
+                    continue
+                for name, fn in cls.methods.items():
+                    if name == "__init__":
+                        continue
+                    findings.extend(
+                        self._check_method(
+                            analysis, module, cls, fn, guarded
+                        )
+                    )
+        return findings
+
+    def _check_method(
+        self,
+        analysis: EffectAnalysis,
+        module: SourceModule,
+        cls: ClassInfo,
+        fn: ast.FunctionDef,
+        guarded: FrozenSet[str],
+    ) -> List[Finding]:
+        reason = function_marker_value(module, fn, _EXEMPT_KEY)
+        if reason is not None:
+            if not reason:
+                return [
+                    self.finding(
+                        module,
+                        fn.lineno,
+                        fn.col_offset,
+                        f"{cls.name}.{fn.name}: epoch-exempt marker must "
+                        "give a reason ('# repro-lint: epoch-exempt=<why>')",
+                    )
+                ]
+            return []
+        walker = _PathWalker(analysis, cls, guarded)
+        findings = []
+        for lineno, col, attr in walker.uncovered(fn):
+            findings.append(
+                self.finding(
+                    module,
+                    lineno,
+                    col,
+                    f"{cls.name}.{fn.name} mutates epoch-versioned state "
+                    f"self.{attr} without bumping self.{EPOCH_ATTR} on this "
+                    "path (bump the epoch or mark the method "
+                    f"'# repro-lint: {_EXEMPT_KEY}=<reason>')",
+                )
+            )
+        return findings
+
+
+class _PathWalker:
+    """Path-sensitive mutation/bump tracking over one method body."""
+
+    def __init__(
+        self, analysis: EffectAnalysis, cls: ClassInfo, guarded: FrozenSet[str]
+    ) -> None:
+        self._analysis = analysis
+        self._cls = cls
+        self._guarded = guarded
+        self._exits: Set[_State] = set()
+
+    def uncovered(self, fn: ast.FunctionDef) -> List[_Site]:
+        """Mutation sites left unbumped on some path, in source order."""
+        self._exits = set()
+        remaining = self._block(fn.body, {(None, False)})
+        self._exits |= remaining  # falling off the end is an exit
+        return sorted(
+            {site for site, bumped in self._exits if site and not bumped}
+        )
+
+    # ------------------------------------------------------------------
+    # statement transfer
+    # ------------------------------------------------------------------
+
+    def _block(self, stmts, states: Set[_State]) -> Set[_State]:
+        for stmt in stmts:
+            if not states:
+                break  # all paths already exited
+            states = self._stmt(stmt, states)
+        return states
+
+    def _stmt(self, stmt: ast.stmt, states: Set[_State]) -> Set[_State]:
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._exits |= self._effects_of(stmt, states)
+            return set()
+        if isinstance(stmt, ast.If):
+            after_test = self._effects_of(stmt.test, states)
+            return self._block(stmt.body, after_test) | self._block(
+                stmt.orelse, after_test
+            )
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            entry = self._effects_of(stmt.iter, states)
+            entry = self._effects_of(stmt.target, entry)
+            merged = entry | self._block(stmt.body, entry)  # 0 or 1 trips
+            return self._block(stmt.orelse, merged)
+        if isinstance(stmt, ast.While):
+            entry = self._effects_of(stmt.test, states)
+            merged = entry | self._block(stmt.body, entry)
+            return self._block(stmt.orelse, merged)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            entry = states
+            for item in stmt.items:
+                entry = self._effects_of(item.context_expr, entry)
+                if item.optional_vars is not None:
+                    entry = self._effects_of(item.optional_vars, entry)
+            return self._block(stmt.body, entry)
+        if isinstance(stmt, ast.Try):
+            after_body = self._block(stmt.body, states)
+            # a handler may run after any prefix of the body; entering
+            # with the pre-try states is the coarse but safe choice for
+            # the bump obligation (mutations before the raise reappear
+            # on the fall-off-body path anyway)
+            from_handlers: Set[_State] = set()
+            for handler in stmt.handlers:
+                from_handlers |= self._block(handler.body, states)
+            after_body = self._block(stmt.orelse, after_body)
+            combined = after_body | from_handlers
+            return self._block(stmt.finalbody, combined)
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return states  # separate lexical scope, summarized on its own
+        return self._effects_of(stmt, states)
+
+    # ------------------------------------------------------------------
+    # expression-level effects
+    # ------------------------------------------------------------------
+
+    def _effects_of(self, root: ast.AST, states: Set[_State]) -> Set[_State]:
+        for node in _walk_same_scope(root):
+            target = direct_mutation_target(node)
+            if target == EPOCH_ATTR:
+                states = _bump(states)
+            elif target in self._guarded:
+                states = _mutate(states, (node.lineno, node.col_offset, target))
+            if isinstance(node, ast.Call):
+                summary = self._analysis.call_effects(self._cls, node)
+                touched = sorted(summary.mutated_attrs & self._guarded)
+                if touched:
+                    states = _mutate(
+                        states,
+                        (node.lineno, node.col_offset, touched[0]),
+                    )
+                if summary.bumps_epoch:
+                    states = _bump(states)
+        return states
+
+
+def _bump(states: Set[_State]) -> Set[_State]:
+    return {(site, True) for site, _ in states}
+
+
+def _mutate(states: Set[_State], site: _Site) -> Set[_State]:
+    # a path that already bumped is covered for the whole call; otherwise
+    # remember the first uncovered site so the finding points at it
+    return {
+        (existing if (existing or bumped) else site, bumped)
+        for existing, bumped in states
+    }
+
+
+def _walk_same_scope(root: ast.AST):
+    """:func:`ast.walk` minus nested function/lambda bodies."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node is not root and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))

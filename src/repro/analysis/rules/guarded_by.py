@@ -26,6 +26,7 @@ from repro.analysis.model import ClassInfo, Project, SourceModule
 class GuardedByRule(Rule):
     id = "R001"
     name = "guarded-by"
+    scope = "file"  # declarations and accesses live in one class body
     description = (
         "guarded_by()-annotated attributes may only be accessed while "
         "holding the declared lock"

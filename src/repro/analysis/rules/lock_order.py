@@ -31,16 +31,13 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.framework import Finding, Rule, rule
 from repro.analysis.model import (
-    GENERIC_METHOD_NAMES,
     ClassInfo,
+    FnKey,
     Project,
     SourceModule,
-    dotted,
     lock_withitems,
+    resolve_call,
 )
-
-#: (module, class-or-None, function node)
-FnKey = Tuple[str, Optional[str], str]
 
 
 @rule
@@ -122,27 +119,7 @@ class _LockGraph:
     def _resolve_call(
         self, cls: Optional[ClassInfo], call: ast.Call
     ) -> List[FnKey]:
-        func = call.func
-        if isinstance(func, ast.Attribute):
-            name = func.attr
-            receiver = dotted(func.value)
-            if receiver == "self" and cls is not None and name in cls.methods:
-                return [(cls.module.path, cls.name, name)]
-            if name in GENERIC_METHOD_NAMES:
-                return []
-            return [
-                (owner.module.path, owner.name, name)
-                for owner, _ in self.project.methods_by_name.get(name, [])
-            ]
-        if isinstance(func, ast.Name):
-            name = func.id
-            if name in GENERIC_METHOD_NAMES:
-                return []
-            return [
-                (module.path, None, name)
-                for module, _ in self.project.functions_by_name.get(name, [])
-            ]
-        return []
+        return resolve_call(self.project, cls, call)
 
     # ------------------------------------------------------------------
 

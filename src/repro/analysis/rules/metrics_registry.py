@@ -1,0 +1,136 @@
+"""R007: every metric name must be registered and well-formed.
+
+:class:`~repro.service.metrics.MetricsRegistry` accepts any string, so a
+typo'd counter name silently forks a new time series.  This rule checks
+every name reaching ``inc`` / ``gauge`` / ``timer`` — at direct emission
+sites, and at call sites of wrapper functions whose effect summary
+forwards a parameter into an emission (``PlanCache._note_counter``) —
+against the committed registry in ``metric_names.py`` (a module-level
+``METRICS`` dict; the rule is silent when no such module is among the
+analyzed files, so partial lints of unrelated subtrees stay quiet).
+
+Checked per name:
+
+* **resolvable** — a string literal or module-level ALL_CAPS constant;
+  anything dynamic (f-strings, locals, arithmetic) is a finding unless
+  it is itself a recognized wrapper parameter;
+* **grammar** — ``<component>.<name>`` dotted lower-case segments
+  (``[a-z][a-z0-9_]*``, at least one dot);
+* **registered** — present in ``METRICS`` (registry entries themselves
+  are also grammar-checked).
+
+Timer base names register the base only; the ``_seconds`` / ``_count``
+series the registry derives at runtime are implied.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, Iterator, List, Tuple
+
+from repro.analysis.effects import effect_analysis
+from repro.analysis.framework import Finding, Rule, rule
+from repro.analysis.model import Project, SourceModule
+
+REGISTRY_BASENAME = "metric_names.py"
+REGISTRY_VARIABLE = "METRICS"
+
+_GRAMMAR = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+
+@rule
+class MetricsRegistryRule(Rule):
+    id = "R007"
+    name = "metrics-registry"
+    description = (
+        "metric names must be literals registered in metric_names.py and "
+        "match the <component>.<name> grammar"
+    )
+
+    def check(self, project: Project) -> List[Finding]:
+        registry: Dict[str, Tuple[SourceModule, int]] = {}
+        findings: List[Finding] = []
+        registry_modules = [
+            module
+            for module in project.modules
+            if os.path.basename(module.path) == REGISTRY_BASENAME
+        ]
+        if not registry_modules:
+            return []
+        for module in registry_modules:
+            for name, lineno, col in _registry_entries(module):
+                registry.setdefault(name, (module, lineno))
+                if not _GRAMMAR.match(name):
+                    findings.append(
+                        self.finding(
+                            module,
+                            lineno,
+                            col,
+                            f"registry entry {name!r} does not match the "
+                            "<component>.<name> metric grammar",
+                        )
+                    )
+        registry_label = registry_modules[0].path
+        for site in effect_analysis(project).iter_metric_sites():
+            if site.via_param:
+                continue  # validated at the wrapper's own call sites
+            if site.name is None:
+                findings.append(
+                    self.finding(
+                        site.module,
+                        site.lineno,
+                        site.col,
+                        f"dynamic metric name passed to {site.method}(); "
+                        "use a string literal or module-level constant",
+                    )
+                )
+                continue
+            if not _GRAMMAR.match(site.name):
+                findings.append(
+                    self.finding(
+                        site.module,
+                        site.lineno,
+                        site.col,
+                        f"metric name {site.name!r} does not match the "
+                        "<component>.<name> metric grammar",
+                    )
+                )
+                continue
+            if site.name not in registry:
+                findings.append(
+                    self.finding(
+                        site.module,
+                        site.lineno,
+                        site.col,
+                        f"metric name {site.name!r} is not registered in "
+                        f"{registry_label}; add a METRICS entry",
+                    )
+                )
+        return findings
+
+
+def _registry_entries(
+    module: SourceModule,
+) -> Iterator[Tuple[str, int, int]]:
+    """``(name, lineno, col)`` for each METRICS dict key, in file order."""
+    for stmt in module.tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        named = any(
+            isinstance(t, ast.Name) and t.id == REGISTRY_VARIABLE
+            for t in targets
+        )
+        if not named or not isinstance(value, ast.Dict):
+            continue
+        for key in value.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                yield key.value, key.lineno, key.col_offset

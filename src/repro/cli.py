@@ -243,7 +243,44 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--rules",
         default=None,
-        help="comma-separated rule ids to run (default: all, R001-R005)",
+        help="comma-separated rule ids to run (default: all, R001-R008)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run rules in N worker processes (default: 1, in-process)",
+    )
+    lint.add_argument(
+        "--cache",
+        nargs="?",
+        const=".repro-lint-cache.json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "enable the incremental on-disk cache "
+            "(default path: .repro-lint-cache.json)"
+        ),
+    )
+    lint.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply safe autofixes (R005 pin literals) and re-lint",
+    )
+    lint.add_argument(
+        "--fix-unsafe",
+        action="store_true",
+        help=(
+            "also apply unsafe fixes (R007 TODO registry entries); "
+            "implies --fix"
+        ),
     )
     lint.add_argument(
         "--baseline",
@@ -857,11 +894,10 @@ def _cmd_lint(args) -> int:
         BASELINE_FILENAME,
         RULES,
         all_rule_ids,
-        lint_paths,
-        lint_project,
-        build_project,
         save_baseline,
     )
+    from repro.analysis.engine import run_lint
+    from repro.analysis.output import render
 
     if args.list_rules:
         for rule_id in all_rule_ids():
@@ -869,7 +905,26 @@ def _cmd_lint(args) -> int:
             print(f"{rule_id}  {rule_cls.name:24s} {rule_cls.description}")
         return 0
 
-    rules = args.rules.split(",") if args.rules else None
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = sorted(set(rules) - set(all_rule_ids()))
+        if unknown:
+            print(
+                f"repro lint: unknown rule id(s): {', '.join(unknown)} "
+                f"(known: {', '.join(all_rule_ids())})",
+                file=sys.stderr,
+            )
+            return 2
+    missing = [path for path in args.paths if not os.path.exists(path)]
+    if missing:
+        print(
+            f"repro lint: path(s) do not exist: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    jobs = max(1, args.jobs)
     baseline = args.baseline
     if baseline is None:
         first = args.paths[0] if args.paths else "src"
@@ -883,19 +938,44 @@ def _cmd_lint(args) -> int:
                 break
 
     if args.update_baseline:
-        findings = lint_project(build_project(args.paths), rules=rules)
+        findings = run_lint(args.paths, rules=rules, jobs=jobs)
         target = args.baseline or BASELINE_FILENAME
         save_baseline(target, findings)
         print(f"wrote {len(findings)} finding(s) to {target}")
         return 0
 
-    findings = lint_paths(args.paths, rules=rules, baseline=baseline)
-    for finding in findings:
-        print(finding.render())
-    if findings:
-        print(f"{len(findings)} finding(s)")
-        return 1
-    return 0
+    findings = run_lint(
+        args.paths,
+        rules=rules,
+        baseline=baseline,
+        cache_path=args.cache,
+        jobs=jobs,
+    )
+
+    if args.fix or args.fix_unsafe:
+        from repro.analysis.fixers import apply_fixes
+
+        report = apply_fixes(findings, unsafe=args.fix_unsafe)
+        for path in sorted(report.files):
+            print(f"fixed {report.files[path]} finding(s) in {path}")
+        if report.files:
+            findings = run_lint(
+                args.paths,
+                rules=rules,
+                baseline=baseline,
+                cache_path=args.cache,
+                jobs=jobs,
+            )
+
+    if args.format == "text":
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"{len(findings)} finding(s)")
+            return 1
+        return 0
+    print(render(findings, args.format), end="")
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via main()

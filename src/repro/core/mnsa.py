@@ -126,6 +126,7 @@ def resolve_config(
     t_percent: Optional[float] = None,
     epsilon: Optional[float] = None,
 ) -> MnsaConfig:
+    # repro-lint: deprecation-shim=t_percent=
     """Fold deprecated loose ``t_percent`` / ``epsilon`` floats into a
     :class:`MnsaConfig`, warning when the old spellings are used.
 

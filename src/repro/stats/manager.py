@@ -150,6 +150,7 @@ class StatisticsManager:
             self._epoch += 1
 
     def reset_cost_ledger(self) -> None:
+        # repro-lint: epoch-exempt=cost ledger totals are bookkeeping, not planner-visible statistics state
         with self._lock:
             self.creation_cost_total = 0.0
             self.update_cost_total = 0.0

@@ -1,0 +1,46 @@
+"""R006 bad fixture: mutating paths that never bump the epoch."""
+
+import threading
+
+from repro.concurrency import guarded_by
+
+
+class StatisticsManager:
+    _statistics = guarded_by("_lock")
+    _drop_list = guarded_by("_lock")
+    _epoch = guarded_by("_lock")
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._statistics = {}
+        self._drop_list = set()
+        self._epoch = 0
+
+    def create(self, key):
+        with self._lock:
+            self._statistics[key] = object()  # line 21: no bump at all
+
+    def drop(self, key):
+        with self._lock:
+            if key in self._statistics:
+                del self._statistics[key]  # line 26: only the else bumps
+            else:
+                self._drop_list.discard(key)
+                self._epoch += 1
+
+    def clear(self):
+        with self._lock:
+            self._drop_list.clear()  # line 33: mutator call, no bump
+
+    def demote(self, key):
+        with self._lock:
+            self._stash(key)  # line 37: transitive mutation, no bump
+
+    def undocumented(self, key):  # line 39: exempt marker without reason
+        # repro-lint: epoch-exempt=
+        with self._lock:
+            self._statistics.pop(key, None)
+
+    def _stash(self, key):
+        with self._lock:
+            self._drop_list.add(key)

@@ -1,0 +1,68 @@
+"""R006 good fixture: every mutating path bumps the epoch (or is
+legitimately exempt)."""
+
+import threading
+
+from repro.concurrency import guarded_by
+
+
+class StatisticsManager:
+    _statistics = guarded_by("_lock")
+    _drop_list = guarded_by("_lock")
+    _epoch = guarded_by("_lock")
+
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._statistics = {}
+        self._drop_list = set()
+        self._epoch = 0  # __init__ is exempt: the instance is unshared
+
+    def create(self, key):
+        with self._lock:
+            self._statistics[key] = object()
+            self._epoch += 1
+
+    def drop(self, key):
+        with self._lock:
+            if key not in self._statistics:
+                return False  # no mutation on this path
+            del self._statistics[key]
+            self._epoch += 1
+            return True
+
+    def drop_all(self):
+        with self._lock:
+            for key in list(self._statistics):
+                del self._statistics[key]
+            self._drop_list.clear()
+            self._epoch += 1  # one bump covers the whole loop
+
+    def promote(self, key):
+        with self._lock:
+            if key in self._drop_list:
+                self._drop_list.discard(key)
+            else:
+                self._statistics[key] = object()
+            self._bump()  # transitive bump through a self call
+
+    def restore(self, key):
+        with self._lock:
+            self._revive(key)  # callee mutates *and* bumps
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._statistics)  # reads never need a bump
+
+    def reset_counters(self):
+        # repro-lint: epoch-exempt=counters are not planner-visible state
+        with self._lock:
+            self._drop_list.clear()
+
+    def _bump(self):
+        with self._lock:
+            self._epoch += 1
+
+    def _revive(self, key):
+        with self._lock:
+            self._statistics[key] = object()
+            self._epoch += 1

@@ -1,0 +1,22 @@
+"""R007 bad fixture: unregistered, ill-formed, and dynamic metric
+names."""
+
+
+class Cache:
+    def __init__(self, metrics):
+        self._metrics = metrics
+
+    def unregistered(self):
+        self._metrics.inc("cache.unknown")  # line 10: not in the registry
+
+    def bad_grammar(self):
+        self._metrics.gauge("CacheHits")  # line 13: no dot, upper-case
+
+    def dynamic(self, which):
+        self._metrics.inc(f"cache.{which}")  # line 16: not resolvable
+
+    def bump_counter(self, name):
+        self._metrics.inc(name)
+
+    def forwarded(self):
+        self.bump_counter("cache.evictions")  # line 22: wrapper call site

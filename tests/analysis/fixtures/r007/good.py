@@ -1,0 +1,27 @@
+"""R007 good fixture: every emitted metric name resolves and is
+registered."""
+
+HIT_METRIC = "cache.hits"
+
+
+class Cache:
+    def __init__(self, metrics):
+        self._metrics = metrics
+
+    def hit(self):
+        self._metrics.inc(HIT_METRIC)  # module-level constant resolves
+
+    def miss(self):
+        self._metrics.inc("cache.misses", 2)
+
+    def timed(self):
+        with self._metrics.timer("worker.seconds"):
+            pass
+
+    def bump_counter(self, name, amount=1):
+        # wrapper: the name parameter flows into an emission, so call
+        # sites of bump_counter are validated instead of this line
+        self._metrics.inc(name, amount)
+
+    def touch(self):
+        self.bump_counter("cache.hits")

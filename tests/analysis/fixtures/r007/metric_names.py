@@ -1,0 +1,7 @@
+"""Fixture metric registry for the R007 tests."""
+
+METRICS = {
+    "cache.hits": "cache hits",
+    "cache.misses": "cache misses",
+    "worker.seconds": "worker wall time",
+}

@@ -1,0 +1,45 @@
+"""R008 bad fixture: undocumented, untested, and unnamed shims."""
+
+import warnings
+
+from repro.errors import ReproDeprecationWarning
+
+
+class Widget:
+    def old_speed(self, value):
+        warnings.warn(  # line 10: in neither the table nor any test
+            "old_speed() is deprecated",
+            ReproDeprecationWarning,
+            stacklevel=2,
+        )
+        return value
+
+
+class Gauge:
+    def __init__(self, style=None):
+        if style is not None:
+            warnings.warn(  # line 21: documented but never tested
+                "Gauge(style=...) is deprecated",
+                ReproDeprecationWarning,
+                stacklevel=2,
+            )
+        self.style = style
+
+
+def legacy_mode(config):  # line 29: tested but not documented
+    warnings.warn(
+        "legacy_mode() is deprecated",
+        ReproDeprecationWarning,
+        stacklevel=2,
+    )
+    return config
+
+
+def unnamed(config):  # line 38: marker without a needle
+    # repro-lint: deprecation-shim=
+    warnings.warn(
+        "something is deprecated",
+        ReproDeprecationWarning,
+        stacklevel=2,
+    )
+    return config

@@ -1,0 +1,37 @@
+"""R008 good fixture: every shim is documented and test-covered."""
+
+import warnings
+
+from repro.errors import ReproDeprecationWarning
+
+
+class Widget:
+    def old_speed(self, value):
+        warnings.warn(
+            "old_speed() is deprecated; use speed()",
+            ReproDeprecationWarning,
+            stacklevel=2,
+        )
+        return value
+
+
+class Gauge:
+    def __init__(self, style=None):
+        if style is not None:
+            warnings.warn(
+                "Gauge(style=...) is deprecated; pass theme=",
+                ReproDeprecationWarning,
+                stacklevel=2,
+            )
+        self.style = style
+
+
+def resolve_render(config, mode=None):
+    # repro-lint: deprecation-shim=mode=
+    if mode is not None:
+        warnings.warn(
+            "loose mode= strings are deprecated; pass a RenderConfig",
+            ReproDeprecationWarning,
+            stacklevel=2,
+        )
+    return config

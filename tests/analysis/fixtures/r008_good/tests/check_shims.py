@@ -1,0 +1,21 @@
+"""Shim coverage for the R008 good fixture (named check_* so pytest
+never collects it; the lint rule only greps it)."""
+
+import pytest
+
+from repro.errors import ReproDeprecationWarning
+
+
+def check_old_speed_warns(widget):
+    with pytest.warns(ReproDeprecationWarning):
+        widget.old_speed(3)
+
+
+def check_gauge_style_warns(gauge_cls):
+    with pytest.warns(ReproDeprecationWarning):
+        gauge_cls.Gauge(style="dial")
+
+
+def check_mode_warns(resolve_render):
+    with pytest.warns(ReproDeprecationWarning):
+        resolve_render(None, mode="fast")

@@ -34,7 +34,7 @@ def test_lint_rule_filter(capsys):
 def test_lint_list_rules(capsys):
     assert main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+    for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008"):
         assert rule_id in out
     assert "guarded" in out
 
@@ -55,3 +55,67 @@ def test_lint_update_baseline_then_clean(tmp_path, capsys):
 def test_lint_src_via_cli(capsys):
     src = os.path.join(REPO_ROOT, "src")
     assert main(["lint", src]) == 0
+
+
+def test_lint_unknown_rule_id_exits_two(capsys):
+    good = os.path.join(FIXTURES, "r001_good.py")
+    assert main(["lint", good, "--rules", "R001,R099"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown rule id(s): R099" in err
+    assert "known:" in err
+
+
+def test_lint_missing_path_exits_two(capsys):
+    missing = os.path.join(FIXTURES, "does_not_exist.py")
+    assert main(["lint", missing]) == 2
+    err = capsys.readouterr().err
+    assert "path(s) do not exist" in err
+    assert "does_not_exist.py" in err
+
+
+def test_lint_format_json(capsys):
+    bad = os.path.join(FIXTURES, "r001_bad.py")
+    assert main(["lint", bad, "--format", "json"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["tool"] == "repro-lint"
+    assert document["count"] == 4
+    assert all(f["rule_id"] == "R001" for f in document["findings"])
+
+
+def test_lint_format_sarif(capsys):
+    bad = os.path.join(FIXTURES, "r001_bad.py")
+    assert main(["lint", bad, "--format", "sarif"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == "2.1.0"
+    assert len(document["runs"][0]["results"]) == 4
+
+
+def test_lint_jobs_output_matches_serial(capsys):
+    bad = os.path.join(FIXTURES, "r001_bad.py")
+    assert main(["lint", bad, "--format", "json"]) == 1
+    serial = capsys.readouterr().out
+    assert main(["lint", bad, "--format", "json", "--jobs", "2"]) == 1
+    assert capsys.readouterr().out == serial
+
+
+def test_lint_cache_flag_reuses_results(tmp_path, capsys, monkeypatch):
+    fixture = open(os.path.join(FIXTURES, "r001_bad.py")).read()
+    (tmp_path / "bad.py").write_text(fixture)
+    monkeypatch.chdir(tmp_path)
+    assert main(["lint", "bad.py", "--cache"]) == 1
+    cold = capsys.readouterr().out
+    assert os.path.exists(tmp_path / ".repro-lint-cache.json")
+    assert main(["lint", "bad.py", "--cache"]) == 1
+    assert capsys.readouterr().out == cold
+
+
+def test_lint_fix_flow(tmp_path, capsys):
+    for name in ("bad.py", "variables.py"):
+        source = open(os.path.join(FIXTURES, "r005", name)).read()
+        (tmp_path / name).write_text(source)
+    target = str(tmp_path / "bad.py")
+    assert main(["lint", str(tmp_path), "--rules", "R005", "--fix"]) == 1
+    out = capsys.readouterr().out
+    assert f"fixed 3 finding(s) in {target}" in out
+    assert "1 finding(s)" in out  # the unfixable override literal remains
+    assert "EPSILON" in (tmp_path / "bad.py").read_text()

@@ -38,8 +38,10 @@ def write(tmp_path, name, source):
     return str(path)
 
 
-def test_all_five_rules_registered():
-    assert all_rule_ids() == ["R001", "R002", "R003", "R004", "R005"]
+def test_all_builtin_rules_registered():
+    assert all_rule_ids() == [
+        "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+    ]
 
 
 def test_unknown_rule_id_rejected():

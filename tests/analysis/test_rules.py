@@ -125,3 +125,130 @@ def test_r005_pin_source_and_named_constants_are_clean():
     findings = lint_paths(fixture("r005"), rules=["R005"])
     assert not any(f.path.endswith("good.py") for f in findings)
     assert not any(f.path.endswith("variables.py") for f in findings)
+
+
+# ----------------------------------------------------------------------
+# R006 epoch-bump completeness
+# ----------------------------------------------------------------------
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def test_r006_flags_unbumped_mutation_paths():
+    findings = lint_paths(fixture("r006_bad.py"), rules=["R006"])
+    assert ids_and_lines(findings) == [
+        ("R006", 21),  # direct mutation, no bump anywhere
+        ("R006", 26),  # if-branch mutates, only the else bumps
+        ("R006", 33),  # in-place mutator call (.clear()), no bump
+        ("R006", 37),  # transitive mutation through self._stash
+        ("R006", 39),  # epoch-exempt marker without a reason
+        ("R006", 46),  # the mutating helper itself never bumps
+    ]
+    assert any("epoch-exempt marker must give a reason" in f.message for f in findings)
+    assert any("self._drop_list" in f.message for f in findings)
+
+
+def test_r006_clean_on_good_fixture():
+    assert lint_paths(fixture("r006_good.py"), rules=["R006"]) == []
+
+
+def test_r006_real_manager_is_clean(tmp_path):
+    manager = os.path.join(REPO_ROOT, "src", "repro", "stats", "manager.py")
+    copy = tmp_path / "manager.py"
+    copy.write_text(open(manager).read())
+    assert lint_paths([str(copy)], rules=["R006"]) == []
+
+
+def test_r006_fails_when_a_bump_is_deleted(tmp_path):
+    """Deleting one ``self._epoch += 1`` from StatisticsManager.drop
+    must fail lint — the invariant the plan cache depends on."""
+    manager = os.path.join(REPO_ROOT, "src", "repro", "stats", "manager.py")
+    lines = open(manager).read().splitlines(keepends=True)
+    drop_at = next(i for i, l in enumerate(lines) if l.lstrip().startswith("def drop(self"))
+    bump_at = next(
+        i for i, l in enumerate(lines[drop_at:], start=drop_at)
+        if l.strip() == "self._epoch += 1"
+    )
+    del lines[bump_at]
+    copy = tmp_path / "manager.py"
+    copy.write_text("".join(lines))
+    findings = lint_paths([str(copy)], rules=["R006"])
+    assert findings, "deleting an epoch bump must produce an R006 finding"
+    assert all(f.rule_id == "R006" for f in findings)
+    assert any("StatisticsManager.drop" in f.message for f in findings)
+
+
+# ----------------------------------------------------------------------
+# R007 metrics-registry consistency
+# ----------------------------------------------------------------------
+
+
+def test_r007_flags_unknown_dynamic_and_ill_formed_names():
+    findings = lint_paths(
+        fixture("r007/metric_names.py", "r007/bad.py"), rules=["R007"]
+    )
+    assert ids_and_lines(findings) == [
+        ("R007", 10),  # emitted name missing from the registry
+        ("R007", 13),  # name violates the component.name grammar
+        ("R007", 16),  # dynamic (f-string) name
+        ("R007", 22),  # unregistered name through the wrapper call site
+    ]
+    assert any("is not registered" in f.message for f in findings)
+    assert any("dynamic metric name" in f.message for f in findings)
+
+
+def test_r007_clean_on_good_fixture():
+    findings = lint_paths(
+        fixture("r007/metric_names.py", "r007/good.py"), rules=["R007"]
+    )
+    assert findings == []
+
+
+def test_r007_silent_without_a_registry_module():
+    # partial lints of trees without metric_names.py must stay quiet
+    assert lint_paths(fixture("r007/bad.py"), rules=["R007"]) == []
+
+
+def test_r007_registry_entries_are_grammar_checked(tmp_path):
+    registry = tmp_path / "metric_names.py"
+    registry.write_text('METRICS = {\n    "BadGrammar": "no dot, caps",\n}\n')
+    findings = lint_paths([str(registry)], rules=["R007"])
+    assert [(f.rule_id, f.line) for f in findings] == [("R007", 2)]
+    assert "registry entry" in findings[0].message
+
+
+def test_r007_real_tree_registry_matches_emissions():
+    # every name the src tree emits is registered, and vice-versa usage
+    # of the registry module keeps R007 quiet on the real code
+    findings = lint_paths([os.path.join(REPO_ROOT, "src")], rules=["R007"])
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# R008 deprecation-shim policy
+# ----------------------------------------------------------------------
+
+
+def test_r008_flags_undocumented_untested_and_unnamed_shims():
+    findings = lint_paths(fixture("r008_bad/mod.py"), rules=["R008"])
+    assert ids_and_lines(findings) == [
+        ("R008", 10),  # Widget.old_speed: not in the table ...
+        ("R008", 10),  # ... and not covered by any test
+        ("R008", 21),  # Gauge: documented but never tested
+        ("R008", 30),  # legacy_mode: tested but not documented
+        ("R008", 38),  # marker without a needle
+    ]
+    widget = [f.message for f in findings if f.line == 10]
+    assert any("not documented" in m for m in widget)
+    assert any("not exercised" in m for m in widget)
+
+
+def test_r008_clean_on_good_fixture():
+    assert lint_paths(fixture("r008_good/mod.py"), rules=["R008"]) == []
+
+
+def test_r008_silent_without_contributing(tmp_path):
+    source = open(os.path.join(FIXTURES, "r008_bad", "mod.py")).read()
+    copy = tmp_path / "mod.py"
+    copy.write_text(source)
+    assert lint_paths([str(copy)], rules=["R008"]) == []
