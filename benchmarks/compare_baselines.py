@@ -1,0 +1,117 @@
+"""Compare fresh BENCH_*.json results against their checked-in baselines.
+
+CI runs the benchmark smoke steps, then::
+
+    python benchmarks/compare_baselines.py BENCH_plan_cache.json ...
+
+Each named file is diffed against ``benchmarks/baselines/<name>`` with a
+tolerance band: a numeric leaf may move by up to ``max(ABS_TOLERANCE,
+REL_TOLERANCE * magnitude)`` before it counts as a drift.  Wall-clock
+leaves (any key mentioning ``wall`` or ``seconds``) are skipped — CI
+runner speed is not a regression.  Non-numeric leaves must match
+exactly; a key present on only one side is always a drift.
+
+Exit status is 1 with one line per violation, so the CI step fails
+loudly and names exactly what moved.  ``REPRO_BENCH_TOLERANCE``
+overrides the relative band (default 0.25) for noisier environments.
+
+A drift is not automatically a bug — but it must be *explained*: either
+fix the regression or regenerate the baseline in the same commit that
+changes the behavior (``REPRO_BENCH_JSON_DIR=benchmarks/baselines``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Iterator, Tuple
+
+ABS_TOLERANCE = 2.0
+REL_TOLERANCE = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.25"))
+BASELINE_DIR = os.path.join(os.path.dirname(__file__), "baselines")
+
+_SKIP_FRAGMENTS = ("wall", "seconds")
+
+
+def _leaves(payload, prefix: str = "") -> Iterator[Tuple[str, object]]:
+    if isinstance(payload, dict):
+        for key, value in sorted(payload.items()):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            yield from _leaves(value, path)
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            yield from _leaves(value, f"{prefix}[{index}]")
+    else:
+        yield prefix, payload
+
+
+def _skipped(path: str) -> bool:
+    lowered = path.lower()
+    return any(fragment in lowered for fragment in _SKIP_FRAGMENTS)
+
+
+def compare(baseline: dict, fresh: dict) -> list:
+    """Tolerance-banded diff; returns one message per violation."""
+    old = dict(_leaves(baseline))
+    new = dict(_leaves(fresh))
+    problems = []
+    for path in sorted(set(old) | set(new)):
+        if _skipped(path):
+            continue
+        if path not in old:
+            problems.append(f"{path}: new key (= {new[path]!r})")
+            continue
+        if path not in new:
+            problems.append(f"{path}: missing (baseline {old[path]!r})")
+            continue
+        was, now = old[path], new[path]
+        numeric = isinstance(was, (int, float)) and isinstance(
+            now, (int, float)
+        ) and not isinstance(was, bool) and not isinstance(now, bool)
+        if not numeric:
+            if was != now:
+                problems.append(f"{path}: {was!r} -> {now!r}")
+            continue
+        band = max(ABS_TOLERANCE, REL_TOLERANCE * max(abs(was), abs(now)))
+        if abs(now - was) > band:
+            problems.append(
+                f"{path}: {was:g} -> {now:g} "
+                f"(moved {abs(now - was):g}, tolerance {band:g})"
+            )
+    return problems
+
+
+def main(argv) -> int:
+    if not argv:
+        print("usage: compare_baselines.py BENCH_<name>.json ...")
+        return 2
+    failures = 0
+    for fresh_path in argv:
+        name = os.path.basename(fresh_path)
+        baseline_path = os.path.join(BASELINE_DIR, name)
+        if not os.path.exists(baseline_path):
+            print(f"{name}: no baseline at {baseline_path}")
+            failures += 1
+            continue
+        if not os.path.exists(fresh_path):
+            print(f"{name}: fresh result {fresh_path} not found")
+            failures += 1
+            continue
+        with open(baseline_path) as handle:
+            baseline = json.load(handle)
+        with open(fresh_path) as handle:
+            fresh = json.load(handle)
+        problems = compare(baseline, fresh)
+        if problems:
+            failures += 1
+            print(f"{name}: {len(problems)} drift(s) beyond tolerance")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            print(f"{name}: within tolerance of baseline")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -79,6 +79,13 @@ from repro.feedback import (
     worst_plan_q_error,
 )
 from repro.index import apply_tuned_tpcd_indexes
+from repro.learned import (
+    BucketRegressor,
+    CorrectionModel,
+    CorrectionStore,
+    MultiplicativeCorrection,
+    SketchJoinEstimator,
+)
 from repro.optimizer import (
     OptimizationRequest,
     OptimizationResult,
@@ -155,6 +162,12 @@ __all__ = [
     "OperatorObservation",
     "PlanInstrumenter",
     "QErrorTracker",
+    # learned corrections
+    "BucketRegressor",
+    "CorrectionModel",
+    "CorrectionStore",
+    "MultiplicativeCorrection",
+    "SketchJoinEstimator",
     # indexes
     "apply_tuned_tpcd_indexes",
     # core algorithms

@@ -168,6 +168,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=10.0,
         help="worst plan q-error that queues an MNSA re-tune",
     )
+    serve.add_argument(
+        "--learned",
+        action="store_true",
+        help=(
+            "apply learned cardinality corrections inside selectivity "
+            "estimation (implies --feedback)"
+        ),
+    )
+    serve.add_argument(
+        "--learned-model",
+        choices=("multiplicative", "bucket"),
+        default="multiplicative",
+        help="correction model class used when --learned is on",
+    )
 
     feedback = sub.add_parser(
         "feedback",
@@ -175,6 +189,13 @@ def build_parser() -> argparse.ArgumentParser:
             "execute a workload inline with per-operator feedback capture "
             "and report q-error aggregates per (table, column-set) target"
         ),
+    )
+    feedback.add_argument(
+        "action",
+        nargs="?",
+        choices=("report",),
+        default="report",
+        help="what to do with the captured feedback (default: report)",
     )
     feedback.add_argument(
         "--db", default=None, help="existing database directory (default: "
@@ -194,6 +215,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     feedback.add_argument(
         "--top", type=int, default=20, help="show at most this many targets"
+    )
+    feedback.add_argument(
+        "--learned",
+        action="store_true",
+        help=(
+            "feed observations into a learned correction store and "
+            "report its per-key factors and hit/miss counters"
+        ),
+    )
+    feedback.add_argument(
+        "--learned-model",
+        choices=("multiplicative", "bucket"),
+        default="multiplicative",
+        help="correction model class used when --learned is on",
     )
 
     experiment = sub.add_parser(
@@ -458,7 +493,9 @@ def _cmd_serve(args) -> int:
     workers = (
         args.parallelism if args.parallelism is not None else args.workers
     )
-    feedback_on = args.feedback or args.refresh_policy != "churn"
+    feedback_on = (
+        args.feedback or args.learned or args.refresh_policy != "churn"
+    )
     config = ServiceConfig(
         capture_capacity=args.capture,
         advisor_workers=workers,
@@ -471,6 +508,8 @@ def _cmd_serve(args) -> int:
         refresh_policy=args.refresh_policy,
         qerror_refresh_threshold=args.qerror_refresh_threshold,
         qerror_retune_threshold=args.qerror_retune_threshold,
+        learned_enabled=args.learned,
+        learned_model=args.learned_model,
     )
     service = StatsService(db, config)
     clients = max(1, args.clients)
@@ -479,6 +518,8 @@ def _cmd_serve(args) -> int:
         if feedback_on
         else ""
     )
+    if args.learned:
+        feedback_note += f", learned corrections ({args.learned_model})"
     print(
         f"serving workload {args.workload} over {db.name}: "
         f"{clients} client(s), {workers} advisor worker(s), "
@@ -522,6 +563,17 @@ def _cmd_serve(args) -> int:
     if service.feedback is not None:
         print("\n--- feedback (worst targets)")
         print(_feedback_table(service.feedback, threshold=None, top=10))
+    if service.corrections is not None:
+        counters = service.corrections.counters()
+        print("\n--- corrections")
+        print(
+            f"model {service.corrections.model_name} "
+            f"(version {counters['version']}): "
+            f"{counters['observations']} observations, "
+            f"{counters['hits']} hits / {counters['misses']} misses, "
+            f"{counters['invalidations']} invalidations, "
+            f"{counters['tracked']} tracked"
+        )
     print("\n--- metrics")
     print(service.metrics_text())
     for exc in service.worker_errors():
@@ -584,14 +636,23 @@ def _cmd_feedback(args) -> int:
             scale=args.scale, z=_parse_z(args.z), seed=args.seed
         )
     workload = generate_workload(db, args.workload, seed=args.seed)
-    optimizer = Optimizer(db)
+    corrections = None
+    if args.learned:
+        from repro.learned import CorrectionStore
+
+        corrections = CorrectionStore(model=args.learned_model)
+    optimizer = Optimizer(db, corrections=corrections)
     executor = Executor(db)
     store = FeedbackStore()
     queries = dml = 0
     for statement in workload.statements:
         if isinstance(statement, Query):
             plan = optimizer.optimize(statement)
-            executor.execute(plan.plan, statement, feedback=store)
+            result = executor.execute(
+                plan.plan, statement, feedback=store
+            )
+            if corrections is not None:
+                corrections.observe_all(result.operator_observations)
             queries += 1
         else:
             apply_dml(db, statement)
@@ -603,6 +664,28 @@ def _cmd_feedback(args) -> int:
         f"{counters['tracked']} feedback targets"
     )
     print(_feedback_table(store, threshold=args.threshold, top=args.top))
+    if corrections is not None:
+        cc = corrections.counters()
+        print(
+            f"\n--- corrections ({corrections.model_name}, "
+            f"version {cc['version']}): "
+            f"{cc['hits']} hits / {cc['misses']} misses, "
+            f"{cc['observations']} observations, "
+            f"{cc['tracked']} tracked"
+        )
+        rows = [
+            [label, kind, f"{agg['factor']:.3f}", int(agg["count"])]
+            for label, kind, agg in corrections.snapshot()[: args.top]
+        ]
+        if rows:
+            print(
+                format_table(["target", "kind", "factor", "obs"], rows)
+            )
+    else:
+        print(
+            "\n(re-run with --learned to train correction models on "
+            "these observations)"
+        )
     flagged = store.tables_by_error(args.threshold)
     if flagged:
         print(

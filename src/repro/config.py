@@ -241,6 +241,20 @@ class ServiceConfig:
             becomes due for refresh under ``qerror`` / ``hybrid``.
         qerror_retune_threshold: worst per-plan q-error at which the
             service queues an MNSA re-tune for the offending query.
+        learned_enabled: maintain a
+            :class:`~repro.learned.CorrectionStore` of online selectivity
+            corrections fed from execution feedback, and apply it inside
+            the service optimizers' selectivity estimation.  Requires
+            ``feedback_enabled`` (the corrections are fed by the same
+            operator observations).
+        learned_model: correction-model class — ``"multiplicative"``
+            (exact per-target factors) or ``"bucket"`` (hashed
+            predicate-feature regressor).
+        learned_decay: EWMA decay of the correction models, in (0, 1).
+        learned_max_factor: corrections are bounded to
+            ``[1/learned_max_factor, learned_max_factor]``.
+        learned_capacity: maximum tracked correction entries before
+            least-recently-observed eviction.
     """
 
     capture_capacity: int = 1024
@@ -259,6 +273,11 @@ class ServiceConfig:
     refresh_policy: RefreshPolicy = RefreshPolicy.CHURN
     qerror_refresh_threshold: float = 4.0
     qerror_retune_threshold: float = 10.0
+    learned_enabled: bool = False
+    learned_model: str = "multiplicative"
+    learned_decay: float = 0.8
+    learned_max_factor: float = 32.0
+    learned_capacity: int = 512
 
     def __post_init__(self) -> None:
         if self.capture_capacity < 1:
@@ -329,6 +348,29 @@ class ServiceConfig:
             raise ValueError(
                 f"refresh_policy {self.refresh_policy.value!r} requires "
                 "feedback_enabled=True"
+            )
+        if self.learned_model not in ("multiplicative", "bucket"):
+            raise ValueError(
+                f"learned_model must be 'multiplicative' or 'bucket', got "
+                f"{self.learned_model!r}"
+            )
+        if not 0.0 < self.learned_decay < 1.0:
+            raise ValueError(
+                f"learned_decay must be in (0, 1), got {self.learned_decay}"
+            )
+        if self.learned_max_factor <= 1.0:
+            raise ValueError(
+                f"learned_max_factor must be > 1, got "
+                f"{self.learned_max_factor}"
+            )
+        if self.learned_capacity < 1:
+            raise ValueError(
+                f"learned_capacity must be >= 1, got {self.learned_capacity}"
+            )
+        if self.learned_enabled and not self.feedback_enabled:
+            raise ValueError(
+                "learned_enabled=True requires feedback_enabled=True "
+                "(corrections are fed by execution feedback)"
             )
 
 

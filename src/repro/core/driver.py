@@ -49,6 +49,15 @@ class WorkloadDriver:
             when both ``optimizer`` and ``cache`` are given they must
             agree (the pre-warm phase is useless against a cache the
             serial pass will not read).
+        corrections: optional :class:`~repro.learned.CorrectionStore`
+            for the auto-created optimizer — the A/B hook for running the
+            same workload with and without learned corrections.  Ignored
+            when ``optimizer`` is given (the optimizer's own attachments
+            win); the pre-warm optimizers always mirror the primary's
+            learned attachments so cache keys line up.
+        join_estimator: optional
+            :class:`~repro.learned.SketchJoinEstimator` for the
+            auto-created optimizer; same rules as ``corrections``.
     """
 
     def __init__(
@@ -58,6 +67,8 @@ class WorkloadDriver:
         *,
         parallelism: int = 1,
         cache: Optional[PlanCache] = None,
+        corrections=None,
+        join_estimator=None,
     ) -> None:
         if parallelism < 1:
             raise PolicyError(
@@ -67,7 +78,12 @@ class WorkloadDriver:
         self.parallelism = int(parallelism)
         if optimizer is None:
             self._cache = cache if cache is not None else PlanCache()
-            self._optimizer = Optimizer(database, cache=self._cache)
+            self._optimizer = Optimizer(
+                database,
+                cache=self._cache,
+                corrections=corrections,
+                join_estimator=join_estimator,
+            )
         else:
             if cache is not None:
                 optimizer.attach_cache(cache)  # raises if they disagree
@@ -147,7 +163,11 @@ class WorkloadDriver:
         # a private optimizer per task keeps call_count deltas of the
         # primary optimizer (MnsaResult.optimizer_calls) untouched
         optimizer = Optimizer(
-            self._db, self._optimizer.config, cache=self._cache
+            self._db,
+            self._optimizer.config,
+            cache=self._cache,
+            corrections=self._optimizer.corrections,
+            join_estimator=self._optimizer.join_estimator,
         )
         optimizer.optimize_request(OptimizationRequest(query))
         missing = optimizer.magic_variables(query)

@@ -1,0 +1,174 @@
+"""AGMS-style sketch estimator for equijoin sizes.
+
+The A/B alternative to learned multiplicative corrections: instead of
+adjusting the optimizer's join estimate after the fact, estimate the
+join size directly from data sketches (Alon-Gibbons-Matias-Szegedy
+atomic sketches, the technique Online Sketch-based Query Optimization
+builds on).  For each join column the estimator keeps ``depth``
+counter-weighted random-sign sums; the expected product of two columns'
+sketches equals their equijoin size, and averaging within groups then
+taking the median across groups bounds the variance.
+
+Only foreign-key endpoint columns with value-comparable storage (INT or
+DATE) are sketched: those are the columns equijoins actually use, and
+string columns store per-table dictionary codes that are not comparable
+across tables.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.catalog.column import ColumnRef
+from repro.catalog.types import ColumnType
+from repro.concurrency import guarded_by
+from repro.errors import ServiceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.storage.database import Database
+
+__all__ = ["SketchJoinEstimator"]
+
+#: Sketch depth must split evenly into this many median groups.
+_MEDIAN_GROUPS = 8
+
+#: splitmix64 mixing constants (Steele et al.), vectorized over uint64.
+_SPLITMIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SPLITMIX_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_SPLITMIX_M2 = np.uint64(0x94D049BB133111EB)
+
+_SKETCHABLE_TYPES = (ColumnType.INT, ColumnType.DATE)
+
+
+def _signs(values: np.ndarray, seed: int) -> np.ndarray:
+    """Deterministic ±1 sign per value, independent across seeds."""
+    x = values.astype(np.uint64) + np.uint64(seed & 0xFFFFFFFFFFFFFFFF)
+    x = (x + _SPLITMIX_GAMMA) * _SPLITMIX_M1
+    x ^= x >> np.uint64(30)
+    x *= _SPLITMIX_M2
+    x ^= x >> np.uint64(27)
+    x *= _SPLITMIX_M1
+    x ^= x >> np.uint64(31)
+    return np.where(x & np.uint64(1), 1.0, -1.0)
+
+
+class SketchJoinEstimator:
+    """Per-column AGMS sketches over a database's foreign-key columns.
+
+    The estimator carries its own monotone ``version`` so an optimizer
+    that consults it can fold sketch freshness into the plan-cache key
+    exactly like the correction-store version.
+    """
+
+    _sketches = guarded_by("_lock")
+    _rows = guarded_by("_lock")
+    _version = guarded_by("_lock")
+
+    def __init__(
+        self, database: "Database", depth: int = 64, seed: int = 17
+    ) -> None:
+        if depth < _MEDIAN_GROUPS or depth % _MEDIAN_GROUPS:
+            raise ServiceError(
+                f"depth must be a positive multiple of {_MEDIAN_GROUPS}, "
+                f"got {depth}"
+            )
+        self._db = database
+        self.depth = depth
+        self._seed = seed
+        self._lock = threading.Lock()
+        self._sketches: Dict[Tuple[str, str], np.ndarray] = {}
+        self._rows: Dict[str, int] = {}
+        self._version = 0
+        self.rebuild()
+
+    # -- building -------------------------------------------------------
+
+    def _join_columns(self) -> List[Tuple[str, str]]:
+        """FK endpoint columns whose values compare across tables."""
+        refs = set()
+        for fk in self._db.schema.foreign_keys():
+            for column in fk.child_columns:
+                refs.add((fk.child_table, column))
+            for column in fk.parent_columns:
+                refs.add((fk.parent_table, column))
+        schema = self._db.schema
+        return sorted(
+            (table, column)
+            for table, column in refs
+            if schema.column(ColumnRef(table, column)).type
+            in _SKETCHABLE_TYPES
+        )
+
+    def _build_sketch(self, table: str, column: str) -> np.ndarray:
+        values, counts = np.unique(
+            self._db.table(table).column_array(column), return_counts=True
+        )
+        weights = counts.astype(np.float64)
+        sketch = np.empty(self.depth, dtype=np.float64)
+        for d in range(self.depth):
+            sketch[d] = float(weights @ _signs(values, self._seed + d))
+        return sketch
+
+    def rebuild(self) -> None:
+        """(Re)build sketches for every foreign-key column."""
+        built = {
+            (table, column): self._build_sketch(table, column)
+            for table, column in self._join_columns()
+        }
+        rows = {table: self._db.row_count(table) for table, _ in built}
+        with self._lock:
+            self._sketches = built
+            self._rows = rows
+            self._version += 1
+
+    def refresh(self, table: str) -> int:
+        """Re-sketch one table's columns (e.g. after heavy churn);
+        returns how many sketches were rebuilt."""
+        built = {
+            (owner, column): self._build_sketch(owner, column)
+            for owner, column in self._join_columns()
+            if owner == table
+        }
+        with self._lock:
+            self._sketches.update(built)
+            if built:
+                self._rows[table] = self._db.row_count(table)
+            self._version += 1
+        return len(built)
+
+    # -- estimating -----------------------------------------------------
+
+    def join_selectivity(
+        self, left: ColumnRef, right: ColumnRef
+    ) -> Optional[float]:
+        """Estimated selectivity of ``left = right``, or ``None`` when
+        either side is unsketched or the estimate is unusable."""
+        with self._lock:
+            left_sketch = self._sketches.get((left.table, left.column))
+            right_sketch = self._sketches.get((right.table, right.column))
+            left_rows = self._rows.get(left.table, 0)
+            right_rows = self._rows.get(right.table, 0)
+        if left_sketch is None or right_sketch is None:
+            return None
+        if left_rows <= 0 or right_rows <= 0:
+            return None
+        products = (left_sketch * right_sketch).reshape(_MEDIAN_GROUPS, -1)
+        join_size = float(np.median(products.mean(axis=1)))
+        if join_size <= 0.0:
+            return None
+        return min(1.0, join_size / (left_rows * right_rows))
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone sketch version (plan-cache key component)."""
+        with self._lock:
+            return self._version
+
+    def sketched_columns(self) -> List[Tuple[str, str]]:
+        with self._lock:
+            return sorted(self._sketches)

@@ -85,11 +85,19 @@ class OptimizationRequest:
         ignore: statistics hidden for this call, sorted — the
             ``Ignore_Statistics_Subset`` extension.  Accepts keys,
             column refs, or ref iterables at construction.
+        learned: opaque correction-model version component (any hashable,
+            normally set via :meth:`with_learned_version` by an optimizer
+            carrying learned corrections).  ``None`` means "planned
+            without corrections"; a versioned request never compares
+            equal to an unversioned one, so corrected and uncorrected
+            plans can share a :class:`PlanCache` without aliasing.
     """
 
-    __slots__ = ("query", "overrides", "ignore", "_hash")
+    __slots__ = ("query", "overrides", "ignore", "learned", "_hash")
 
-    def __init__(self, query: Query, overrides=None, ignore=None) -> None:
+    def __init__(
+        self, query: Query, overrides=None, ignore=None, *, learned=None
+    ) -> None:
         if not isinstance(query, Query):
             raise OptimizerError(
                 f"OptimizationRequest needs a bound Query, "
@@ -98,7 +106,10 @@ class OptimizationRequest:
         self.query = query
         self.overrides = _canonical_overrides(overrides)
         self.ignore = _canonical_ignore(ignore)
-        self._hash = hash((self.query, self.overrides, self.ignore))
+        self.learned = learned
+        self._hash = hash(
+            (self.query, self.overrides, self.ignore, self.learned)
+        )
 
     @classmethod
     def of(
@@ -113,6 +124,19 @@ class OptimizationRequest:
     def overrides_dict(self) -> Dict[SelectivityVariable, float]:
         return dict(self.overrides)
 
+    def with_learned_version(self, version) -> "OptimizationRequest":
+        """This request keyed under correction-model ``version``.
+
+        Used by optimizers carrying learned corrections so cache entries
+        are segregated by the (monotone) model version: a version bump
+        makes previously cached plans unreachable rather than stale.
+        """
+        if version == self.learned:
+            return self
+        return OptimizationRequest(
+            self.query, self.overrides, self.ignore, learned=version
+        )
+
     def __hash__(self) -> int:
         return self._hash
 
@@ -123,6 +147,7 @@ class OptimizationRequest:
             self.query == other.query
             and self.overrides == other.overrides
             and self.ignore == other.ignore
+            and self.learned == other.learned
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

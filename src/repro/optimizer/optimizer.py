@@ -94,6 +94,14 @@ class Optimizer:
             planning; :attr:`call_count` still counts every request (the
             paper's metric is optimizer *invocations*, cached or not) while
             :attr:`cold_optimize_count` counts only actual plan searches.
+        corrections: optional :class:`~repro.learned.CorrectionStore`
+            applied inside selectivity estimation.  Its monotone version
+            is folded into the plan-cache key (see
+            :meth:`OptimizationRequest.with_learned_version`) so corrected
+            and uncorrected plans never alias in a shared cache.
+        join_estimator: optional
+            :class:`~repro.learned.SketchJoinEstimator`, the sketch-based
+            A/B alternative; versioned into the cache key the same way.
     """
 
     _call_count = guarded_by("_count_lock")
@@ -104,11 +112,15 @@ class Optimizer:
         database,
         config: OptimizerConfig = DEFAULT_CONFIG,
         cache: Optional[PlanCache] = None,
+        corrections=None,
+        join_estimator=None,
     ) -> None:
         self._db = database
         self._config = config
         self._cost = CostModel(config)
         self._cache = cache
+        self._corrections = corrections
+        self._join_estimator = join_estimator
         self._count_lock = threading.Lock()
         self._call_count = 0
         self._cold_count = 0
@@ -120,6 +132,16 @@ class Optimizer:
     @property
     def cache(self) -> Optional[PlanCache]:
         return self._cache
+
+    @property
+    def corrections(self):
+        """The attached :class:`~repro.learned.CorrectionStore`, if any."""
+        return self._corrections
+
+    @property
+    def join_estimator(self):
+        """The attached sketch join estimator, if any."""
+        return self._join_estimator
 
     def attach_cache(self, cache: PlanCache) -> None:
         """Attach a plan cache after construction.
@@ -168,6 +190,7 @@ class Optimizer:
             self._call_count += 1
         if self._cache is None:
             return self._execute_request(request)
+        request = self._keyed_request(request)
         stats = self._db.stats
         epoch = stats.epoch
         result = self._cache.get_fresh(request, epoch)
@@ -212,9 +235,46 @@ class Optimizer:
         )
 
     def magic_variables(self, query: Query) -> List[SelectivityVariable]:
-        """Selectivity variables of ``query`` forced onto magic numbers."""
+        """Selectivity variables of ``query`` forced onto magic numbers.
+
+        Deliberately uncorrected: a learned correction does not make a
+        statistic exist, and the advisor must keep seeing the same
+        missing-variable set either way.
+        """
         estimator = SelectivityEstimator(self._db, self._config)
         return estimator.missing_variables(query)
+
+    def _learned_version(self) -> Optional[Tuple[int, int]]:
+        """The combined learned-component version for cache keying, or
+        ``None`` when no learned component is attached."""
+        if self._corrections is None and self._join_estimator is None:
+            return None
+        return (
+            self._corrections.version if self._corrections is not None else -1,
+            (
+                self._join_estimator.version
+                if self._join_estimator is not None
+                else -1
+            ),
+        )
+
+    def _keyed_request(
+        self, request: OptimizationRequest
+    ) -> OptimizationRequest:
+        """Fold the learned-component version into the cache key.
+
+        The version is read *before* planning, like the stats epoch: a
+        concurrent correction update mid-flight leaves at worst an entry
+        keyed under the old version, which the next lookup skips.
+        Requests that already carry an explicit ``learned`` component are
+        passed through untouched.
+        """
+        if request.learned is not None:
+            return request
+        learned = self._learned_version()
+        if learned is None:
+            return request
+        return request.with_learned_version(learned)
 
     # ------------------------------------------------------------------
     # plan construction
@@ -233,7 +293,13 @@ class Optimizer:
         return self._optimize(request.query, overrides)
 
     def _optimize(self, query, overrides) -> OptimizationResult:
-        estimator = SelectivityEstimator(self._db, self._config, overrides)
+        estimator = SelectivityEstimator(
+            self._db,
+            self._config,
+            overrides,
+            corrections=self._corrections,
+            join_estimator=self._join_estimator,
+        )
         best = self._enumerate_joins(query, estimator)
         plan = self._add_aggregation(query, estimator, best)
         plan = self._add_order_by(query, plan)

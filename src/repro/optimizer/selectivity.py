@@ -13,6 +13,14 @@ Resolution order for each variable:
 1. an applicable, *visible* statistic (histogram or prefix density);
 2. an entry in ``overrides``;
 3. the magic number for the predicate kind.
+
+When a :class:`~repro.learned.CorrectionStore` is attached, the resolved
+filter / join / group selectivity is additionally passed through the
+store's learned multiplicative correction (clamped to [0, 1]) before the
+cost model sees it; a :class:`~repro.learned.SketchJoinEstimator`, when
+attached, replaces the single-predicate join estimate with a sketch
+estimate where one is available.  Both hooks receive raw table/column
+names, so this module stays independent of the learned package.
 """
 
 from __future__ import annotations
@@ -49,6 +57,11 @@ class SelectivityEstimator:
         config: optimizer configuration (magic numbers).
         overrides: optional mapping variable -> forced selectivity in
             [0, 1], applied only where statistics are missing.
+        corrections: optional :class:`~repro.learned.CorrectionStore`
+            whose learned factors adjust every resolved selectivity.
+        join_estimator: optional
+            :class:`~repro.learned.SketchJoinEstimator` consulted for
+            single-predicate equijoin selectivities.
     """
 
     def __init__(
@@ -56,11 +69,15 @@ class SelectivityEstimator:
         database,
         config: OptimizerConfig = DEFAULT_CONFIG,
         overrides: Optional[Dict[SelectivityVariable, float]] = None,
+        corrections=None,
+        join_estimator=None,
     ) -> None:
         self._db = database
         self._config = config
         self._magic = config.magic
         self._overrides = dict(overrides or {})
+        self._corrections = corrections
+        self._join_estimator = join_estimator
         self._join_cache: Dict[JoinVariable, float] = {}
         for variable, value in self._overrides.items():
             if not 0.0 <= value <= 1.0:
@@ -234,6 +251,11 @@ class SelectivityEstimator:
         density path); then per-predicate independence.
         """
         predicates = list(predicates)
+        correction_columns = {
+            ref.column
+            for predicate in predicates
+            for ref in predicate.columns()
+        }
         joint_total = 1.0
         joint_result = self._try_joint_estimate(table, predicates)
         if joint_result is not None:
@@ -260,7 +282,12 @@ class SelectivityEstimator:
                 total *= self.predicate_selectivity(predicate)
         for predicate in others:
             total *= self.predicate_selectivity(predicate)
-        return min(1.0, max(0.0, total * joint_total))
+        total = min(1.0, max(0.0, total * joint_total))
+        if self._corrections is not None and correction_columns:
+            total = self._corrections.correct_filter(
+                table, correction_columns, total
+            )
+        return total
 
     # ------------------------------------------------------------------
     # joins
@@ -302,11 +329,31 @@ class SelectivityEstimator:
         2. the containment assumption ``1 / max(known ndv)`` over the
            joined column sets;
         3. an override, then the join magic number.
+
+        A single-predicate join consults the attached sketch estimator
+        first (its estimate, when usable, replaces the resolution chain),
+        and the final value passes through the learned join correction.
         """
         cached = self._join_cache.get(variable)
         if cached is not None:
             return cached
         selectivity = self._join_group_selectivity(variable)
+        left_table, right_table = variable.tables
+        if self._join_estimator is not None and len(variable.predicates) == 1:
+            sketched = self._join_estimator.join_selectivity(
+                variable.predicates[0].side_for(left_table),
+                variable.predicates[0].side_for(right_table),
+            )
+            if sketched is not None:
+                selectivity = sketched
+        if self._corrections is not None:
+            selectivity = self._corrections.correct_join(
+                left_table,
+                [p.side_for(left_table).column for p in variable.predicates],
+                right_table,
+                [p.side_for(right_table).column for p in variable.predicates],
+                selectivity,
+            )
         self._join_cache[variable] = selectivity
         return selectivity
 
@@ -351,10 +398,16 @@ class SelectivityEstimator:
         rows = max(1, self._db.row_count(variable.table))
         distinct = self._side_distinct(variable.table, variable.columns)
         if distinct is not None:
-            return min(1.0, distinct / rows)
-        if variable in self._overrides:
-            return self._overrides[variable]
-        return self._magic.group_by_fraction
+            fraction = min(1.0, distinct / rows)
+        elif variable in self._overrides:
+            fraction = self._overrides[variable]
+        else:
+            fraction = self._magic.group_by_fraction
+        if self._corrections is not None:
+            fraction = self._corrections.correct_group(
+                variable.table, variable.columns, fraction
+            )
+        return fraction
 
     def group_by_has_statistics(self, variable: GroupByVariable) -> bool:
         return self._side_distinct(variable.table, variable.columns) is not None

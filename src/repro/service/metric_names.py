@@ -36,6 +36,13 @@ METRICS: Dict[str, str] = {
     "capture.dropped": "capture events dropped while the log was closed",
     "capture.events": "query/DML events recorded in the capture log",
     "capture.evicted": "capture events evicted from the ring buffer",
+    "correction.evictions": "correction entries evicted by the store's LRU bound",
+    "correction.hits": "selectivity estimates adjusted by a learned correction",
+    "correction.invalidations": "correction entries dropped by table invalidation",
+    "correction.misses": "selectivity estimates with no learned correction",
+    "correction.observations": "operator observations folded into correction models",
+    "correction.tracked_models": "correction factor entries currently tracked",
+    "correction.version": "monotone correction-model version (plan-cache key component)",
     "feedback.evicted": "feedback trackers evicted by the store's LRU bound",
     "feedback.observations": "per-operator execution observations ingested",
     "feedback.retunes_requested": "re-tune requests granted by the feedback policy",

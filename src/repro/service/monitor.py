@@ -50,6 +50,10 @@ class StalenessMonitor(threading.Thread):
             churn, or both per its
             :class:`~repro.config.RefreshPolicy`), and a successful
             refresh resets the table's feedback aggregates.
+        corrections: optional :class:`~repro.learned.CorrectionStore`.
+            A successful refresh invalidates the table's learned
+            corrections — a rebuilt histogram starts from
+            trust-the-stats.
         update_threshold: deprecated alias for ``fraction``; configure
             :class:`~repro.config.ServiceConfig` (``staleness_fraction``
             and ``refresh_policy``) instead.
@@ -69,6 +73,7 @@ class StalenessMonitor(threading.Thread):
         budget_per_cycle: Optional[float] = None,
         purge_drop_list: bool = False,
         policy=None,
+        corrections=None,
         update_threshold: Optional[float] = None,
     ) -> None:
         super().__init__(name="stats-staleness-monitor", daemon=True)
@@ -91,6 +96,7 @@ class StalenessMonitor(threading.Thread):
         )
         self._purge = purge_drop_list
         self._policy = policy
+        self._corrections = corrections
         self._stop_event = threading.Event()
         self._errors_lock = threading.Lock()
         self._errors: List[BaseException] = []
@@ -180,6 +186,8 @@ class StalenessMonitor(threading.Thread):
                 self._metrics.inc("monitor.refresh_cost", cost)
                 if self._policy is not None:
                     self._policy.store.reset_table(table)
+                if self._corrections is not None:
+                    self._corrections.invalidate_table(table)
             if deferred:
                 self._metrics.inc("monitor.deferred", deferred)
         self._metrics.inc("monitor.cycles")

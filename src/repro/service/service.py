@@ -37,6 +37,7 @@ from repro.errors import ServiceError
 from repro.executor.dml import apply_dml
 from repro.executor.executor import ExecutionResult, Executor
 from repro.feedback import FeedbackPolicy, FeedbackStore, worst_plan_q_error
+from repro.learned import CorrectionStore
 from repro.optimizer.cache import PlanCache
 from repro.optimizer.optimizer import OptimizationResult, Optimizer
 from repro.service.events import CaptureLog, QueryEvent
@@ -115,7 +116,19 @@ class StatsService:
             if self.config.plan_cache_size > 0
             else None
         )
-        self._optimizer = Optimizer(database, cache=self.plan_cache)
+        #: learned correction store; None unless ``config.learned_enabled``
+        self.corrections: Optional[CorrectionStore] = None
+        if self.config.learned_enabled:
+            self.corrections = CorrectionStore(
+                model=self.config.learned_model,
+                capacity=self.config.learned_capacity,
+                decay=self.config.learned_decay,
+                max_factor=self.config.learned_max_factor,
+                metrics=self.metrics,
+            )
+        self._optimizer = Optimizer(
+            database, cache=self.plan_cache, corrections=self.corrections
+        )
         self._executor = Executor(database)
         #: execution-feedback store + policy; None unless
         #: ``config.feedback_enabled`` (the default keeps the service
@@ -180,6 +193,7 @@ class StatsService:
                 on_created=self._note_created,
                 cache=self.plan_cache,
                 feedback_policy=self.feedback_policy,
+                corrections=self.corrections,
             )
             for index in range(cfg.advisor_workers)
         ]
@@ -192,6 +206,7 @@ class StatsService:
             budget_per_cycle=cfg.refresh_budget_per_cycle,
             purge_drop_list=cfg.purge_drop_list_before_refresh,
             policy=self.feedback_policy,
+            corrections=self.corrections,
         )
         for worker in self._workers:
             worker.start()
@@ -296,6 +311,8 @@ class StatsService:
                 stats_epoch = self.database.stats.epoch
         retune = False
         worst = 1.0
+        if executed is not None and self.corrections is not None:
+            self.corrections.observe_all(executed.operator_observations)
         if executed is not None and self.feedback_policy is not None:
             worst = worst_plan_q_error(executed.operator_observations)
             retune = self.feedback_policy.should_retune(

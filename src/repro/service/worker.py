@@ -51,6 +51,9 @@ class AdvisorWorker(threading.Thread):
             misestimated) first rebuild the flagged statistics on the
             query's tables, and the analysis breaks candidate ties
             toward the highest-error observed columns.
+        corrections: optional :class:`~repro.learned.CorrectionStore`.
+            The worker's optimizer plans with it, and a re-tune rebuild
+            invalidates the rebuilt table's learned corrections.
     """
 
     _errors = guarded_by("_errors_lock")
@@ -69,6 +72,7 @@ class AdvisorWorker(threading.Thread):
         on_created: Optional[Callable[[List[StatKey]], None]] = None,
         cache: Optional[PlanCache] = None,
         feedback_policy=None,
+        corrections=None,
     ) -> None:
         super().__init__(name=f"stats-advisor-{index}", daemon=True)
         self._db = database
@@ -80,7 +84,10 @@ class AdvisorWorker(threading.Thread):
         self._batch_size = batch_size
         self._poll_seconds = poll_seconds
         self._on_created = on_created
-        self._optimizer = Optimizer(database, cache=cache)
+        self._optimizer = Optimizer(
+            database, cache=cache, corrections=corrections
+        )
+        self._corrections = corrections
         self._feedback_policy = feedback_policy
         self._feedback = (
             feedback_policy.store if feedback_policy is not None else None
@@ -171,4 +178,6 @@ class AdvisorWorker(threading.Thread):
         for key, _error in targets:
             self._db.stats.rebuild(key)
             self._feedback.reset_columns(key.table, key.columns)
+            if self._corrections is not None:
+                self._corrections.invalidate_table(key.table)
             self._metrics.inc("advisor.retune_rebuilds")

@@ -1,0 +1,11 @@
+"""R007 bad fixture: a correction-store clone emitting an unregistered
+``correction.*`` metric name."""
+
+
+class CorrectionStoreLike:
+    def __init__(self, metrics):
+        self._metrics = metrics
+
+    def publish(self):
+        self._metrics.gauge("correction.hits", 3.0)  # registered: fine
+        self._metrics.gauge("correction.unregistered_total", 1.0)  # line 11

@@ -3,5 +3,6 @@
 METRICS = {
     "cache.hits": "cache hits",
     "cache.misses": "cache misses",
+    "correction.hits": "corrected selectivity estimates",
     "worker.seconds": "worker wall time",
 }

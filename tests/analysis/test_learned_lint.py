@@ -1,0 +1,88 @@
+"""The learned-correction subsystem honors the repo's lint contracts.
+
+The CorrectionStore sits between the executor (observations in), the
+selectivity estimator (corrections out), and the staleness monitor /
+advisor workers (invalidations) — its state declares
+``guarded_by("_lock")`` (R001), its version counter is an R006 epoch
+(the plan cache keys on it), and every ``correction.*`` metric it emits
+must be registered (R007).
+"""
+
+import os
+
+from repro.analysis.framework import lint_paths
+from repro.concurrency import guarded_by
+from repro.learned.store import CorrectionStore
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+LEARNED_SRC = os.path.join(REPO_ROOT, "src", "repro", "learned")
+
+
+def fixture(*names):
+    return [os.path.join(FIXTURES, name) for name in names]
+
+
+def test_learned_package_is_r001_clean():
+    assert lint_paths([LEARNED_SRC], rules=["R001"]) == []
+
+
+def test_learned_package_is_r006_clean():
+    assert lint_paths([LEARNED_SRC], rules=["R006"]) == []
+
+
+def test_learned_package_is_fully_lint_clean():
+    assert lint_paths([LEARNED_SRC]) == []
+
+
+def test_store_state_declares_its_guard():
+    for attribute in (
+        "_model",
+        "_epoch",
+        "observations_total",
+        "hits_total",
+        "misses_total",
+        "invalidations_total",
+        "evictions_total",
+    ):
+        declared = CorrectionStore.__dict__[attribute]
+        assert isinstance(declared, type(guarded_by("_lock")))
+        assert declared.lock == "_lock"
+
+
+def test_r006_fails_when_the_invalidation_bump_is_deleted(tmp_path):
+    """Deleting ``self._epoch += 1`` from CorrectionStore.invalidate_table
+    must fail lint — the plan cache keys on the correction version, so a
+    silent invalidation would let stale corrected plans alias fresh
+    ones."""
+    store = os.path.join(LEARNED_SRC, "store.py")
+    lines = open(store).read().splitlines(keepends=True)
+    at = next(
+        i
+        for i, line in enumerate(lines)
+        if line.lstrip().startswith("def invalidate_table(self")
+    )
+    bump_at = next(
+        i
+        for i, line in enumerate(lines[at:], start=at)
+        if line.strip() == "self._epoch += 1"
+    )
+    del lines[bump_at]
+    copy = tmp_path / "store.py"
+    copy.write_text("".join(lines))
+    findings = lint_paths([str(copy)], rules=["R006"])
+    assert findings, "deleting the version bump must produce R006 findings"
+    assert all(f.rule_id == "R006" for f in findings)
+    assert any(
+        "CorrectionStore.invalidate_table" in f.message for f in findings
+    )
+
+
+def test_r007_catches_an_unregistered_correction_metric():
+    findings = lint_paths(
+        fixture("r007/metric_names.py", "r007/correction_bad.py"),
+        rules=["R007"],
+    )
+    assert sorted((f.rule_id, f.line) for f in findings) == [
+        ("R007", 11),  # correction.unregistered_total not in the registry
+    ]

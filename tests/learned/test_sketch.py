@@ -1,0 +1,107 @@
+"""Tests for the AGMS sketch join estimator (repro.learned.sketch)."""
+
+import numpy as np
+import pytest
+
+from repro.catalog.column import ColumnRef
+from repro.errors import ServiceError
+from repro.learned import SketchJoinEstimator
+
+from tests.util import simple_db
+
+EMP_FK = ColumnRef("emp", "dept_id")
+DEPT_PK = ColumnRef("dept", "id")
+
+
+@pytest.fixture(scope="module")
+def sketch_db():
+    return simple_db()
+
+
+@pytest.fixture(scope="module")
+def estimator(sketch_db):
+    return SketchJoinEstimator(sketch_db)
+
+
+def true_join_selectivity(db) -> float:
+    left = db.table("emp").column_array("dept_id")
+    right = db.table("dept").column_array("id")
+    size = sum(
+        int((left == v).sum()) * int((right == v).sum())
+        for v in np.unique(right)
+    )
+    return size / (len(left) * len(right))
+
+
+class TestSketching:
+    def test_sketches_every_fk_endpoint_column(self, estimator):
+        assert estimator.sketched_columns() == [
+            ("dept", "id"),
+            ("emp", "dept_id"),
+        ]
+
+    def test_estimate_lands_within_a_factor_of_truth(
+        self, sketch_db, estimator
+    ):
+        truth = true_join_selectivity(sketch_db)
+        estimate = estimator.join_selectivity(EMP_FK, DEPT_PK)
+        assert estimate is not None
+        assert 0.0 < estimate <= 1.0
+        # AGMS at depth 64 is noisy, not wrong: a loose 4x band is
+        # enough to catch sign/scale bugs without flaking
+        assert truth / 4 <= estimate <= min(1.0, truth * 4)
+
+    def test_estimate_is_symmetric_in_its_arguments(self, estimator):
+        assert estimator.join_selectivity(
+            EMP_FK, DEPT_PK
+        ) == estimator.join_selectivity(DEPT_PK, EMP_FK)
+
+    def test_unsketched_column_returns_none(self, estimator):
+        assert (
+            estimator.join_selectivity(
+                ColumnRef("emp", "name"), DEPT_PK
+            )
+            is None
+        )
+        assert (
+            estimator.join_selectivity(
+                ColumnRef("ghost", "id"), DEPT_PK
+            )
+            is None
+        )
+
+    def test_estimates_are_deterministic(self, sketch_db, estimator):
+        other = SketchJoinEstimator(sketch_db)
+        assert other.join_selectivity(
+            EMP_FK, DEPT_PK
+        ) == estimator.join_selectivity(EMP_FK, DEPT_PK)
+
+
+class TestVersioning:
+    def test_construction_builds_at_version_one(self, sketch_db):
+        assert SketchJoinEstimator(sketch_db).version == 1
+
+    def test_refresh_rebuilds_the_tables_sketches(self, sketch_db):
+        estimator = SketchJoinEstimator(sketch_db)
+        version = estimator.version
+        assert estimator.refresh("emp") == 1
+        assert estimator.version == version + 1
+
+    def test_refresh_of_unsketched_table_rebuilds_nothing(self, sketch_db):
+        estimator = SketchJoinEstimator(sketch_db)
+        assert estimator.refresh("ghost") == 0
+
+    def test_rebuild_bumps_version(self, sketch_db):
+        estimator = SketchJoinEstimator(sketch_db)
+        version = estimator.version
+        estimator.rebuild()
+        assert estimator.version == version + 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize("depth", [0, 4, 7, 12, -8])
+    def test_depth_must_be_a_positive_multiple_of_eight(
+        self, sketch_db, depth
+    ):
+        with pytest.raises(ServiceError):
+            SketchJoinEstimator(sketch_db, depth=depth)

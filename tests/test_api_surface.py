@@ -11,11 +11,14 @@ import repro
 EXPECTED = [
     "AgingPolicy",
     "AutoDropPolicy",
+    "BucketRegressor",
     "CandidateMode",
     "CaptureLog",
     "Column",
     "ColumnRef",
     "ColumnType",
+    "CorrectionModel",
+    "CorrectionStore",
     "CostModelConfig",
     "CreationPolicy",
     "DEFAULT_CONFIG",
@@ -33,6 +36,7 @@ EXPECTED = [
     "MnsaConfig",
     "MnsaResult",
     "MnsadResult",
+    "MultiplicativeCorrection",
     "OperatorObservation",
     "OptimizationRequest",
     "OptimizationResult",
@@ -53,6 +57,7 @@ EXPECTED = [
     "ServiceConfig",
     "Session",
     "ShrinkingSetResult",
+    "SketchJoinEstimator",
     "SkewSpec",
     "StalenessMonitor",
     "StatKey",

@@ -253,6 +253,29 @@ class TestServe:
         assert "--- feedback (worst targets)" in out
         assert "feedback.observations" in out
 
+    def test_serve_with_learned_corrections(self, tpcd_dir, capsys):
+        code = main(
+            [
+                "serve",
+                "--db",
+                tpcd_dir,
+                "--workload",
+                "U25-S-10",
+                "--learned",
+                "--clients",
+                "1",
+                "--seed",
+                "7",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # --learned implies feedback even without --feedback
+        assert "feedback on (churn refresh)" in out
+        assert "learned corrections (multiplicative)" in out
+        assert "--- corrections" in out
+        assert "correction.observations" in out
+
 
 class TestFeedbackCommand:
     def test_feedback_report(self, capsys):
@@ -273,6 +296,29 @@ class TestFeedbackCommand:
         assert "decayed q" in out  # the report table rendered
         # the update-heavy workload misestimates something somewhere
         assert "due for refresh" in out or "no table reaches" in out
+        # without --learned the report advertises the flag
+        assert "re-run with --learned" in out
+
+    def test_feedback_report_with_learned_corrections(self, capsys):
+        code = main(
+            [
+                "feedback",
+                "report",
+                "--scale",
+                "0.002",
+                "--workload",
+                "U50-S-20",
+                "--seed",
+                "7",
+                "--learned",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "decayed q" in out  # per-key decayed-max q-error table
+        assert "--- corrections (multiplicative" in out
+        assert "hits" in out and "misses" in out
+        assert "factor" in out  # per-target factor table rendered
 
 
 class TestExperiments:
