@@ -96,6 +96,15 @@ class GuardedSpec:
 
 
 @dataclass
+class PlanSourceSpec:
+    """One ``attr = plan_source("version")`` class-body declaration."""
+
+    attr: str
+    prop: str
+    lineno: int
+
+
+@dataclass
 class DispatchMarker:
     """One ``# repro-lint: dispatch=Base [except=A,B]`` marker."""
 
@@ -115,6 +124,7 @@ class ClassInfo:
     methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
     lock_attrs: Dict[str, LockAttr] = field(default_factory=dict)
     guarded: Dict[str, GuardedSpec] = field(default_factory=dict)
+    plan_sources: Dict[str, PlanSourceSpec] = field(default_factory=dict)
 
 
 @dataclass
@@ -341,6 +351,9 @@ def _collect_class(module: SourceModule, node: ast.ClassDef) -> ClassInfo:
                 spec = _parse_guarded_by(target.id, stmt.value)
                 if spec is not None:
                     info.guarded[target.id] = spec
+                source = _parse_plan_source(target.id, stmt.value)
+                if source is not None:
+                    info.plan_sources[target.id] = source
     return info
 
 
@@ -365,6 +378,25 @@ def _parse_guarded_by(attr: str, value: ast.expr) -> Optional[GuardedSpec]:
     return GuardedSpec(
         attr=attr, lock=lock, mutations_only=mutations_only, lineno=value.lineno
     )
+
+
+def _parse_plan_source(attr: str, value: ast.expr) -> Optional[PlanSourceSpec]:
+    if not isinstance(value, ast.Call):
+        return None
+    callee = value.func
+    name = callee.id if isinstance(callee, ast.Name) else (
+        callee.attr if isinstance(callee, ast.Attribute) else None
+    )
+    if name != "plan_source":
+        return None
+    prop = "version"
+    if value.args:
+        if not isinstance(value.args[0], ast.Constant) or not isinstance(
+            value.args[0].value, str
+        ):
+            return None
+        prop = value.args[0].value
+    return PlanSourceSpec(attr=attr, prop=prop, lineno=value.lineno)
 
 
 def _collect_lock_attrs(info: ClassInfo, fn: ast.FunctionDef) -> None:
@@ -440,6 +472,42 @@ def function_marker_value(
         if tail.startswith(needle):
             return tail[len(needle):].strip()
     return None
+
+
+def class_marker_flag(
+    module: SourceModule, cls: ClassInfo, flag: str
+) -> Optional[int]:
+    """Line number of a bare ``# repro-lint: <flag>`` marker anywhere in
+    the class body, or None.  Used for class-level switches such as
+    ``# repro-lint: optimize-path`` (rule R009)."""
+    end = cls.node.end_lineno or cls.node.lineno
+    for lineno in range(cls.node.lineno, end + 1):
+        text = module.comment(lineno)
+        if _MARKER_PREFIX not in text:
+            continue
+        tail = text.split(_MARKER_PREFIX, 1)[1].strip()
+        if tail == flag or tail.startswith(flag + " "):
+            return lineno
+    return None
+
+
+def class_marker_values(
+    module: SourceModule, cls: ClassInfo, key: str
+) -> List[Tuple[str, int]]:
+    """Every ``# repro-lint: <key>=<value>`` marker in the class body as
+    ``(value, lineno)`` pairs, with the whole comment tail after
+    ``<key>=`` as the value (so values may contain spaces)."""
+    end = cls.node.end_lineno or cls.node.lineno
+    needle = key + "="
+    out: List[Tuple[str, int]] = []
+    for lineno in range(cls.node.lineno, end + 1):
+        text = module.comment(lineno)
+        if _MARKER_PREFIX not in text:
+            continue
+        tail = text.split(_MARKER_PREFIX, 1)[1].strip()
+        if tail.startswith(needle):
+            out.append((tail[len(needle):].strip(), lineno))
+    return out
 
 
 def _parse_dispatch_comment(text: str, lineno: int) -> Optional[DispatchMarker]:

@@ -9,6 +9,9 @@ from repro.analysis.rules.literals import MagicLiteralRule
 from repro.analysis.rules.epoch import EpochBumpRule
 from repro.analysis.rules.metrics_registry import MetricsRegistryRule
 from repro.analysis.rules.deprecation import DeprecationShimRule
+from repro.analysis.rules.plan_state import PlanStateRule
+from repro.analysis.rules.escape import GuardedEscapeRule
+from repro.analysis.rules.check_then_act import CheckThenActRule
 
 __all__ = [
     "GuardedByRule",
@@ -19,4 +22,7 @@ __all__ = [
     "EpochBumpRule",
     "MetricsRegistryRule",
     "DeprecationShimRule",
+    "PlanStateRule",
+    "GuardedEscapeRule",
+    "CheckThenActRule",
 ]

@@ -1,0 +1,224 @@
+"""R010: guarded mutable containers must not escape by reference.
+
+A ``guarded_by`` declaration promises that every access to an attribute
+happens under its lock — but that promise is void the moment a method
+returns, yields, or stores a *reference* to the guarded container:
+the caller can then iterate or mutate it with no lock at all, which is
+exactly the race R001 exists to prevent, one hop removed.
+
+The rule uses the dataflow layer to catch both the direct form and the
+aliased form::
+
+    def events(self):
+        with self._lock:
+            return self._events          # direct reference escape
+
+    def snapshot(self):
+        with self._lock:
+            data = self._events          # alias under the lock ...
+        return data                      # ... escapes after release
+
+Returning a *copy* (``list(self._events)``, ``dict(x)``, ``x.copy()``,
+a comprehension, ``x[:]``) is the fix and is naturally not flagged —
+only bare references and their aliases count.  Attributes declared
+``mutations_only=True`` are exempt: their reads are lock-free by
+design, so handing out the reference is the documented contract.
+Storing a guarded container into another attribute guarded by the
+*same* lock is also allowed (both names stay under one discipline).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analysis.dataflow import (
+    FunctionDataflow,
+    dataflow_analysis,
+    self_attr,
+)
+from repro.analysis.framework import Finding, Project, Rule, rule
+from repro.analysis.model import ClassInfo, dotted
+
+#: constructors whose result is a mutable container
+_CONTAINER_CTORS = {
+    "dict", "list", "set", "deque", "OrderedDict", "defaultdict", "Counter",
+}
+
+
+@rule
+class GuardedEscapeRule(Rule):
+    id = "R010"
+    name = "guarded-escape"
+    description = (
+        "guarded mutable containers must not escape by reference "
+        "(return/yield/store a copy instead)"
+    )
+    scope = "file"
+    version = 1
+
+    def check(self, project: Project) -> List[Finding]:
+        findings: List[Finding] = []
+        flows = dataflow_analysis(project)
+        for module in project.modules:
+            for cls in module.classes.values():
+                if not cls.guarded:
+                    continue
+                containers = _mutable_container_attrs(cls)
+                targets = {
+                    attr
+                    for attr, spec in cls.guarded.items()
+                    if not spec.mutations_only and attr in containers
+                }
+                if not targets:
+                    continue
+                for name, fn in sorted(cls.methods.items()):
+                    if name == "__init__":
+                        continue
+                    flow = flows.function(module, cls, fn)
+                    findings.extend(
+                        self._check_method(module, cls, flow, targets)
+                    )
+        return findings
+
+    def _check_method(
+        self,
+        module,
+        cls: ClassInfo,
+        flow: FunctionDataflow,
+        targets: Set[str],
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        for exit_point, verb in [(r, "returns") for r in flow.returns] + [
+            (y, "yields") for y in flow.yields
+        ]:
+            if exit_point.value is None:
+                continue
+            for ref in _escaping_refs(exit_point.value):
+                for attr in self._ref_attrs(flow, ref, targets):
+                    lock = cls.guarded[attr].lock
+                    findings.append(
+                        self.finding(
+                            module, ref.lineno, ref.col_offset,
+                            f"{cls.name}.{flow.fn.name} {verb} a reference "
+                            f"to self.{attr} (guarded by self.{lock}); the "
+                            "caller can then access it outside the lock — "
+                            "hand out a copy instead",
+                        )
+                    )
+        for store in flow.attr_stores:
+            if store.attr in targets:
+                continue  # self.x = self.x is a no-op rebind
+            target_spec = cls.guarded.get(store.attr)
+            for ref in _escaping_refs(store.value):
+                for attr in self._ref_attrs(flow, ref, targets):
+                    if (
+                        target_spec is not None
+                        and target_spec.lock == cls.guarded[attr].lock
+                    ):
+                        continue  # same lock still guards both names
+                    lock = cls.guarded[attr].lock
+                    findings.append(
+                        self.finding(
+                            module, store.lineno, ref.col_offset,
+                            f"{cls.name}.{flow.fn.name} stores a reference "
+                            f"to self.{attr} (guarded by self.{lock}) in "
+                            f"self.{store.attr}, which is not guarded by "
+                            "the same lock — accesses through the new name "
+                            "bypass the guard",
+                        )
+                    )
+        return findings
+
+    def _ref_attrs(
+        self, flow: FunctionDataflow, ref: ast.expr, targets: Set[str]
+    ) -> List[str]:
+        """Guarded target attrs the escaping expression refers to."""
+        attr = self_attr(ref)
+        if attr is not None:
+            return [attr] if attr in targets else []
+        if isinstance(ref, ast.Name):
+            return sorted(a for a in _alias_attrs(flow, ref) if a in targets)
+        return []
+
+
+def _mutable_container_attrs(cls: ClassInfo) -> Set[str]:
+    """Attrs bound to a mutable container literal/constructor in
+    ``__init__``."""
+    init = cls.methods.get("__init__")
+    attrs: Set[str] = set()
+    if init is None:
+        return attrs
+    for node in ast.walk(init):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            attr = self_attr(target)
+            if attr is None:
+                continue
+            value = node.value
+            if isinstance(
+                value,
+                (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.DictComp,
+                 ast.SetComp),
+            ):
+                attrs.add(attr)
+            elif isinstance(value, ast.Call):
+                callee = dotted(value.func) or ""
+                if callee.rsplit(".", 1)[-1] in _CONTAINER_CTORS:
+                    attrs.add(attr)
+    return attrs
+
+
+def _escaping_refs(value: ast.expr) -> List[ast.expr]:
+    """Bare Name/Attribute references in escaping positions: the value
+    itself, or elements of container literals / conditional branches.
+    Calls, subscripts, and comprehensions build new objects and are not
+    descended into — a copy is precisely the sanctioned fix."""
+    refs: List[ast.expr] = []
+
+    def visit(node: ast.expr) -> None:
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                visit(element)
+        elif isinstance(node, ast.Dict):
+            for part in list(node.keys) + list(node.values):
+                if part is not None:
+                    visit(part)
+        elif isinstance(node, ast.Starred):
+            visit(node.value)
+        elif isinstance(node, ast.IfExp):
+            visit(node.body)
+            visit(node.orelse)
+        elif isinstance(node, (ast.Attribute, ast.Name)):
+            refs.append(node)
+
+    visit(value)
+    return refs
+
+
+def _alias_attrs(flow: FunctionDataflow, node: ast.Name) -> Set[str]:
+    """``self`` attributes a local name may alias, following
+    name-to-name rebinding chains through reaching definitions."""
+    out: Set[str] = set()
+    use = flow.use(node)
+    if use is None:
+        return out
+    seen: Set[int] = set()
+    frontier = list(use.defs)
+    while frontier:
+        definition = frontier.pop()
+        if id(definition) in seen:
+            continue
+        seen.add(id(definition))
+        if definition.is_augmented or definition.value is None:
+            continue
+        attr: Optional[str] = definition.alias_of
+        if attr is not None:
+            out.add(attr)
+            continue
+        if isinstance(definition.value, ast.Name):
+            chained = flow.use(definition.value)
+            if chained is not None:
+                frontier.extend(chained.defs)
+    return out

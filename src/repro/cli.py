@@ -278,7 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--rules",
         default=None,
-        help="comma-separated rule ids to run (default: all, R001-R008)",
+        help="comma-separated rule ids to run (default: all, R001-R011)",
     )
     lint.add_argument(
         "--format",
@@ -985,7 +985,11 @@ def _cmd_lint(args) -> int:
     if args.list_rules:
         for rule_id in all_rule_ids():
             rule_cls = RULES[rule_id]
-            print(f"{rule_id}  {rule_cls.name:24s} {rule_cls.description}")
+            print(
+                f"{rule_id}  {rule_cls.name:24s} "
+                f"{rule_cls.scope:8s} v{rule_cls.version:<3d} "
+                f"{rule_cls.description}"
+            )
         return 0
 
     rules = None

@@ -63,3 +63,37 @@ def guarded_by(lock: str, *, mutations_only: bool = False) -> GuardedBy:
     the annotated attribute.  See the module docstring for semantics and
     :mod:`repro.analysis` rule R001 for the checker."""
     return GuardedBy(lock, mutations_only=mutations_only)
+
+
+class PlanSource:
+    """Class-body marker: this attribute feeds plan choice and exposes a
+    monotone version.
+
+    Attributes:
+        prop: name of the version property on the attribute's value
+            (default ``"version"``; ``CorrectionStore.version`` and
+            ``SketchJoinEstimator.version`` are the canonical examples).
+
+    Rule R009 requires that the declared version is read somewhere on
+    the optimize path and folded into every request handed to the plan
+    cache — otherwise corrected and uncorrected plans could alias one
+    cache entry.  Like :class:`GuardedBy` the marker is runtime-inert:
+    the instance attribute assigned in ``__init__`` shadows it.
+    """
+
+    __slots__ = ("prop",)
+
+    def __init__(self, prop: str = "version") -> None:
+        if not prop or not isinstance(prop, str):
+            raise ValueError(f"plan_source needs a property name, got {prop!r}")
+        self.prop = prop
+
+    def __repr__(self) -> str:
+        return f"plan_source({self.prop!r})"
+
+
+def plan_source(prop: str = "version") -> PlanSource:
+    """Declare that the annotated attribute is a versioned plan-relevant
+    source whose ``prop`` must be folded into the plan-cache key.  See
+    :mod:`repro.analysis` rule R009 for the checker."""
+    return PlanSource(prop)

@@ -63,6 +63,10 @@ class SketchJoinEstimator:
     exactly like the correction-store version.
     """
 
+    # repro-lint: optimize-path
+    # repro-lint: versioned-by=_sketches:_version
+    # repro-lint: versioned-by=_rows:_version
+
     _sketches = guarded_by("_lock")
     _rows = guarded_by("_lock")
     _version = guarded_by("_lock")

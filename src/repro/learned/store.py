@@ -74,6 +74,9 @@ class CorrectionStore:
         when absorbing ratios and when applied to an estimate.
     """
 
+    # repro-lint: optimize-path
+    # repro-lint: versioned-by=_model:_epoch
+
     _model = guarded_by("_lock")
     _epoch = guarded_by("_lock")
     observations_total = guarded_by("_lock")

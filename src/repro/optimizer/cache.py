@@ -248,6 +248,9 @@ class PlanCache:
             ``plan_cache.*``.
     """
 
+    # repro-lint: optimize-path
+    # repro-lint: plan-state-exempt=_entries: entries are keyed by the full request (learned version included) and each carries the epoch+fingerprint it was stored under, so mutation can never redirect an existing key to a different plan
+
     _entries = guarded_by("_lock")
     _hits = guarded_by("_lock")
     _misses = guarded_by("_lock")

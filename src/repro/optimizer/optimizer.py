@@ -33,7 +33,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
-from repro.concurrency import guarded_by
+from repro.concurrency import guarded_by, plan_source
 from repro.config import DEFAULT_CONFIG, OptimizerConfig
 from repro.errors import OptimizerError, ReproDeprecationWarning
 from repro.optimizer.cache import (
@@ -104,8 +104,13 @@ class Optimizer:
             A/B alternative; versioned into the cache key the same way.
     """
 
+    # repro-lint: optimize-path
+    # repro-lint: plan-state-exempt=_cache: attach-once wiring; attach_cache refuses to swap an existing cache, so entries never migrate between caches
+
     _call_count = guarded_by("_count_lock")
     _cold_count = guarded_by("_count_lock")
+    _corrections = plan_source("version")
+    _join_estimator = plan_source("version")
 
     def __init__(
         self,

@@ -64,6 +64,9 @@ class SelectivityEstimator:
             single-predicate equijoin selectivities.
     """
 
+    # repro-lint: optimize-path
+    # repro-lint: plan-state-exempt=_join_cache: per-invocation memo on an estimator that lives for exactly one optimizer call; it never outlives the plan it shaped
+
     def __init__(
         self,
         database,

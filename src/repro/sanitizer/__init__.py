@@ -1,0 +1,45 @@
+"""Eraser-style runtime lockset sanitizer.
+
+The static side of the concurrency model lives in ``repro.concurrency``
+(:func:`~repro.concurrency.guarded_by` declarations) and
+``repro.analysis`` (rules R001/R002/R010/R011).  This package is the
+dynamic side: instrumented lock wrappers and attribute interception that
+record, while the test suite runs, which locks each thread actually
+holds when it touches a ``guarded_by`` attribute and in which order
+locks are actually acquired — then cross-check both against the static
+annotations.
+
+* a guarded attribute touched without its declared lock held is an
+  ``unguarded-read`` / ``unguarded-write`` violation;
+* an observed acquisition order that contradicts the statically derived
+  R002 lock graph (or another observed order) is a ``lock-order``
+  violation.
+
+Activation: set ``REPRO_SANITIZE=1`` in the environment and run pytest
+(the repository's ``tests/conftest.py`` forwards to
+:mod:`repro.sanitizer.plugin`; out-of-tree test files can pass
+``-p repro.sanitizer.plugin`` explicitly).  Any violation recorded
+during a test fails that test at teardown.  See ``docs/analysis.md``.
+"""
+
+from repro.sanitizer.runtime import (
+    TrackedLock,
+    Violation,
+    drain,
+    enforcing,
+    reset,
+    sanitize_class,
+    set_static_order,
+    wrap_lock,
+)
+
+__all__ = [
+    "TrackedLock",
+    "Violation",
+    "drain",
+    "enforcing",
+    "reset",
+    "sanitize_class",
+    "set_static_order",
+    "wrap_lock",
+]

@@ -1,0 +1,131 @@
+"""Pytest integration for the lockset sanitizer.
+
+Two entry points:
+
+* the repository's ``tests/conftest.py`` forwards ``pytest_configure`` /
+  ``pytest_runtest_teardown`` here when ``REPRO_SANITIZE=1`` is set, so
+  the normal test suites run sanitized without any extra flags;
+* out-of-tree test files (the seeded-violation fixtures run in a
+  subprocess) load this module directly with ``-p repro.sanitizer.plugin``.
+
+On configure the plugin imports every ``repro`` module, instruments each
+class carrying :func:`~repro.concurrency.guarded_by` declarations, and
+seeds the lock-order graph with the static edges lint rule R002 derives
+— so a runtime acquisition contradicting the static concurrency model
+fails the run even if no second thread races it.  After every test the
+recorded violations are drained; any violation fails that test.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import pkgutil
+from typing import Dict, Set, Tuple
+
+from repro.sanitizer import runtime
+
+ENV_FLAG = "REPRO_SANITIZE"
+
+_configured = False
+
+
+def enabled_by_env() -> bool:
+    return os.environ.get(ENV_FLAG) == "1"
+
+
+def install() -> int:
+    """Import all ``repro`` modules and sanitize every class that
+    declares guarded attributes; returns how many classes were
+    instrumented."""
+    import repro
+
+    count = 0
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.startswith("repro.sanitizer"):
+            continue
+        try:
+            module = importlib.import_module(info.name)
+        except Exception:  # optional deps, __main__-style modules
+            continue
+        for value in list(vars(module).values()):
+            if (
+                isinstance(value, type)
+                and value.__module__ == info.name
+                and runtime.sanitize_class(value)
+            ):
+                count += 1
+    return count
+
+
+def load_static_order() -> Tuple[
+    Set[Tuple[str, str]], Dict[Tuple[str, str], str]
+]:
+    """The R002 lock graph of ``src/repro`` plus the canonical identity
+    of every (class, lock attribute) pair, for cross-checking runtime
+    acquisition orders against the static model."""
+    import repro
+    from repro.analysis.framework import build_project
+    from repro.analysis.rules.lock_order import _LockGraph
+
+    root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    project = build_project([os.path.join(root, "repro")])
+    graph = _LockGraph(project)
+    graph.build()
+    edges = {
+        (edge.held, edge.acquired)
+        for edge in graph.edges
+        if edge.held != edge.acquired
+    }
+    canonical: Dict[Tuple[str, str], str] = {}
+    for module in project.modules:
+        for cls in module.classes.values():
+            for attr in cls.lock_attrs:
+                canonical[(cls.name, attr)] = project.canonical_lock(
+                    cls, attr
+                )
+    return edges, canonical
+
+
+def sanitizer_configure(config=None) -> int:
+    """Instrument classes, seed the static order graph, enable
+    enforcement.  Idempotent across conftest + ``-p`` double loading."""
+    global _configured
+    if _configured:
+        return 0
+    _configured = True
+    count = install()
+    try:
+        edges, canonical = load_static_order()
+    except Exception:
+        edges, canonical = set(), {}
+    runtime.set_static_order(edges, canonical)
+    runtime.enable(True)
+    return count
+
+
+def sanitizer_teardown(item=None) -> None:
+    violations = runtime.drain()
+    if violations:
+        lines = [
+            f"  [{v.kind}] ({v.thread}) {v.message}" for v in violations
+        ]
+        raise AssertionError(
+            "lockset sanitizer recorded %d violation(s):\n%s"
+            % (len(violations), "\n".join(lines))
+        )
+
+
+# ----------------------------------------------------------------------
+# real pytest hooks (for `-p repro.sanitizer.plugin`)
+# ----------------------------------------------------------------------
+
+
+def pytest_configure(config):
+    if enabled_by_env():
+        sanitizer_configure(config)
+
+
+def pytest_runtest_teardown(item, nextitem):
+    if enabled_by_env():
+        sanitizer_teardown(item)

@@ -1,0 +1,407 @@
+"""Lockset recording, guarded-attribute enforcement, order checking.
+
+The design follows Eraser (Savage et al.): every instrumented lock
+maintains a per-thread *lockset*; every access to a declared
+``guarded_by`` attribute is checked against the set actually held.  We
+are stricter than Eraser in one way (the guarding lock is declared, not
+inferred, so a single wrong-lock access is already a violation) and
+looser in another (attributes without a declaration are never checked).
+
+Lock-order recording builds a directed graph ``A -> B`` ("B acquired
+while holding A") seeded with the *static* edges derived by lint rule
+R002; a runtime acquisition that closes a cycle in the merged graph —
+either against another observed order or against the static model — is
+reported without blocking, so a single-threaded test can demonstrate an
+inversion that would need two racing threads to deadlock for real.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.concurrency import GuardedBy
+
+__all__ = [
+    "TrackedLock",
+    "Violation",
+    "drain",
+    "enforcing",
+    "reset",
+    "sanitize_class",
+    "set_static_order",
+    "wrap_lock",
+]
+
+_LOCK_TYPE = type(threading.Lock())
+_RLOCK_TYPE = type(threading.RLock())
+
+
+@dataclass
+class Violation:
+    """One recorded sanitizer violation.
+
+    Attributes:
+        kind: ``"unguarded-read"``, ``"unguarded-write"`` or
+            ``"lock-order"``.
+        message: human-readable description with the concrete site.
+        thread: name of the thread that triggered it.
+    """
+
+    kind: str
+    message: str
+    thread: str
+
+
+class _State:
+    def __init__(self) -> None:
+        self.enabled = False
+        self.violations: List[Violation] = []
+        #: merged acquisition graph: canonical label -> successors
+        self.order: Dict[str, Set[str]] = {}
+        #: the static (R002-derived) subset of ``order``
+        self.static_order: Dict[str, Set[str]] = {}
+        #: canonical identity for runtime locks: (class, attr) -> label
+        self.canonical: Dict[Tuple[str, str], str] = {}
+        #: objects whose (sanitized) __init__ has completed
+        self.constructed: Set[int] = set()
+
+
+_STATE = _State()
+_REGISTRY = threading.Lock()  # guards _STATE's mutable structures
+_TLS = threading.local()
+
+
+def _held() -> List["TrackedLock"]:
+    held = getattr(_TLS, "held", None)
+    if held is None:
+        held = _TLS.held = []
+    return held
+
+
+def _record(kind: str, message: str) -> None:
+    violation = Violation(kind, message, threading.current_thread().name)
+    with _REGISTRY:
+        _STATE.violations.append(violation)
+
+
+# ----------------------------------------------------------------------
+# public control surface
+# ----------------------------------------------------------------------
+
+
+def enable(on: bool = True) -> None:
+    """Turn enforcement on (or off) process-wide."""
+    _STATE.enabled = on
+
+
+class enforcing:
+    """Context manager scoping enforcement to a block (tests use this to
+    sanitize only the accesses they mean to check).  Leftover violations
+    are discarded on exit so one test cannot poison the next."""
+
+    def __enter__(self) -> "enforcing":
+        self._previous = _STATE.enabled
+        _STATE.enabled = True
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _STATE.enabled = self._previous
+        if not self._previous:
+            drain()
+        return False
+
+
+def drain() -> List[Violation]:
+    """Return and clear every violation recorded so far."""
+    with _REGISTRY:
+        violations = _STATE.violations
+        _STATE.violations = []
+    return violations
+
+
+def reset() -> None:
+    """Forget violations and the *observed* part of the order graph
+    (static edges and canonical identities survive)."""
+    with _REGISTRY:
+        _STATE.violations = []
+        _STATE.order = {a: set(bs) for a, bs in _STATE.static_order.items()}
+
+
+def set_static_order(
+    edges: Iterable[Tuple[str, str]],
+    canonical: Optional[Dict[Tuple[str, str], str]] = None,
+) -> None:
+    """Seed the order graph with R002's statically derived edges and the
+    project's canonical lock identities, so runtime acquisitions are
+    checked against the static concurrency model, not just against each
+    other."""
+    with _REGISTRY:
+        _STATE.static_order = {}
+        for held_label, acquired_label in edges:
+            if held_label == acquired_label:
+                continue
+            _STATE.static_order.setdefault(held_label, set()).add(
+                acquired_label
+            )
+        _STATE.order = {a: set(bs) for a, bs in _STATE.static_order.items()}
+        if canonical:
+            _STATE.canonical.update(canonical)
+
+
+# ----------------------------------------------------------------------
+# lock instrumentation
+# ----------------------------------------------------------------------
+
+
+class TrackedLock:
+    """Proxy around a real lock that maintains the thread's lockset and
+    records acquisition-order edges.  Recording never blocks and never
+    changes the inner lock's semantics."""
+
+    def __init__(self, inner, label: str, kind: str, owner=None) -> None:
+        self.inner = inner
+        self.label = label
+        self.kind = kind  # "Lock" | "RLock" | "Condition" | "injected"
+        self.owner = owner  # (class name, attribute) or None
+
+    def canonical_label(self) -> str:
+        if self.owner is not None:
+            return _STATE.canonical.get(self.owner, self.label)
+        return self.label
+
+    def acquire(self, *args, **kwargs):
+        if _STATE.enabled:
+            _note_acquire(self)
+        acquired = self.inner.acquire(*args, **kwargs)
+        if acquired is not False:
+            _held().append(self)
+        return acquired
+
+    def release(self) -> None:
+        held = _held()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] is self:
+                del held[i]
+                break
+        self.inner.release()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.release()
+        return False
+
+    def __getattr__(self, name):
+        # wait / notify / notify_all / locked / _is_owned ... delegate
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TrackedLock({self.label!r}, kind={self.kind!r})"
+
+
+def wrap_lock(lock, label: str, owner=None) -> TrackedLock:
+    """Wrap a raw lock; an already-tracked lock keeps its first identity
+    (mirrors :meth:`Project.canonical_lock` unifying injected aliases)."""
+    if isinstance(lock, TrackedLock):
+        return lock
+    if isinstance(lock, threading.Condition):
+        kind = "Condition"
+    elif isinstance(lock, _RLOCK_TYPE):
+        kind = "RLock"
+    elif isinstance(lock, _LOCK_TYPE):
+        kind = "Lock"
+    else:
+        kind = "injected"
+    return TrackedLock(lock, label, kind, owner=owner)
+
+
+def _note_acquire(lock: TrackedLock) -> None:
+    held = _held()
+    if lock.kind == "Lock" and any(entry is lock for entry in held):
+        _record(
+            "lock-order",
+            f"non-reentrant lock '{lock.label}' re-acquired while "
+            f"already held (self-deadlock)",
+        )
+        return
+    acquired_label = lock.canonical_label()
+    for entry in held:
+        held_label = entry.canonical_label()
+        if held_label != acquired_label:
+            _add_edge(held_label, acquired_label)
+
+
+def _add_edge(held_label: str, acquired_label: str) -> None:
+    with _REGISTRY:
+        successors = _STATE.order.setdefault(held_label, set())
+        if acquired_label in successors:
+            return  # already known; any cycle was reported when it closed
+        successors.add(acquired_label)
+        _STATE.order.setdefault(acquired_label, set())
+        closes_cycle = _reaches(_STATE.order, acquired_label, held_label)
+    if closes_cycle:
+        _record(
+            "lock-order",
+            f"acquisition order inversion: '{acquired_label}' acquired "
+            f"while holding '{held_label}', but the combined static+"
+            f"observed order already requires '{held_label}' after "
+            f"'{acquired_label}'",
+        )
+
+
+def _reaches(graph: Dict[str, Set[str]], start: str, goal: str) -> bool:
+    seen: Set[str] = set()
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        if node == goal:
+            return True
+        if node in seen:
+            continue
+        seen.add(node)
+        frontier.extend(graph.get(node, ()))
+    return False
+
+
+# ----------------------------------------------------------------------
+# guarded-attribute enforcement
+# ----------------------------------------------------------------------
+
+_THIS_FILE = __file__
+
+
+def _access_from_own_method(obj) -> bool:
+    """True when the access happens inside a method of ``obj`` itself.
+
+    The runtime contract deliberately mirrors the static one: lint rule
+    R001 checks ``self.<attr>`` accesses lexically inside the declaring
+    class body, so the sanitizer enforces exactly those — reads by
+    external code (tests asserting on internals, helpers handed the
+    object) are outside the declared contract and are not flagged."""
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_code.co_filename == _THIS_FILE:
+        frame = frame.f_back
+    return frame is not None and frame.f_locals.get("self") is obj
+
+
+def _inside_own_init(obj) -> bool:
+    """True when the access happens during ``obj``'s construction (an
+    ``__init__`` frame for the same object is on the stack) — objects
+    are not shared before construction completes, mirroring R001."""
+    frame = sys._getframe(1)
+    depth = 0
+    while frame is not None and depth < 25:
+        if frame.f_code.co_name == "__init__":
+            if frame.f_locals.get("self") is obj:
+                return True
+        frame = frame.f_back
+        depth += 1
+    return False
+
+
+def _lock_of(obj, lock_attr: str):
+    try:
+        return object.__getattribute__(obj, lock_attr)
+    except AttributeError:
+        return None
+
+
+def _check_access(obj, cls: type, name: str, spec: GuardedBy, write: bool) -> None:
+    if not _STATE.enabled:
+        return
+    if spec.mutations_only and not write:
+        return
+    if id(obj) not in _STATE.constructed:
+        return
+    lock = _lock_of(obj, spec.lock)
+    if not isinstance(lock, TrackedLock):
+        return  # lock missing or never instrumented: cannot judge
+    if any(entry is lock for entry in _held()):
+        return
+    if not _access_from_own_method(obj):
+        return
+    if _inside_own_init(obj):
+        return
+    access = "write to" if write else "read of"
+    _record(
+        "unguarded-write" if write else "unguarded-read",
+        f"unguarded {access} {type(obj).__name__}.{name} "
+        f"(declared guarded_by('{spec.lock}')) without holding "
+        f"self.{spec.lock}",
+    )
+
+
+def _collect_specs(cls: type) -> Dict[str, GuardedBy]:
+    specs: Dict[str, GuardedBy] = {}
+    for base in reversed(cls.__mro__):
+        for attr, value in vars(base).items():
+            if isinstance(value, GuardedBy):
+                specs[attr] = value
+    return specs
+
+
+def sanitize_class(cls: type) -> bool:
+    """Instrument ``cls`` so its ``guarded_by`` declarations are enforced
+    at runtime: wrap the locks its ``__init__`` creates in
+    :class:`TrackedLock` and intercept attribute access on declared
+    attributes.  Idempotent; returns ``True`` if instrumentation was
+    installed."""
+    if "_repro_sanitized" in vars(cls):
+        return False
+    specs = _collect_specs(cls)
+    if not specs:
+        return False
+    lock_attrs = sorted({spec.lock for spec in specs.values()})
+
+    original_init = cls.__init__
+    original_getattribute = cls.__getattribute__
+    original_setattr = cls.__setattr__
+    original_delattr = cls.__delattr__
+
+    def __init__(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        for lock_attr in lock_attrs:
+            lock = _lock_of(self, lock_attr)
+            if lock is not None and not isinstance(lock, TrackedLock):
+                object.__setattr__(
+                    self,
+                    lock_attr,
+                    wrap_lock(
+                        lock,
+                        f"{type(self).__name__}.{lock_attr}",
+                        owner=(cls.__name__, lock_attr),
+                    ),
+                )
+        with _REGISTRY:
+            _STATE.constructed.add(id(self))
+
+    def __getattribute__(self, name):
+        spec = specs.get(name)
+        if spec is not None:
+            _check_access(self, cls, name, spec, write=False)
+        return original_getattribute(self, name)
+
+    def __setattr__(self, name, value):
+        spec = specs.get(name)
+        if spec is not None:
+            _check_access(self, cls, name, spec, write=True)
+        original_setattr(self, name, value)
+
+    def __delattr__(self, name):
+        spec = specs.get(name)
+        if spec is not None:
+            _check_access(self, cls, name, spec, write=True)
+        original_delattr(self, name)
+
+    __init__.__wrapped__ = original_init
+    cls.__init__ = __init__
+    cls.__getattribute__ = __getattribute__
+    cls.__setattr__ = __setattr__
+    cls.__delattr__ = __delattr__
+    cls._repro_sanitized = True
+    return True

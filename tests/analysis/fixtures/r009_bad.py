@@ -1,0 +1,95 @@
+"""Fixture: plan-relevant state violations (rule R009)."""
+
+from repro.concurrency import plan_source
+
+
+class BadCache:
+    # repro-lint: optimize-path
+
+    def __init__(self) -> None:
+        self._entries = {}
+        self._hits = 0
+
+    def lookup(self, key):
+        self._hits += 1
+        return self._entries.get(key)
+
+    def put(self, key, value):
+        self._entries[key] = value  # line 18: unversioned plan state
+
+
+class BadVersioned:
+    # repro-lint: optimize-path
+    # repro-lint: versioned-by=_model:_version
+
+    def __init__(self) -> None:
+        self._model = {}
+        self._version = 0
+
+    def factor(self, key):
+        return self._model.get(key, 1.0)
+
+    def swap(self, model):  # line 32: mutates _model, no _version bump
+        self._model = model
+
+    def replace(self, model):
+        self._model = model
+        self._version += 1
+
+
+class BadExempt:
+    # repro-lint: optimize-path
+    # repro-lint: plan-state-exempt=_scratch
+
+    def __init__(self) -> None:
+        self._scratch = {}
+
+    def read(self):
+        return self._scratch.get("k")
+
+    def write(self, value):
+        self._scratch["k"] = value  # line 51: still unversioned
+
+
+class BadSource:
+    _corrections = plan_source("version")  # line 55: version never read
+
+    def __init__(self, corrections) -> None:
+        self._corrections = corrections
+
+    def estimate(self, query):
+        return len(query)
+
+
+class BadOptimizer:
+    _store = plan_source("version")
+
+    def __init__(self, store, cache) -> None:
+        self._store = store
+        self._plan_cache = cache
+
+    def learned_version(self):
+        return self._store.version
+
+    def optimize(self, request, epoch):
+        cached = self._plan_cache.get_fresh(request, epoch)  # line 75: unfolded
+        if cached is not None:
+            return cached
+        plan = ("plan", request)
+        self._plan_cache.store(request, epoch, plan)  # line 79: unfolded
+        return plan
+
+
+class BadRequest:
+    _marker = plan_source("version")
+
+    def __init__(self, payload, learned=None) -> None:
+        self.payload = payload
+        self.learned = learned
+        self._marker = object()
+
+    def version_of(self):
+        return self._marker.version
+
+    def with_learned_version(self, version):  # line 94: drops the version
+        return BadRequest(self.payload)

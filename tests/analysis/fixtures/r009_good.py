@@ -1,0 +1,81 @@
+"""Fixture: plan-relevant state done right (rule R009 stays silent)."""
+
+from repro.concurrency import plan_source
+
+
+class GoodRequest:
+    """Frozen-ish request that folds the learned version into its key."""
+
+    def __init__(self, payload, learned=None) -> None:
+        self.payload = payload
+        self.learned = learned
+
+    def with_learned_version(self, version):
+        if version == self.learned:
+            return self
+        return GoodRequest(self.payload, learned=version)
+
+
+class GoodOptimizer:
+    # repro-lint: optimize-path
+    # repro-lint: plan-state-exempt=_plan_cache: attach-once wiring, never swapped after startup
+
+    _store = plan_source("version")
+
+    def __init__(self, store, cache) -> None:
+        self._store = store
+        self._plan_cache = cache
+        self._calls = 0
+
+    def _learned_version(self):
+        return self._store.version
+
+    def _keyed_request(self, request):
+        version = self._learned_version()
+        if version is None:
+            return request
+        return request.with_learned_version(version)
+
+    def attach(self, cache):
+        self._plan_cache = cache
+
+    def calls(self):
+        return self._calls
+
+    def optimize(self, request, epoch):
+        self._calls += 1  # pure monotone counter: no version needed
+        if self._plan_cache is None:
+            return ("plan", request)
+        request = self._keyed_request(request)
+        cached = self._plan_cache.get_fresh(request, epoch)
+        if cached is not None:
+            return cached
+        plan = ("plan", request)
+        self._plan_cache.store(request, epoch, plan)
+        return plan
+
+
+class GoodVersioned:
+    # repro-lint: optimize-path
+    # repro-lint: versioned-by=_model:_version
+
+    def __init__(self) -> None:
+        self._model = {}
+        self._version = 0
+
+    def factor(self, key):
+        return self._model.get(key, 1.0)
+
+    def replace(self, model):
+        self._model = model
+        self._version += 1
+
+    def clear(self):
+        self._drop()
+
+    def _drop(self):
+        self._model = {}
+        self._bump()
+
+    def _bump(self):
+        self._version += 1

@@ -1,0 +1,37 @@
+"""Fixture: guarded-container reference escapes (rule R010)."""
+
+import threading
+
+from repro.concurrency import guarded_by
+
+
+class LeakyLog:
+    _events = guarded_by("_lock")
+    _index = guarded_by("_lock")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events = []
+        self._index = {}
+        self.latest = None
+
+    def events(self):
+        with self._lock:
+            return self._events  # line 20: direct reference escape
+
+    def stream(self):
+        with self._lock:
+            yield self._events  # line 24: yielded reference escape
+
+    def expose(self):
+        with self._lock:
+            snapshot = self._events
+        return snapshot  # line 29: alias escapes after release
+
+    def publish(self):
+        with self._lock:
+            self.latest = self._index  # line 33: stored to unguarded attr
+
+    def pair(self):
+        with self._lock:
+            return (len(self._events), self._index)  # line 37: tuple element

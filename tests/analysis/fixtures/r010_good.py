@@ -1,0 +1,48 @@
+"""Fixture: guarded containers handed out safely (rule R010 silent)."""
+
+import threading
+
+from repro.concurrency import guarded_by
+
+
+class CarefulLog:
+    _events = guarded_by("_lock")
+    _index = guarded_by("_lock")
+    _columns = guarded_by("_lock", mutations_only=True)
+    _shadow = guarded_by("_lock")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events = []
+        self._index = {}
+        self._columns = {}
+        self._shadow = []
+        self._count = 0
+
+    def events(self):
+        with self._lock:
+            return list(self._events)  # copy: fine
+
+    def stream(self):
+        with self._lock:
+            yield dict(self._index)  # copy: fine
+
+    def snapshot(self):
+        with self._lock:
+            data = self._events.copy()
+        return data  # alias of a copy: fine
+
+    def head(self):
+        with self._lock:
+            return self._events[0]  # element access, not the container
+
+    def columns(self):
+        return self._columns  # mutations_only: lock-free reads by design
+
+    def rotate(self):
+        with self._lock:
+            self._shadow = self._events  # same lock guards both names
+
+    def count(self):
+        with self._lock:
+            return self._count  # immutable value, not a container

@@ -1,0 +1,38 @@
+"""Fixture: lock-split check-then-act races (rule R011)."""
+
+import threading
+
+from repro.concurrency import guarded_by
+
+
+class SplitChecker:
+    _pending = guarded_by("_lock")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pending = []
+
+    def drain_if_full(self):
+        with self._lock:
+            full = len(self._pending) >= 10
+        if full:
+            with self._lock:
+                self._pending.clear()  # line 20: acts on a stale check
+
+    def pop_each(self):
+        with self._lock:
+            count = len(self._pending)
+        while count:
+            with self._lock:
+                self._pending.pop()  # line 27: count computed earlier
+            count -= 1
+
+    def drain_via_helper(self):
+        with self._lock:
+            busy = bool(self._pending)
+        if busy:
+            self._drain()  # line 34: helper re-locks and mutates
+
+    def _drain(self):
+        with self._lock:
+            self._pending.clear()

@@ -1,0 +1,48 @@
+"""Fixture: check-then-act done safely (rule R011 stays silent)."""
+
+import threading
+
+from repro.concurrency import guarded_by
+
+
+class AtomicChecker:
+    _pending = guarded_by("_lock")
+    _done = guarded_by("_lock")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pending = []
+        self._done = []
+
+    def drain_if_full(self):
+        with self._lock:
+            if len(self._pending) >= 10:  # check and act in one section
+                self._pending.clear()
+
+    def drain_rechecked(self):
+        with self._lock:
+            full = len(self._pending) >= 10
+        if full:
+            with self._lock:
+                if len(self._pending) >= 10:  # double-checked: re-validated
+                    self._pending.clear()
+
+    def report_unlocked(self):
+        with self._lock:
+            count = len(self._pending)
+        if count:
+            return f"{count} pending"  # no mutation: reporting is fine
+        return "idle"
+
+    def act_on_other_state(self, flag):
+        if flag:  # condition does not derive from guarded state
+            with self._lock:
+                self._pending.clear()
+
+    # repro-lint: toctou-exempt=the queue is drained by a single owner thread
+    def owner_only_drain(self):
+        with self._lock:
+            busy = bool(self._pending)
+        if busy:
+            with self._lock:
+                self._pending.clear()

@@ -34,9 +34,26 @@ def test_lint_rule_filter(capsys):
 def test_lint_list_rules(capsys):
     assert main(["lint", "--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008"):
+    for rule_id in (
+        "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+        "R009", "R010", "R011",
+    ):
         assert rule_id in out
     assert "guarded" in out
+
+
+def test_lint_list_rules_shows_scope_and_version_columns(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 11
+    for line in lines:
+        columns = line.split()
+        assert columns[2] in ("file", "project"), line
+        assert columns[3].startswith("v") and columns[3][1:].isdigit(), line
+    by_id = {line.split()[0]: line.split() for line in lines}
+    assert by_id["R009"][2] == "project"
+    assert by_id["R010"][2] == "file"
+    assert by_id["R011"][2] == "file"
 
 
 def test_lint_update_baseline_then_clean(tmp_path, capsys):

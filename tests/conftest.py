@@ -1,12 +1,31 @@
-"""Shared pytest fixtures."""
+"""Shared pytest fixtures (and opt-in lockset-sanitizer wiring)."""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.datagen import make_tpcd_database
 
 from tests.util import simple_db
+
+
+def pytest_configure(config):
+    # REPRO_SANITIZE=1 runs the whole suite under the runtime lockset
+    # sanitizer (see docs/analysis.md); imported lazily so the default
+    # run pays nothing.
+    if os.environ.get("REPRO_SANITIZE") == "1":
+        from repro.sanitizer import plugin
+
+        plugin.sanitizer_configure(config)
+
+
+def pytest_runtest_teardown(item, nextitem):
+    if os.environ.get("REPRO_SANITIZE") == "1":
+        from repro.sanitizer import plugin
+
+        plugin.sanitizer_teardown(item)
 
 
 @pytest.fixture
