@@ -60,7 +60,11 @@ from repro.core import (
     shrinking_set,
     workload_candidate_statistics,
 )
-from repro.errors import ReproDeprecationWarning, ReproError
+from repro.errors import (
+    ReproDeprecationWarning,
+    ReproError,
+    ServiceRejectedError,
+)
 from repro.datagen import (
     SkewSpec,
     TpcdGenerator,
@@ -97,13 +101,15 @@ from repro.service import (
     CaptureLog,
     MetricsRegistry,
     QueryEvent,
+    ServiceRequest,
+    ServiceResponse,
     Session,
     StalenessMonitor,
     StatsService,
 )
 from repro.sql import Query, QueryBuilder, bind, parse_statement
 from repro.sql.binder import parse_and_bind
-from repro.stats import StatKey, Statistic, StatisticsManager
+from repro.stats import ShardRouter, StatKey, Statistic, StatisticsManager
 from repro.storage import Database
 from repro.workload import (
     RagsConfig,
@@ -198,9 +204,13 @@ __all__ = [
     # errors
     "ReproError",
     "ReproDeprecationWarning",
+    "ServiceRejectedError",
     # online service
     "StatsService",
     "Session",
+    "ServiceRequest",
+    "ServiceResponse",
+    "ShardRouter",
     "CaptureLog",
     "QueryEvent",
     "StalenessMonitor",

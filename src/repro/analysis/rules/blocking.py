@@ -38,8 +38,11 @@ from repro.analysis.model import (
 
 SLEEP_CALLS = {"time.sleep", "sleep"}
 EXECUTION_CALLS = {"execute", "apply_dml", "run_workload"}
-#: canonical lock ids under which statement execution is *by design*
-EXECUTION_ALLOWED_UNDER = {"db_lock"}
+#: canonical lock ids under which statement execution is *by design*:
+#: the legacy service-wide database lock and the per-shard statement
+#: locks that replaced it (the sharded service serializes execution at
+#: statement granularity per shard)
+EXECUTION_ALLOWED_UNDER = {"db_lock", "statement_lock"}
 
 
 @rule

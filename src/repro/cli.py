@@ -102,6 +102,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=2, help="background advisor workers"
     )
     serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "service shards: tables are partitioned across shards, each "
+            "with its own statement lock, capture-log segment, advisor "
+            "workers, and staleness monitor"
+        ),
+    )
+    serve.add_argument(
         "--clients", type=int, default=4, help="concurrent client sessions"
     )
     serve.add_argument(
@@ -510,6 +520,7 @@ def _cmd_serve(args) -> int:
         qerror_retune_threshold=args.qerror_retune_threshold,
         learned_enabled=args.learned,
         learned_model=args.learned_model,
+        shards=args.shards,
     )
     service = StatsService(db, config)
     clients = max(1, args.clients)
@@ -523,6 +534,7 @@ def _cmd_serve(args) -> int:
     print(
         f"serving workload {args.workload} over {db.name}: "
         f"{clients} client(s), {workers} advisor worker(s), "
+        f"{args.shards} shard(s), "
         f"policy {args.policy}, plan cache {args.cache_size}"
         f"{feedback_note}"
     )

@@ -255,6 +255,47 @@ class ServiceConfig:
             ``[1/learned_max_factor, learned_max_factor]``.
         learned_capacity: maximum tracked correction entries before
             least-recently-observed eviction.
+        shards: number of service/statistics shards.  Each shard owns the
+            statistics, capture-log segment, advisor workers, and
+            staleness monitor of the tables routed to it (see
+            :class:`~repro.stats.router.ShardRouter`), with its own
+            statement lock and epoch, so one tenant's churn cannot
+            serialize — or invalidate cached plans of — queries over
+            other shards' tables.  ``1`` reproduces the pre-sharding
+            single-lock service exactly.
+        service_workers: request worker threads draining the admission
+            queue.  ``0`` (the default) keeps the submit path
+            synchronous — requests execute on the caller's thread with
+            no queueing, exactly the pre-async behaviour.
+        queue_capacity: hard bound of the admission queue (async mode).
+        queue_high_water: backpressure threshold — once the queue holds
+            this many requests, new submissions are rejected with a
+            :class:`~repro.errors.ServiceRejectedError` carrying a
+            retry-after hint.  ``None`` means ``queue_capacity`` (reject
+            only when full).
+        retry_after_seconds: the retry-after hint attached to
+            queue-full / rate-limit rejections.
+        session_rate_limit: per-session sustained request rate in
+            requests/second, enforced with a token bucket; ``None``
+            (default) disables per-session rate limiting.
+        session_rate_burst: token-bucket burst size — a session may
+            submit this many requests back-to-back before the sustained
+            rate applies.
+        degraded_backlog_high: graceful-degradation trigger — when the
+            total advisor backlog (captured events awaiting analysis
+            across all shards) reaches this threshold, new queries are
+            planned with magic-number selectivities only (no statistics
+            locks taken; counted in ``service.degraded``) instead of
+            piling more work onto the advisor.  ``None`` (default)
+            disables degradation.
+        degraded_backlog_low: hysteresis release — degradation stays
+            engaged until the backlog falls back to this level.  Must be
+            below ``degraded_backlog_high``.
+        starvation_cycles: staleness-monitor fairness bound — a due
+            table deferred by the refresh budget for this many
+            consecutive cycles counts as starved (``monitor.starved``);
+            the monitor refreshes longest-waiting tables first so the
+            counter stays at zero under any steady-state budget.
     """
 
     capture_capacity: int = 1024
@@ -278,6 +319,16 @@ class ServiceConfig:
     learned_decay: float = 0.8
     learned_max_factor: float = 32.0
     learned_capacity: int = 512
+    shards: int = 1
+    service_workers: int = 0
+    queue_capacity: int = 256
+    queue_high_water: int | None = None
+    retry_after_seconds: float = 0.05
+    session_rate_limit: float | None = None
+    session_rate_burst: int = 16
+    degraded_backlog_high: int | None = None
+    degraded_backlog_low: int = 0
+    starvation_cycles: int = 8
 
     def __post_init__(self) -> None:
         if self.capture_capacity < 1:
@@ -371,6 +422,63 @@ class ServiceConfig:
             raise ValueError(
                 "learned_enabled=True requires feedback_enabled=True "
                 "(corrections are fed by execution feedback)"
+            )
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.service_workers < 0:
+            raise ValueError(
+                f"service_workers must be >= 0, got {self.service_workers}"
+            )
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.queue_high_water is not None and not (
+            1 <= self.queue_high_water <= self.queue_capacity
+        ):
+            raise ValueError(
+                "queue_high_water must be in [1, queue_capacity], got "
+                f"{self.queue_high_water} (capacity {self.queue_capacity})"
+            )
+        if self.retry_after_seconds <= 0:
+            raise ValueError(
+                f"retry_after_seconds must be > 0, got "
+                f"{self.retry_after_seconds}"
+            )
+        if (
+            self.session_rate_limit is not None
+            and self.session_rate_limit <= 0
+        ):
+            raise ValueError(
+                "session_rate_limit must be > 0 or None, got "
+                f"{self.session_rate_limit}"
+            )
+        if self.session_rate_burst < 1:
+            raise ValueError(
+                f"session_rate_burst must be >= 1, got "
+                f"{self.session_rate_burst}"
+            )
+        if self.degraded_backlog_high is not None:
+            if self.degraded_backlog_high < 1:
+                raise ValueError(
+                    "degraded_backlog_high must be >= 1 or None, got "
+                    f"{self.degraded_backlog_high}"
+                )
+            if not 0 <= self.degraded_backlog_low < self.degraded_backlog_high:
+                raise ValueError(
+                    "degraded_backlog_low must be in "
+                    "[0, degraded_backlog_high), got "
+                    f"{self.degraded_backlog_low} (high "
+                    f"{self.degraded_backlog_high})"
+                )
+        elif self.degraded_backlog_low != 0:
+            raise ValueError(
+                "degraded_backlog_low requires degraded_backlog_high"
+            )
+        if self.starvation_cycles < 1:
+            raise ValueError(
+                f"starvation_cycles must be >= 1, got "
+                f"{self.starvation_cycles}"
             )
 
 

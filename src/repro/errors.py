@@ -69,6 +69,26 @@ class ServiceError(ReproError):
     """The statistics-management service was misused or misconfigured."""
 
 
+class ServiceRejectedError(ServiceError):
+    """The service refused a request under load (admission control).
+
+    Raised on the submit path when the admission queue is past its
+    high-water mark or the session exceeded its rate limit.  Carries a
+    ``retry_after`` hint in seconds: the client should back off at least
+    that long before resubmitting.
+
+    Attributes:
+        retry_after: suggested client back-off in seconds (> 0).
+        reason: short machine-readable cause (``"queue_full"`` or
+            ``"rate_limited"``).
+    """
+
+    def __init__(self, message: str, retry_after: float, reason: str) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+        self.reason = reason
+
+
 class ReproDeprecationWarning(DeprecationWarning):
     """A deprecated repro API was used.
 

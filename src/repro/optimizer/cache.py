@@ -18,10 +18,15 @@ matter how the caller spelled them.
 invalidation layers:
 
 * **epoch fast path** — the statistics manager's monotonically
-  increasing :attr:`~repro.stats.manager.StatisticsManager.epoch` is
-  bumped by every statistics mutation (create / drop / drop-list /
-  refresh / incremental insert / ignore-buffer change) and by DML.  An
-  entry stored at the current epoch is returned without further checks.
+  increasing epoch is bumped by every statistics mutation (create /
+  drop / drop-list / refresh / incremental insert / ignore-buffer
+  change) and by DML.  An entry stored at the current epoch is returned
+  without further checks.  With a sharded manager the optimizer keys
+  entries by
+  :meth:`~repro.stats.manager.StatisticsManager.epoch_for_tables` —
+  the epoch sum of only the shards the query touches — so churn in
+  other shards leaves the fast path intact (every component is monotone
+  non-decreasing, so sum equality implies component equality).
 * **fingerprint revalidation** — on an epoch mismatch the entry is only
   reused if its :func:`statistics_fingerprint` still matches: per-table
   ``(row_count, rows_modified_since_stats)`` plus
@@ -91,12 +96,26 @@ class OptimizationRequest:
             without corrections"; a versioned request never compares
             equal to an unversioned one, so corrected and uncorrected
             plans can share a :class:`PlanCache` without aliasing.
+        degraded: plan with magic-number selectivities only, consulting
+            no statistics at all — the service's graceful-degradation
+            mode under advisor backlog (Sec 6's always-on framing).  A
+            degraded request is statistics-independent, so the optimizer
+            caches it under epoch 0 with an empty fingerprint: degraded
+            plans hit the cache forever and never take a statistics
+            lock.  Part of the request identity — a degraded plan can
+            never alias a full one.
     """
 
-    __slots__ = ("query", "overrides", "ignore", "learned", "_hash")
+    __slots__ = ("query", "overrides", "ignore", "learned", "degraded", "_hash")
 
     def __init__(
-        self, query: Query, overrides=None, ignore=None, *, learned=None
+        self,
+        query: Query,
+        overrides=None,
+        ignore=None,
+        *,
+        learned=None,
+        degraded: bool = False,
     ) -> None:
         if not isinstance(query, Query):
             raise OptimizerError(
@@ -107,8 +126,15 @@ class OptimizationRequest:
         self.overrides = _canonical_overrides(overrides)
         self.ignore = _canonical_ignore(ignore)
         self.learned = learned
+        self.degraded = bool(degraded)
         self._hash = hash(
-            (self.query, self.overrides, self.ignore, self.learned)
+            (
+                self.query,
+                self.overrides,
+                self.ignore,
+                self.learned,
+                self.degraded,
+            )
         )
 
     @classmethod
@@ -134,7 +160,11 @@ class OptimizationRequest:
         if version == self.learned:
             return self
         return OptimizationRequest(
-            self.query, self.overrides, self.ignore, learned=version
+            self.query,
+            self.overrides,
+            self.ignore,
+            learned=version,
+            degraded=self.degraded,
         )
 
     def __hash__(self) -> int:
@@ -148,6 +178,7 @@ class OptimizationRequest:
             and self.overrides == other.overrides
             and self.ignore == other.ignore
             and self.learned == other.learned
+            and self.degraded == other.degraded
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

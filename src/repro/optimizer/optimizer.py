@@ -186,24 +186,37 @@ class Optimizer:
 
         With a cache attached, the lookup runs in two tiers: a stats-epoch
         equality fast path, then fingerprint revalidation (see
-        :mod:`repro.optimizer.cache`).  Both the epoch and the fingerprint
-        are read *before* planning, so a concurrent statistics mutation
-        mid-flight leaves at worst a stale entry that fails revalidation —
-        never a wrong plan.
+        :mod:`repro.optimizer.cache`).  The epoch is scoped to the shards
+        owning the query's tables
+        (:meth:`~repro.stats.manager.StatisticsManager.epoch_for_tables`),
+        so statistics churn elsewhere never evicts this entry.  Both the
+        epoch and the fingerprint are read *before* planning, so a
+        concurrent statistics mutation mid-flight leaves at worst a stale
+        entry that fails revalidation — never a wrong plan.
+
+        Degraded requests are statistics-independent by construction, so
+        they key under epoch 0 with an empty fingerprint: after the first
+        planning they are permanent cache hits that touch no statistics
+        lock at all.
         """
         with self._count_lock:
             self._call_count += 1
         if self._cache is None:
             return self._execute_request(request)
         request = self._keyed_request(request)
-        stats = self._db.stats
-        epoch = stats.epoch
+        if request.degraded:
+            epoch = 0
+        else:
+            epoch = self._db.stats.epoch_for_tables(request.query.tables)
         result = self._cache.get_fresh(request, epoch)
         if result is not None:
             return result
-        fingerprint = statistics_fingerprint(
-            self._db, request.query, request.ignore
-        )
+        if request.degraded:
+            fingerprint: tuple = ()
+        else:
+            fingerprint = statistics_fingerprint(
+                self._db, request.query, request.ignore
+            )
         result = self._cache.get_validated(request, epoch, fingerprint)
         if result is not None:
             return result
@@ -292,18 +305,24 @@ class Optimizer:
         with self._count_lock:
             self._cold_count += 1
         overrides = request.overrides_dict() if request.overrides else None
-        if request.ignore:
+        use_statistics = not request.degraded
+        if request.ignore and use_statistics:
             with self._db.stats.ignore_subset(request.ignore):
                 return self._optimize(request.query, overrides)
-        return self._optimize(request.query, overrides)
+        return self._optimize(
+            request.query, overrides, use_statistics=use_statistics
+        )
 
-    def _optimize(self, query, overrides) -> OptimizationResult:
+    def _optimize(
+        self, query, overrides, use_statistics: bool = True
+    ) -> OptimizationResult:
         estimator = SelectivityEstimator(
             self._db,
             self._config,
             overrides,
             corrections=self._corrections,
             join_estimator=self._join_estimator,
+            use_statistics=use_statistics,
         )
         best = self._enumerate_joins(query, estimator)
         plan = self._add_aggregation(query, estimator, best)

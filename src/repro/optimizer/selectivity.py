@@ -62,6 +62,12 @@ class SelectivityEstimator:
         join_estimator: optional
             :class:`~repro.learned.SketchJoinEstimator` consulted for
             single-predicate equijoin selectivities.
+        use_statistics: when False, skip every statistics lookup and
+            resolve all variables through overrides / magic numbers — the
+            service's degraded mode
+            (:class:`~repro.optimizer.cache.OptimizationRequest`'s
+            ``degraded`` flag).  The estimator then takes no statistics
+            lock at all.
     """
 
     # repro-lint: optimize-path
@@ -74,6 +80,7 @@ class SelectivityEstimator:
         overrides: Optional[Dict[SelectivityVariable, float]] = None,
         corrections=None,
         join_estimator=None,
+        use_statistics: bool = True,
     ) -> None:
         self._db = database
         self._config = config
@@ -81,6 +88,7 @@ class SelectivityEstimator:
         self._overrides = dict(overrides or {})
         self._corrections = corrections
         self._join_estimator = join_estimator
+        self._use_statistics = use_statistics
         self._join_cache: Dict[JoinVariable, float] = {}
         for variable, value in self._overrides.items():
             if not 0.0 <= value <= 1.0:
@@ -108,6 +116,8 @@ class SelectivityEstimator:
 
     def predicate_has_statistics(self, predicate: Predicate) -> bool:
         """True if a visible histogram covers the predicate's column."""
+        if not self._use_statistics:
+            return False
         (ref,) = predicate.columns()
         return self._db.stats.has_histogram_for(ref)
 
@@ -220,6 +230,8 @@ class SelectivityEstimator:
 
         Returns ``(selectivity, covered_predicates)`` or ``None``.
         """
+        if not self._use_statistics:
+            return None
         boxable = {}
         for predicate in predicates:
             bounds = self._box_bounds(predicate)
@@ -273,7 +285,7 @@ class SelectivityEstimator:
         others = [p for p in predicates if p not in equality]
         total = 1.0
         covered = False
-        if len(equality) >= 2:
+        if len(equality) >= 2 and self._use_statistics:
             columns = {p.column.column for p in equality}
             if len(columns) == len(equality):
                 density = self._db.stats.density_for_columns(table, columns)
@@ -298,6 +310,8 @@ class SelectivityEstimator:
 
     def _side_distinct(self, table: str, columns) -> Optional[float]:
         """Estimated distinct count of a join side's column set."""
+        if not self._use_statistics:
+            return None
         columns = list(columns)
         if len(columns) == 1:
             histogram = self._db.stats.histogram_for(
@@ -369,6 +383,7 @@ class SelectivityEstimator:
         if (
             len(variable.predicates) == 1
             and self._config.enable_histogram_join_estimation
+            and self._use_statistics
         ):
             left_hist = self._db.stats.histogram_for(
                 ColumnRef(left_table, left_cols[0])
@@ -434,7 +449,7 @@ class SelectivityEstimator:
                 for p in query.predicates_of(table)
                 if isinstance(p, ComparisonPredicate) and p.op == "="
             ]
-            if len(equality) >= 2:
+            if len(equality) >= 2 and self._use_statistics:
                 columns = {p.column.column for p in equality}
                 if len(columns) == len(equality):
                     density = self._db.stats.density_for_columns(

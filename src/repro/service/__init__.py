@@ -5,8 +5,14 @@ creation, refresh, and drop-listing happen *inside* a living server while
 queries keep flowing.  This package provides that runtime:
 
 * :class:`~repro.service.service.StatsService` — the daemon facade:
-  concurrent sessions submit SQL, queries run with whatever statistics
-  are visible *now*;
+  concurrent sessions submit typed
+  :class:`~repro.service.api.ServiceRequest` objects (or SQL through a
+  :class:`~repro.service.service.Session`), queries run with whatever
+  statistics are visible *now*, sharded by table across
+  :class:`~repro.service.service.ServiceShard` instances;
+* :class:`~repro.service.admission.AdmissionQueue` /
+  :class:`~repro.service.admission.TokenBucket` — bounded admission
+  queue with backpressure and per-session rate limiting;
 * :class:`~repro.service.events.CaptureLog` /
   :class:`~repro.service.events.QueryEvent` — the bounded workload
   capture log between the query path and the advisor;
@@ -21,18 +27,25 @@ See ``docs/service.md`` for the architecture walkthrough and the
 ``repro serve`` CLI subcommand for an end-to-end run.
 """
 
+from repro.service.admission import AdmissionQueue, TokenBucket
+from repro.service.api import ServiceRequest, ServiceResponse
 from repro.service.events import CaptureLog, QueryEvent
 from repro.service.metrics import MetricsRegistry
 from repro.service.monitor import StalenessMonitor
-from repro.service.service import Session, StatsService
+from repro.service.service import ServiceShard, Session, StatsService
 from repro.service.worker import AdvisorWorker
 
 __all__ = [
+    "AdmissionQueue",
     "AdvisorWorker",
     "CaptureLog",
     "MetricsRegistry",
     "QueryEvent",
+    "ServiceRequest",
+    "ServiceResponse",
+    "ServiceShard",
     "Session",
     "StalenessMonitor",
     "StatsService",
+    "TokenBucket",
 ]

@@ -56,19 +56,31 @@ METRICS: Dict[str, str] = {
     "monitor.refresh_cost": "total update cost spent on refreshes",
     "monitor.refresh_errors": "statistics refreshes that raised",
     "monitor.refreshes": "statistics refreshes performed",
+    "monitor.starved": "due tables whose deferral crossed the starvation bound",
     "monitor.tables_due": "tables found due for refresh in the last cycle",
     "plan_cache.evictions": "plan-cache LRU evictions",
     "plan_cache.hits": "plan-cache hits",
     "plan_cache.misses": "plan-cache misses",
     "plan_cache.revalidations": "stale plan-cache entries revalidated by fingerprint",
     "plan_cache.size": "current plan-cache entry count",
+    "service.degraded": "queries planned with magic numbers under advisor backlog",
+    "service.degraded_active": "1 while graceful degradation is engaged, else 0",
     "service.dml": "DML statement handling time (timer base)",
     "service.dml_statements": "DML statements applied through sessions",
     "service.execution_cost": "total execution cost of served queries",
     "service.queries": "queries served",
     "service.query": "query handling time (timer base)",
+    "service.queue.admitted": "requests admitted to the admission queue",
+    "service.queue.depth": "current admission-queue depth",
+    "service.queue.rejected": "requests rejected at the queue high-water mark",
+    "service.queue.wait_seconds": "total seconds requests spent queued",
+    "service.rate_limited": "requests rejected by per-session rate limits",
+    "service.request_workers": "request workers draining the admission queue",
     "service.rows_modified": "rows modified by DML statements",
     "service.sessions": "sessions opened against the service",
+    "service.shard.multi": "requests that locked more than one service shard",
+    "service.shard.single": "requests served on the single-shard fast path",
+    "service.shards": "service shards configured",
     "service.workers": "advisor workers currently running",
     "stats.drop_listed": "statistics currently on the drop list",
     "stats.physical": "physical statistics (visible plus drop-listed)",

@@ -57,11 +57,24 @@ class StalenessMonitor(threading.Thread):
         update_threshold: deprecated alias for ``fraction``; configure
             :class:`~repro.config.ServiceConfig` (``staleness_fraction``
             and ``refresh_policy``) instead.
+        router: optional :class:`~repro.stats.router.ShardRouter`.  With
+            ``shard_id`` it scopes the monitor to one service shard: only
+            tables routed to that shard are considered due, so each
+            shard's monitor refreshes exactly its own tables and no table
+            is refreshed twice.
+        shard_id: the shard this monitor owns (requires ``router``).
+        starvation_cycles: a due table deferred by the budget for this
+            many consecutive cycles counts as starved
+            (``monitor.starved``).  Deferral is fairness-aware: due
+            tables are refreshed longest-waiting first, so under any
+            budget that clears at least one table per cycle the counter
+            stays at zero.
     """
 
     _errors = guarded_by("_errors_lock")
     _failed = guarded_by("_db_lock")
     _cycle = guarded_by("_db_lock")
+    _waiting = guarded_by("_db_lock")
 
     def __init__(
         self,
@@ -75,8 +88,16 @@ class StalenessMonitor(threading.Thread):
         policy=None,
         corrections=None,
         update_threshold: Optional[float] = None,
+        router=None,
+        shard_id: Optional[int] = None,
+        starvation_cycles: int = 8,
     ) -> None:
-        super().__init__(name="stats-staleness-monitor", daemon=True)
+        name = (
+            "stats-staleness-monitor"
+            if shard_id is None
+            else f"stats-staleness-monitor-{shard_id}"
+        )
+        super().__init__(name=name, daemon=True)
         if update_threshold is not None:
             warnings.warn(
                 "StalenessMonitor(update_threshold=...) is deprecated; "
@@ -97,11 +118,16 @@ class StalenessMonitor(threading.Thread):
         self._purge = purge_drop_list
         self._policy = policy
         self._corrections = corrections
+        self._router = router
+        self._shard_id = shard_id
+        self._starvation_cycles = starvation_cycles
         self._stop_event = threading.Event()
         self._errors_lock = threading.Lock()
         self._errors: List[BaseException] = []
         #: table -> (failed attempts, first cycle eligible to retry)
         self._failed: Dict[str, Tuple[int, int]] = {}
+        #: table -> consecutive cycles spent due-but-deferred
+        self._waiting: Dict[str, int] = {}
         self._cycle = 0
 
     @property
@@ -155,7 +181,14 @@ class StalenessMonitor(threading.Thread):
             stats = self._db.stats
             due = self._due_tables(stats)
             self._metrics.gauge("monitor.tables_due", len(due))
+            # Longest-waiting first: a table deferred by the budget last
+            # cycle outranks one that just became due, so a sustained
+            # budget cannot starve any single table (name breaks ties
+            # for determinism).
+            waiting = self._waiting
+            due.sort(key=lambda t: (-waiting.get(t, 0), t))
             deferred = 0
+            deferred_tables: List[str] = []
             for table in due:
                 attempts, eligible = self._failed.get(table, (0, 0))
                 if attempts and cycle < eligible:
@@ -163,6 +196,7 @@ class StalenessMonitor(threading.Thread):
                     continue
                 if spent >= self._budget:
                     deferred += 1
+                    deferred_tables.append(table)
                     continue
                 if self._purge:
                     for key in stats.drop_list():
@@ -181,6 +215,7 @@ class StalenessMonitor(threading.Thread):
                     )
                     continue
                 self._failed.pop(table, None)
+                self._waiting.pop(table, None)
                 spent += cost
                 self._metrics.inc("monitor.refreshes")
                 self._metrics.inc("monitor.refresh_cost", cost)
@@ -190,10 +225,34 @@ class StalenessMonitor(threading.Thread):
                     self._corrections.invalidate_table(table)
             if deferred:
                 self._metrics.inc("monitor.deferred", deferred)
+            starved = 0
+            fresh_waits: Dict[str, int] = {}
+            for table in deferred_tables:
+                waited = self._waiting.get(table, 0) + 1
+                fresh_waits[table] = waited
+                if waited == self._starvation_cycles:
+                    starved += 1
+            # Tables no longer due (refreshed, or churn subsided) drop
+            # out of the aging map entirely.
+            self._waiting = fresh_waits
+            if starved:
+                self._metrics.inc("monitor.starved", starved)
         self._metrics.inc("monitor.cycles")
         return spent
 
+    def starved_tables(self) -> Dict[str, int]:
+        """Aging map: table -> consecutive deferred cycles (a copy)."""
+        with self._db_lock:
+            return dict(self._waiting)
+
     def _due_tables(self, stats) -> List[str]:
         if self._policy is not None:
-            return self._policy.tables_due(stats, self._fraction)
-        return stats.tables_needing_refresh(self._fraction)
+            due = self._policy.tables_due(stats, self._fraction)
+        else:
+            due = stats.tables_needing_refresh(self._fraction)
+        if self._router is not None and self._shard_id is not None:
+            due = [
+                t for t in due
+                if self._router.shard_of(t) == self._shard_id
+            ]
+        return due

@@ -5,41 +5,68 @@
 paper's Sec 6 regime *inline* (every query pays for its own sensitivity
 analysis before executing), the service runs it *asynchronously*:
 
-* many client threads call :meth:`StatsService.submit` (or open a
+* many client threads call :meth:`StatsService.submit` with a typed
+  :class:`~repro.service.api.ServiceRequest` (or open a
   :class:`Session`); queries execute immediately with whatever statistics
   are currently visible;
-* every query leaves a :class:`~repro.service.events.QueryEvent` in the
-  bounded capture log;
+* every query leaves a :class:`~repro.service.events.QueryEvent` in its
+  shard's bounded capture log;
 * background :class:`~repro.service.worker.AdvisorWorker` threads drain
-  the log and run MNSA / MNSA-D, creating and drop-listing statistics;
-* a :class:`~repro.service.monitor.StalenessMonitor` watches the
-  per-table row-modification counters and refreshes under a cost budget;
+  the logs and run MNSA / MNSA-D, creating and drop-listing statistics;
+* per-shard :class:`~repro.service.monitor.StalenessMonitor` threads
+  watch the row-modification counters of the tables they own and refresh
+  under a cost budget;
 * a :class:`~repro.service.metrics.MetricsRegistry` counts everything.
 
-Concurrency model: one reentrant database lock serializes statement
-execution, advisor analysis, and refreshes at *statement granularity* —
-the same isolation a single-writer engine gives — while the submit path
-never waits on advisor or refresh work beyond the statement currently
-holding the lock.  Finer-grained locks underneath (per-table mutation
-locks, the statistics manager's lock) keep direct component use safe too.
+Concurrency model: the service is **sharded by table**.  Each
+:class:`ServiceShard` owns a statement lock, a capture-log segment, its
+advisor workers, and a staleness monitor for the tables the shared
+:class:`~repro.stats.router.ShardRouter` routes to it.  A request
+touching tables of a single shard takes only that shard's statement lock
+(the fast path) — statements on disjoint shards never serialize against
+each other.  A cross-shard request takes every involved shard's
+statement lock in the router's canonical ascending order, the one order
+every multi-shard path in the system uses, so no acquisition cycle (and
+hence no deadlock) is possible.  ``shards=1`` collapses to the historic
+single-database-lock model exactly.
+
+Admission control (``service_workers > 0``) puts a bounded priority
+queue in front of execution: submitters enqueue, a request-worker pool
+drains, and past the high-water mark new requests are rejected with
+:class:`~repro.errors.ServiceRejectedError` carrying a retry-after hint
+instead of queueing without bound.  Per-session token buckets
+(``session_rate_limit``) reject a noisy session's overflow before it
+reaches the shared queue.  Under advisor backlog
+(``degraded_backlog_high``) the service degrades gracefully: queries are
+planned with magic-number selectivities only — no statistics locks, no
+new capture events — until the backlog recedes past the low-water mark.
 """
 
 from __future__ import annotations
 
 import itertools
 import threading
-from typing import List, Optional, Union
+import time
+import warnings
+from contextlib import ExitStack
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.concurrency import guarded_by
 from repro.config import ServiceConfig
 from repro.core.mnsa import MnsaConfig
-from repro.errors import ServiceError
+from repro.errors import (
+    ReproDeprecationWarning,
+    ServiceError,
+    ServiceRejectedError,
+)
 from repro.executor.dml import apply_dml
 from repro.executor.executor import ExecutionResult, Executor
 from repro.feedback import FeedbackPolicy, FeedbackStore, worst_plan_q_error
 from repro.learned import CorrectionStore
-from repro.optimizer.cache import PlanCache
+from repro.optimizer.cache import OptimizationRequest, PlanCache
 from repro.optimizer.optimizer import OptimizationResult, Optimizer
+from repro.service.admission import AdmissionQueue, TokenBucket
+from repro.service.api import ServiceRequest, ServiceResponse
 from repro.service.events import CaptureLog, QueryEvent
 from repro.service.metrics import MetricsRegistry
 from repro.service.monitor import StalenessMonitor
@@ -53,36 +80,163 @@ class Session:
     """One client connection to a :class:`StatsService`.
 
     Sessions are cheap handles: they parse SQL against the service's
-    schema, delegate to the service, and keep per-session counters.  Any
-    number of sessions may submit concurrently from their own threads.
+    schema, stamp their id (and tenant) onto the
+    :class:`~repro.service.api.ServiceRequest` they build, and keep
+    per-session counters.  Any number of sessions may submit
+    concurrently from their own threads; the counters take the
+    session's own lock, so two tenants' sessions never contend on
+    shared state.
     """
 
-    def __init__(self, service: "StatsService", session_id: int) -> None:
+    _statements = guarded_by("_lock")
+    _queries = guarded_by("_lock")
+    _dml = guarded_by("_lock")
+
+    def __init__(
+        self,
+        service: "StatsService",
+        session_id: int,
+        rate_limiter: Optional[TokenBucket] = None,
+        tenant: Optional[str] = None,
+    ) -> None:
         self._service = service
         self.session_id = session_id
-        self.statements = 0
-        self.queries = 0
-        self.dml = 0
+        self.tenant = tenant
+        self.limiter = rate_limiter
+        self._lock = threading.Lock()
+        self._statements = 0
+        self._queries = 0
+        self._dml = 0
+
+    @property
+    def statements(self) -> int:
+        with self._lock:
+            return self._statements
+
+    @property
+    def queries(self) -> int:
+        with self._lock:
+            return self._queries
+
+    @property
+    def dml(self) -> int:
+        with self._lock:
+            return self._dml
 
     def submit(self, sql: str):
-        """Parse, bind, and execute one SQL statement."""
+        """Parse, bind, and execute one SQL statement (returns the result)."""
         statement = parse_and_bind(sql, self._service.database.schema)
         return self.submit_statement(statement)
 
     def submit_statement(self, statement):
         """Execute an already-bound statement through the service."""
-        result = self._service.submit_statement(statement)
-        self.statements += 1
-        if isinstance(statement, Query):
-            self.queries += 1
-        else:
-            self.dml += 1
-        return result
+        return self.submit_request(statement).result
+
+    def submit_request(
+        self, statement, priority: int = 0
+    ) -> ServiceResponse:
+        """Submit a statement and return the full typed response.
+
+        ``statement`` may be a bound :class:`~repro.sql.query.Query`, an
+        :class:`~repro.optimizer.cache.OptimizationRequest`, or a
+        :class:`~repro.sql.query.DmlStatement`; the session stamps its
+        id and tenant onto the request.
+        """
+        request = ServiceRequest(
+            statement,
+            session_id=self.session_id,
+            tenant=self.tenant,
+            priority=priority,
+        )
+        response = self._service.submit(request)
+        with self._lock:
+            self._statements += 1
+            if request.is_query:
+                self._queries += 1
+            else:
+                self._dml += 1
+        return response
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"Session(id={self.session_id}, statements={self.statements})"
         )
+
+
+class _SessionSlot:
+    """One bucket of the sharded session registry.
+
+    The registry exists for per-session admission state (the rate
+    limiter); sharding it into slots keyed by ``session_id % slots``
+    means concurrent submitters from different sessions almost never
+    touch the same lock.
+    """
+
+    _sessions = guarded_by("_lock")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sessions: Dict[int, Session] = {}
+
+    def register(self, session: Session) -> None:
+        with self._lock:
+            self._sessions[session.session_id] = session
+
+    def get(self, session_id: int) -> Optional[Session]:
+        with self._lock:
+            return self._sessions.get(session_id)
+
+
+class ServiceShard:
+    """One service shard: the unit of statement-level isolation.
+
+    A shard owns the statement lock, capture-log segment, advisor
+    workers, and staleness monitor for the tables the router assigns to
+    it.  The lock is created eagerly (requests may route before
+    ``start``); the log and threads are created when the service starts.
+    """
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.statement_lock = threading.RLock()
+        self.log: Optional[CaptureLog] = None
+        self.workers: List[AdvisorWorker] = []
+        self.monitor: Optional[StalenessMonitor] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        depth = 0 if self.log is None else len(self.log)
+        return (
+            f"ServiceShard(id={self.shard_id}, "
+            f"workers={len(self.workers)}, backlog={depth})"
+        )
+
+
+class _RequestWorker(threading.Thread):
+    """One request-worker thread draining the admission queue."""
+
+    def __init__(
+        self, index: int, service: "StatsService", queue: AdmissionQueue
+    ) -> None:
+        super().__init__(name=f"stats-request-{index}", daemon=True)
+        self._service = service
+        self._queue = queue
+
+    def run(self) -> None:
+        while True:
+            ticket = self._queue.take(timeout=0.05)
+            if ticket is None:
+                if self._queue.closed and self._queue.depth == 0:
+                    return
+                continue
+            wait = time.perf_counter() - ticket.enqueued_at
+            try:
+                response = self._service._dispatch(
+                    ticket.request, queue_wait=wait
+                )
+            except BaseException as exc:  # propagate to the submitter
+                ticket.fail(exc)
+            else:
+                ticket.resolve(response)
 
 
 class StatsService:
@@ -96,6 +250,7 @@ class StatsService:
 
     _created_off_path = guarded_by("_created_lock")
     _started = guarded_by("_state_lock")
+    _degraded = guarded_by("_degraded_lock")
 
     def __init__(
         self,
@@ -107,8 +262,13 @@ class StatsService:
         self.config = config or ServiceConfig()
         self.mnsa_config = mnsa_config or MnsaConfig()
         self.metrics = MetricsRegistry()
-        #: serializes statement execution, advisor analysis, and refreshes
-        self.db_lock = threading.RLock()
+        # Partition the statistics state to match the service shards:
+        # every layer answers "the shard of table T" from this router.
+        database.stats.reshard(self.config.shards)
+        self._router = database.stats.router
+        self._shards = [
+            ServiceShard(shard_id) for shard_id in range(self.config.shards)
+        ]
         #: shared statistics-aware plan cache (sessions + advisor workers);
         #: None when ``plan_cache_size`` is 0
         self.plan_cache: Optional[PlanCache] = (
@@ -148,11 +308,16 @@ class StatsService:
             )
         self._seq = itertools.count(1)
         self._session_ids = itertools.count(1)
+        self._session_slots: Tuple[_SessionSlot, ...] = tuple(
+            _SessionSlot() for _ in range(self.config.shards)
+        )
         self._created_lock = threading.Lock()
         self._created_off_path: List[StatKey] = []
-        self._log: Optional[CaptureLog] = None
-        self._workers: List[AdvisorWorker] = []
-        self._monitor: Optional[StalenessMonitor] = None
+        self._queue: Optional[AdmissionQueue] = None
+        self._request_workers: List[_RequestWorker] = []
+        #: guards the degradation hysteresis flag only
+        self._degraded_lock = threading.Lock()
+        self._degraded = False
         #: guards the started flag only; never held across thread
         #: starts/joins or any other lock
         self._state_lock = threading.Lock()
@@ -163,7 +328,7 @@ class StatsService:
     # ------------------------------------------------------------------
 
     def start(self) -> "StatsService":
-        """Start the capture log, advisor workers, and staleness monitor."""
+        """Start the capture logs, worker threads, and monitors."""
         with self._state_lock:
             if self._started:
                 raise ServiceError("service already started")
@@ -178,77 +343,125 @@ class StatsService:
 
     def _start_components(self) -> None:
         cfg = self.config
-        self._log = CaptureLog(cfg.capture_capacity)
-        self._workers = [
-            AdvisorWorker(
-                index,
+        statement_locks = [s.statement_lock for s in self._shards]
+        for shard in self._shards:
+            shard.log = CaptureLog(cfg.capture_capacity)
+            shard.workers = [
+                AdvisorWorker(
+                    index,
+                    self.database,
+                    shard.log,
+                    self.metrics,
+                    shard.statement_lock,
+                    creation_policy=cfg.creation_policy,
+                    mnsa_config=self.mnsa_config,
+                    batch_size=cfg.advisor_batch_size,
+                    poll_seconds=cfg.advisor_poll_seconds,
+                    on_created=self._note_created,
+                    cache=self.plan_cache,
+                    feedback_policy=self.feedback_policy,
+                    corrections=self.corrections,
+                    router=self._router,
+                    statement_locks=statement_locks,
+                    shard_id=shard.shard_id,
+                )
+                for index in range(cfg.advisor_workers)
+            ]
+            shard.monitor = StalenessMonitor(
                 self.database,
-                self._log,
                 self.metrics,
-                self.db_lock,
-                creation_policy=cfg.creation_policy,
-                mnsa_config=self.mnsa_config,
-                batch_size=cfg.advisor_batch_size,
-                poll_seconds=cfg.advisor_poll_seconds,
-                on_created=self._note_created,
-                cache=self.plan_cache,
-                feedback_policy=self.feedback_policy,
+                shard.statement_lock,
+                fraction=cfg.staleness_fraction,
+                poll_seconds=cfg.staleness_poll_seconds,
+                budget_per_cycle=cfg.refresh_budget_per_cycle,
+                purge_drop_list=cfg.purge_drop_list_before_refresh,
+                policy=self.feedback_policy,
                 corrections=self.corrections,
+                router=self._router,
+                shard_id=shard.shard_id,
+                starvation_cycles=cfg.starvation_cycles,
             )
-            for index in range(cfg.advisor_workers)
-        ]
-        self._monitor = StalenessMonitor(
-            self.database,
-            self.metrics,
-            self.db_lock,
-            fraction=cfg.staleness_fraction,
-            poll_seconds=cfg.staleness_poll_seconds,
-            budget_per_cycle=cfg.refresh_budget_per_cycle,
-            purge_drop_list=cfg.purge_drop_list_before_refresh,
-            policy=self.feedback_policy,
-            corrections=self.corrections,
+        for shard in self._shards:
+            for worker in shard.workers:
+                worker.start()
+            shard.monitor.start()
+        if cfg.service_workers > 0:
+            self._queue = AdmissionQueue(
+                cfg.queue_capacity,
+                cfg.queue_high_water,
+                retry_after=cfg.retry_after_seconds,
+            )
+            self._request_workers = [
+                _RequestWorker(index, self, self._queue)
+                for index in range(cfg.service_workers)
+            ]
+            for worker in self._request_workers:
+                worker.start()
+        self.metrics.gauge("service.shards", len(self._shards))
+        self.metrics.gauge(
+            "service.workers",
+            sum(len(shard.workers) for shard in self._shards),
         )
-        for worker in self._workers:
-            worker.start()
-        self._monitor.start()
-        self.metrics.gauge("service.workers", len(self._workers))
+        self.metrics.gauge(
+            "service.request_workers", len(self._request_workers)
+        )
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Block until every captured event has been processed.
 
-        Returns True when the capture log fully drained, False if
-        ``timeout`` expired first.  With no advisor workers configured
-        (capture-only mode) nothing will ever drain the log, so this
+        Returns True when every shard's capture log fully drained, False
+        if ``timeout`` expired first.  With no advisor workers configured
+        (capture-only mode) nothing will ever drain the logs, so this
         returns True immediately instead of blocking forever.
         """
         self._require_started()
-        if not self._workers:
-            return True
-        return self._log.join(timeout)
+        drained = True
+        for shard in self._shards:
+            if not shard.workers:
+                continue
+            drained = shard.log.join(timeout) and drained
+        return drained
 
     def stop(
         self, drain: bool = True, timeout: Optional[float] = 30.0
     ) -> None:
         """Shut the service down.
 
-        With ``drain=True`` (the default) waits for the advisor backlog to
-        empty and runs one final staleness pass, so counters accumulated
-        late in the workload still trigger their refresh; with
-        ``drain=False`` pending capture events are abandoned.
+        The admission queue closes first — stranded submitters get a
+        :class:`~repro.errors.ServiceError` instead of blocking forever.
+        With ``drain=True`` (the default) waits for the advisor backlog
+        to empty and runs one final staleness pass per shard, so counters
+        accumulated late in the workload still trigger their refresh;
+        with ``drain=False`` pending capture events are abandoned.
         """
         with self._state_lock:
             if not self._started:
                 return
             self._started = False
+        if self._queue is not None:
+            for ticket in self._queue.close():
+                ticket.fail(
+                    ServiceError("service stopped before the request ran")
+                )
+            for worker in self._request_workers:
+                worker.join(timeout)
         drained = True
-        if drain and self._workers:
-            drained = self._log.join(timeout)
-        self._log.close()
-        for worker in self._workers:
-            worker.join(timeout)
-        self._monitor.stop(timeout)
+        if drain:
+            for shard in self._shards:
+                if shard.workers and shard.log is not None:
+                    drained = shard.log.join(timeout) and drained
+        for shard in self._shards:
+            if shard.log is not None:
+                shard.log.close()
+        for shard in self._shards:
+            for worker in shard.workers:
+                worker.join(timeout)
+            if shard.monitor is not None:
+                shard.monitor.stop(timeout)
         if drain and drained:
-            self._monitor.run_once()
+            for shard in self._shards:
+                if shard.monitor is not None:
+                    shard.monitor.run_once()
         self._refresh_gauges()
 
     def __enter__(self) -> "StatsService":
@@ -268,89 +481,270 @@ class StatsService:
     # the submit path
     # ------------------------------------------------------------------
 
-    def session(self) -> Session:
-        """Open a new client session."""
+    def session(self, tenant: Optional[str] = None) -> Session:
+        """Open a new client session (optionally tagged with a tenant)."""
         self._require_started()
+        limiter = None
+        if self.config.session_rate_limit is not None:
+            limiter = TokenBucket(
+                self.config.session_rate_limit,
+                self.config.session_rate_burst,
+                retry_after_floor=self.config.retry_after_seconds,
+            )
+        session = Session(
+            self, next(self._session_ids), rate_limiter=limiter,
+            tenant=tenant,
+        )
+        slot = self._session_slots[
+            session.session_id % len(self._session_slots)
+        ]
+        slot.register(session)
         self.metrics.inc("service.sessions")
-        return Session(self, next(self._session_ids))
+        return session
 
-    def submit(self, sql: str):
-        """Parse, bind, and execute one SQL statement."""
-        statement = parse_and_bind(sql, self.database.schema)
-        return self.submit_statement(statement)
+    def submit(
+        self, request: Union[ServiceRequest, str]
+    ) -> ServiceResponse:
+        """Submit one :class:`~repro.service.api.ServiceRequest`.
+
+        The canonical entry point: routes the request to its shard(s),
+        applies admission control (queueing, rate limits, degradation),
+        and returns a :class:`~repro.service.api.ServiceResponse`.
+
+        Passing raw SQL text is **deprecated** (it parses, executes, and
+        returns the bare result for backward compatibility) — parse with
+        a :class:`Session` or build a ``ServiceRequest`` explicitly.
+
+        Raises:
+            ServiceRejectedError: the admission queue is past its
+                high-water mark, or the session exceeded its rate limit;
+                retry after ``exc.retry_after`` seconds.
+        """
+        self._require_started()
+        if isinstance(request, str):
+            warnings.warn(
+                "StatsService.submit(sql_text) is deprecated; open a "
+                "Session (Session.submit parses for you) or build a "
+                "ServiceRequest from a bound statement",
+                ReproDeprecationWarning,
+                stacklevel=2,
+            )
+            statement = parse_and_bind(request, self.database.schema)
+            return self.submit(ServiceRequest(statement)).result
+        if not isinstance(request, ServiceRequest):
+            raise ServiceError(
+                "StatsService.submit takes a ServiceRequest, got "
+                f"{type(request).__name__} (wrap bound statements in a "
+                "ServiceRequest, or use Session.submit_statement)"
+            )
+        if request.session_id is not None:
+            self._rate_check(request.session_id)
+        if self._queue is not None:
+            try:
+                ticket = self._queue.admit(request, request.priority)
+            except ServiceRejectedError:
+                self.metrics.inc("service.queue.rejected")
+                self.metrics.gauge("service.queue.depth", self._queue.depth)
+                raise
+            self.metrics.inc("service.queue.admitted")
+            self.metrics.gauge("service.queue.depth", self._queue.depth)
+            return ticket.wait()
+        return self._dispatch(request, queue_wait=0.0)
 
     def submit_statement(
         self, statement
     ) -> Union[ExecutionResult, OptimizationResult, int]:
-        """Execute one bound statement with currently visible statistics.
+        """Execute one bound statement (deprecated entry point).
 
-        Queries return their :class:`ExecutionResult` (or the
-        :class:`OptimizationResult` when ``execute_queries=False``); DML
-        returns the affected row count.  The advisor never runs inline —
-        queries only leave an event in the capture log.
+        Deprecated: wrap the statement in a
+        :class:`~repro.service.api.ServiceRequest` and call
+        :meth:`submit`, or use :meth:`Session.submit_statement`.
         """
-        self._require_started()
-        if isinstance(statement, Query):
-            return self._submit_query(statement)
-        if isinstance(statement, DmlStatement):
-            return self._submit_dml(statement)
-        raise ServiceError(
-            f"cannot execute statement of type {type(statement).__name__}"
+        warnings.warn(
+            "StatsService.submit_statement is deprecated; wrap the "
+            "statement in a ServiceRequest and call submit(), or use "
+            "Session.submit_statement",
+            ReproDeprecationWarning,
+            stacklevel=2,
         )
+        self._require_started()
+        return self.submit(ServiceRequest(statement)).result
 
-    def _submit_query(self, query: Query):
+    # ------------------------------------------------------------------
+    # request execution (called by submit or by a request worker)
+    # ------------------------------------------------------------------
+
+    def _rate_check(self, session_id: int) -> None:
+        slot = self._session_slots[session_id % len(self._session_slots)]
+        session = slot.get(session_id)
+        if session is None or session.limiter is None:
+            return
+        try:
+            session.limiter.acquire()
+        except ServiceRejectedError:
+            self.metrics.inc("service.rate_limited")
+            raise
+
+    def _dispatch(
+        self, request: ServiceRequest, queue_wait: float
+    ) -> ServiceResponse:
+        if queue_wait:
+            self.metrics.inc("service.queue.wait_seconds", queue_wait)
+        if request.is_query:
+            return self._serve_query(request, queue_wait)
+        return self._serve_dml(request, queue_wait)
+
+    def _serve_query(
+        self, request: ServiceRequest, queue_wait: float
+    ) -> ServiceResponse:
+        opt_request: OptimizationRequest = request.statement
+        query = opt_request.query
+        if not opt_request.degraded and self._degradation_active():
+            opt_request = OptimizationRequest(
+                query,
+                opt_request.overrides,
+                opt_request.ignore,
+                learned=opt_request.learned,
+                degraded=True,
+            )
+        degraded = opt_request.degraded
+        shard_ids = self._router.shard_ids_for(query.tables)
         with self.metrics.timer("service.query"):
-            with self.db_lock:
-                optimized = self._optimizer.optimize(query)
-                missing = self._optimizer.magic_variables(query)
+            # Canonical ascending shard order (see ShardRouter): the
+            # only multi-lock acquisition order in the system.
+            with ExitStack() as stack:
+                for shard_id in shard_ids:
+                    stack.enter_context(
+                        self._shards[shard_id].statement_lock
+                    )
+                optimized = self._optimizer.optimize_request(opt_request)
+                missing = (
+                    ()
+                    if degraded
+                    else self._optimizer.magic_variables(query)
+                )
                 executed = None
                 if self.config.execute_queries:
                     executed = self._executor.execute(
                         optimized.plan, query, feedback=self.feedback
                     )
-                stats_epoch = self.database.stats.epoch
+                stats_epoch = self.database.stats.epoch_for_tables(
+                    query.tables
+                )
+        if len(shard_ids) == 1:
+            self.metrics.inc("service.shard.single")
+        else:
+            self.metrics.inc("service.shard.multi")
         retune = False
         worst = 1.0
         if executed is not None and self.corrections is not None:
             self.corrections.observe_all(executed.operator_observations)
-        if executed is not None and self.feedback_policy is not None:
+        if (
+            not degraded
+            and executed is not None
+            and self.feedback_policy is not None
+        ):
             worst = worst_plan_q_error(executed.operator_observations)
             retune = self.feedback_policy.should_retune(
                 worst, optimized.signature, stats_epoch
             )
             if retune:
                 self.metrics.inc("feedback.retunes_requested")
-        event = QueryEvent(
-            seq=next(self._seq),
-            query=query,
-            estimated_cost=optimized.cost,
-            magic_variable_count=len(missing),
-            tables=tuple(query.tables),
-            retune=retune,
-            worst_q_error=worst,
-        )
-        accepted = self._log.append(event)
-        self.metrics.inc("capture.events")
-        if not accepted:
-            self.metrics.inc("capture.evicted")
-        self.metrics.gauge("capture.depth", len(self._log))
+        if degraded:
+            # A degraded plan consulted no statistics, so it carries no
+            # signal for the advisor — and feeding the backlog is
+            # exactly what degradation is avoiding.
+            self.metrics.inc("service.degraded")
+        else:
+            event = QueryEvent(
+                seq=next(self._seq),
+                query=query,
+                estimated_cost=optimized.cost,
+                magic_variable_count=len(missing),
+                tables=tuple(query.tables),
+                retune=retune,
+                worst_q_error=worst,
+            )
+            log = self._shards[shard_ids[0]].log
+            accepted = log.append(event)
+            self.metrics.inc("capture.events")
+            if not accepted:
+                self.metrics.inc("capture.evicted")
+            self.metrics.gauge("capture.depth", self._capture_backlog())
         self.metrics.inc("service.queries")
+        result: Union[ExecutionResult, OptimizationResult] = optimized
         if executed is not None:
             self.metrics.inc("service.execution_cost", executed.actual_cost)
-            return executed
-        return optimized
+            result = executed
+        return ServiceResponse(
+            result=result,
+            shard_ids=shard_ids,
+            degraded=degraded,
+            queue_wait_seconds=queue_wait,
+            session_id=request.session_id,
+            tenant=request.tenant,
+        )
 
-    def _submit_dml(self, statement: DmlStatement) -> int:
+    def _serve_dml(
+        self, request: ServiceRequest, queue_wait: float
+    ) -> ServiceResponse:
+        statement: DmlStatement = request.statement
+        shard_id = self._router.shard_of(statement.table)
         with self.metrics.timer("service.dml"):
-            with self.db_lock:
+            with self._shards[shard_id].statement_lock:
                 affected = apply_dml(self.database, statement)
         self.metrics.inc("service.dml_statements")
         self.metrics.inc("service.rows_modified", affected)
-        return affected
+        return ServiceResponse(
+            result=affected,
+            shard_ids=(shard_id,),
+            degraded=False,
+            queue_wait_seconds=queue_wait,
+            session_id=request.session_id,
+            tenant=request.tenant,
+        )
+
+    def _capture_backlog(self) -> int:
+        return sum(
+            len(shard.log)
+            for shard in self._shards
+            if shard.log is not None
+        )
+
+    def _degradation_active(self) -> bool:
+        """Hysteresis: engage at the high water, release at the low."""
+        high = self.config.degraded_backlog_high
+        if high is None:
+            return False
+        backlog = self._capture_backlog()
+        with self._degraded_lock:
+            if self._degraded:
+                if backlog <= self.config.degraded_backlog_low:
+                    self._degraded = False
+            elif backlog >= high:
+                self._degraded = True
+            active = self._degraded
+        self.metrics.gauge("service.degraded_active", 1 if active else 0)
+        return active
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+
+    @property
+    def shards(self) -> Tuple[ServiceShard, ...]:
+        """The service shards (the list itself is immutable)."""
+        return tuple(self._shards)
+
+    @property
+    def router(self):
+        """The shared table -> shard router."""
+        return self._router
+
+    @property
+    def queue_depth(self) -> int:
+        """Current admission-queue depth (0 on the synchronous path)."""
+        return 0 if self._queue is None else self._queue.depth
 
     @property
     def created_off_path(self) -> List[StatKey]:
@@ -359,12 +753,13 @@ class StatsService:
             return list(self._created_off_path)
 
     def worker_errors(self) -> List[BaseException]:
-        """Exceptions swallowed by workers/monitor to stay alive."""
+        """Exceptions swallowed by workers/monitors to stay alive."""
         errors: List[BaseException] = []
-        for worker in self._workers:
-            errors.extend(worker.errors)
-        if self._monitor is not None:
-            errors.extend(self._monitor.errors)
+        for shard in self._shards:
+            for worker in shard.workers:
+                errors.extend(worker.errors)
+            if shard.monitor is not None:
+                errors.extend(shard.monitor.errors)
         return errors
 
     def metrics_text(self) -> str:
@@ -385,9 +780,16 @@ class StatsService:
         self.metrics.gauge("stats.visible", len(stats.visible_keys()))
         self.metrics.gauge("stats.drop_listed", len(stats.drop_list()))
         self.metrics.gauge("stats.physical", len(stats.keys()))
-        if self._log is not None:
-            self.metrics.gauge("capture.depth", len(self._log))
-            self.metrics.gauge("capture.dropped", self._log.dropped)
+        if any(shard.log is not None for shard in self._shards):
+            self.metrics.gauge("capture.depth", self._capture_backlog())
+            self.metrics.gauge(
+                "capture.dropped",
+                sum(
+                    shard.log.dropped
+                    for shard in self._shards
+                    if shard.log is not None
+                ),
+            )
 
     def _require_started(self) -> None:
         if not self.started:
@@ -398,7 +800,8 @@ class StatsService:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "running" if self.started else "stopped"
+        workers = sum(len(shard.workers) for shard in self._shards)
         return (
             f"StatsService({self.database.name!r}, {state}, "
-            f"workers={len(self._workers)})"
+            f"shards={len(self._shards)}, workers={workers})"
         )

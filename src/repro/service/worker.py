@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, List, Optional
+from contextlib import ExitStack
+from typing import Callable, List, Optional, Tuple
 
 from repro.concurrency import guarded_by
 from repro.core.mnsa import MnsaConfig, mnsa_for_query
@@ -54,6 +55,18 @@ class AdvisorWorker(threading.Thread):
         corrections: optional :class:`~repro.learned.CorrectionStore`.
             The worker's optimizer plans with it, and a re-tune rebuild
             invalidates the rebuilt table's learned corrections.
+        router: optional :class:`~repro.stats.router.ShardRouter`.  With
+            ``statement_locks`` it switches the worker to sharded
+            locking: each analysis acquires the statement locks of
+            *every* shard owning one of the event's tables, in the
+            router's canonical ascending order (MNSA's ignore-subset
+            probes touch statistics on all of the query's tables, so
+            owning only the event's home shard would race cross-shard
+            queries).  Without it the worker holds ``db_lock`` as
+            before.
+        statement_locks: per-shard statement locks, indexed by shard id.
+        shard_id: the service shard this worker belongs to (thread
+            naming only).
     """
 
     _errors = guarded_by("_errors_lock")
@@ -73,8 +86,18 @@ class AdvisorWorker(threading.Thread):
         cache: Optional[PlanCache] = None,
         feedback_policy=None,
         corrections=None,
+        router=None,
+        statement_locks: Optional[List[threading.RLock]] = None,
+        shard_id: Optional[int] = None,
     ) -> None:
-        super().__init__(name=f"stats-advisor-{index}", daemon=True)
+        name = (
+            f"stats-advisor-{index}"
+            if shard_id is None
+            else f"stats-advisor-{shard_id}-{index}"
+        )
+        super().__init__(name=name, daemon=True)
+        self._router = router
+        self._statement_locks = statement_locks
         self._db = database
         self._log = log
         self._metrics = metrics
@@ -128,27 +151,18 @@ class AdvisorWorker(threading.Thread):
             self._metrics.inc("advisor.skipped")
             return
         started = time.perf_counter()
-        with self._db_lock:
-            if event.retune and self._feedback_policy is not None:
-                self._retune(event)
-            if self._policy == "mnsa":
-                result = mnsa_for_query(
-                    self._db,
-                    self._optimizer,
-                    event.query,
-                    config=self._config,
-                    feedback=self._feedback,
-                )
-                drop_listed: List[StatKey] = []
-            else:
-                result = mnsad_for_query(
-                    self._db,
-                    self._optimizer,
-                    event.query,
-                    config=self._config,
-                    feedback=self._feedback,
-                )
-                drop_listed = result.dropped
+        if self._router is not None and self._statement_locks is not None:
+            # Sharded locking: hold the statement lock of every shard
+            # owning one of the event's tables, in the router's
+            # canonical ascending order (the same order every other
+            # multi-shard path uses, so no acquisition cycle exists).
+            with ExitStack() as stack:
+                for sid in self._router.shard_ids_for(event.tables):
+                    stack.enter_context(self._statement_locks[sid])
+                result, drop_listed = self._analyze(event)
+        else:
+            with self._db_lock:
+                result, drop_listed = self._analyze(event)
         elapsed = time.perf_counter() - started
         self._metrics.inc("advisor.events")
         self._metrics.inc("advisor.seconds", elapsed)
@@ -163,11 +177,35 @@ class AdvisorWorker(threading.Thread):
         if result.created and self._on_created is not None:
             self._on_created(list(result.created))
 
+    def _analyze(self, event: QueryEvent) -> Tuple[object, List[StatKey]]:
+        """Run re-tune + MNSA/MNSA-D for one event; caller holds locks."""
+        if event.retune and self._feedback_policy is not None:
+            self._retune(event)
+        if self._policy == "mnsa":
+            result = mnsa_for_query(
+                self._db,
+                self._optimizer,
+                event.query,
+                config=self._config,
+                feedback=self._feedback,
+            )
+            drop_listed: List[StatKey] = []
+        else:
+            result = mnsad_for_query(
+                self._db,
+                self._optimizer,
+                event.query,
+                config=self._config,
+                feedback=self._feedback,
+            )
+            drop_listed = result.dropped
+        return result, drop_listed
+
     def _retune(self, event: QueryEvent) -> None:
         """Rebuild the statistics feedback blames for a misestimated plan.
 
-        Runs under the db lock, before the regular analysis, so the
-        analysis sees the rebuilt statistics.  The rebuilt targets'
+        Runs under the analysis locks, before the regular analysis, so
+        the analysis sees the rebuilt statistics.  The rebuilt targets'
         feedback aggregates are reset: the recorded errors belonged to
         the statistics that were just replaced.
         """

@@ -32,6 +32,7 @@ from repro.stats.statistic import StatKey, Statistic
 from repro.stats.builder import build_statistic
 from repro.stats.cost import statistic_build_cost, statistic_update_cost
 from repro.stats.manager import StatisticsManager
+from repro.stats.router import ShardRouter
 
 __all__ = [
     "Histogram",
@@ -45,4 +46,5 @@ __all__ = [
     "statistic_build_cost",
     "statistic_update_cost",
     "StatisticsManager",
+    "ShardRouter",
 ]

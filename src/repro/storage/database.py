@@ -101,7 +101,7 @@ class Database:
         if count and self._index_manager is not None:
             self._index_manager.invalidate(table_name)
         if count and self._stats_manager is not None:
-            self._stats_manager.note_data_change()
+            self._stats_manager.note_data_change(table_name)
         return count
 
     def delete(self, table_name: str, mask) -> int:
@@ -110,7 +110,7 @@ class Database:
         if count and self._index_manager is not None:
             self._index_manager.invalidate(table_name)
         if count and self._stats_manager is not None:
-            self._stats_manager.note_data_change()
+            self._stats_manager.note_data_change(table_name)
         return count
 
     def update(self, table_name: str, mask, assignments: Mapping) -> int:
@@ -119,7 +119,7 @@ class Database:
         if count and self._index_manager is not None:
             self._index_manager.invalidate(table_name)
         if count and self._stats_manager is not None:
-            self._stats_manager.note_data_change()
+            self._stats_manager.note_data_change(table_name)
         return count
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

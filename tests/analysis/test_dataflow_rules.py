@@ -71,8 +71,8 @@ def test_r009_catches_deleted_learned_fold(tmp_path):
     cache = tmp_path / "cache.py"
     source = cache.read_text()
     broken = source.replace(
-        "self.query, self.overrides, self.ignore, learned=version",
-        "self.query, self.overrides, self.ignore",
+        "            learned=version,\n",
+        "",
     )
     assert broken != source, "fold expression moved; update this test"
     cache.write_text(broken)

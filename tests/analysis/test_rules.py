@@ -160,7 +160,7 @@ def test_r006_real_manager_is_clean(tmp_path):
 
 
 def test_r006_fails_when_a_bump_is_deleted(tmp_path):
-    """Deleting one ``self._epoch += 1`` from StatisticsManager.drop
+    """Deleting one ``self._epoch += 1`` from StatsShard.drop
     must fail lint — the invariant the plan cache depends on."""
     manager = os.path.join(REPO_ROOT, "src", "repro", "stats", "manager.py")
     lines = open(manager).read().splitlines(keepends=True)
@@ -175,7 +175,7 @@ def test_r006_fails_when_a_bump_is_deleted(tmp_path):
     findings = lint_paths([str(copy)], rules=["R006"])
     assert findings, "deleting an epoch bump must produce an R006 finding"
     assert all(f.rule_id == "R006" for f in findings)
-    assert any("StatisticsManager.drop" in f.message for f in findings)
+    assert any("StatsShard.drop" in f.message for f in findings)
 
 
 # ----------------------------------------------------------------------

@@ -198,7 +198,8 @@ class TestServiceWiring:
         )
         with StatsService(db, config) as service:
             assert service.corrections is not None
-            service.submit("SELECT COUNT(*) FROM emp WHERE age > 40")
+            session = service.session()
+            session.submit("SELECT COUNT(*) FROM emp WHERE age > 40")
         counters = service.corrections.counters()
         assert counters["observations"] > 0
         assert "correction.observations" in service.metrics_text()

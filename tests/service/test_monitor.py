@@ -199,3 +199,70 @@ class TestThreadLifecycle:
         assert not monitor.is_alive()
         assert monitor._metrics.counter("monitor.refreshes") >= 1
         assert monitor.errors == []
+
+
+class TestFairnessAndStarvation:
+    def _make_both_due(self, db):
+        db.stats.create(AGE)
+        db.stats.create(BUDGET)
+        touch_all_rows(db, "emp", {"age": 44})
+        touch_all_rows(db, "dept", {"budget": 1.0})
+
+    def test_deferred_table_is_refreshed_first_next_cycle(self, db):
+        self._make_both_due(db)
+        monitor = make_monitor(db, budget_per_cycle=0.001)
+        monitor.run_once()  # name order: dept refreshed, emp deferred
+        assert monitor.starved_tables() == {"emp": 1}
+        monitor.run_once()  # emp outranks anything newly due
+        assert monitor.starved_tables() == {}
+        assert monitor._metrics.counter("monitor.refreshes") == 2
+        assert monitor._metrics.counter("monitor.starved") == 0
+
+    def test_starvation_counter_fires_at_the_bound(self, db):
+        self._make_both_due(db)
+        monitor = make_monitor(
+            db, budget_per_cycle=0.001, starvation_cycles=1
+        )
+        monitor.run_once()
+        assert monitor._metrics.counter("monitor.starved") == 1
+
+    def test_table_leaving_the_due_set_drops_out_of_aging(self, db):
+        self._make_both_due(db)
+        monitor = make_monitor(db, budget_per_cycle=0.001)
+        monitor.run_once()
+        assert "emp" in monitor.starved_tables()
+        # the deferred table is refreshed out-of-band; its age resets
+        db.stats.refresh_table("emp")
+        monitor.run_once()
+        assert monitor.starved_tables() == {}
+
+
+class TestShardOwnership:
+    def test_monitor_refreshes_only_owned_tables(self, db):
+        db.stats.reshard(2)
+        router = db.stats.router
+        db.stats.create(AGE)
+        db.stats.create(BUDGET)
+        touch_all_rows(db, "emp", {"age": 44})
+        touch_all_rows(db, "dept", {"budget": 1.0})
+        monitor = make_monitor(
+            db, router=router, shard_id=router.shard_of("emp")
+        )
+        monitor.run_once()
+        assert db.table("emp").rows_modified_since_stats == 0
+        assert db.table("dept").rows_modified_since_stats > 0
+        assert monitor._metrics.counter("monitor.refreshes") == 1
+
+    def test_two_shard_monitors_cover_the_whole_database(self, db):
+        db.stats.reshard(2)
+        router = db.stats.router
+        db.stats.create(AGE)
+        db.stats.create(BUDGET)
+        touch_all_rows(db, "emp", {"age": 44})
+        touch_all_rows(db, "dept", {"budget": 1.0})
+        for shard_id in range(2):
+            make_monitor(
+                db, router=router, shard_id=shard_id
+            ).run_once()
+        assert db.table("emp").rows_modified_since_stats == 0
+        assert db.table("dept").rows_modified_since_stats == 0

@@ -4,7 +4,8 @@ import pytest
 
 from repro.config import ServiceConfig
 from repro.errors import ServiceError
-from repro.service import StatsService
+from repro.service import ServiceRequest, StatsService
+from repro.sql.binder import parse_and_bind
 from repro.stats.statistic import StatKey
 
 
@@ -18,11 +19,17 @@ def make_service(db, **overrides) -> StatsService:
     return StatsService(db, ServiceConfig(**defaults))
 
 
+def submit(service, sql):
+    """Run one SQL statement through the typed request surface."""
+    request = ServiceRequest(parse_and_bind(sql, service.database.schema))
+    return service.submit(request).result
+
+
 class TestLifecycle:
     def test_submit_before_start_raises(self, db):
         service = make_service(db)
         with pytest.raises(ServiceError):
-            service.submit("SELECT COUNT(*) FROM emp")
+            submit(service, "SELECT COUNT(*) FROM emp")
 
     def test_double_start_raises(self, db):
         service = make_service(db).start()
@@ -42,7 +49,7 @@ class TestLifecycle:
         """Zero advisor workers: drain/stop return instead of waiting
         on a log nobody will ever drain."""
         with make_service(db, advisor_workers=0) as service:
-            service.submit("SELECT COUNT(*) FROM emp WHERE age > 40")
+            submit(service, "SELECT COUNT(*) FROM emp WHERE age > 40")
             assert service.drain(timeout=1.0)
         assert not service.started
         assert service.metrics.counter("capture.events") == 1
@@ -51,14 +58,14 @@ class TestLifecycle:
     def test_context_manager_starts_and_stops(self, db):
         with make_service(db) as service:
             assert service.started
-            service.submit("SELECT COUNT(*) FROM emp WHERE age > 30")
+            submit(service, "SELECT COUNT(*) FROM emp WHERE age > 30")
         assert not service.started
 
 
 class TestSubmitPath:
     def test_query_returns_execution_result(self, db):
         with make_service(db) as service:
-            result = service.submit(
+            result = submit(service, 
                 "SELECT COUNT(*) FROM emp WHERE age > 30"
             )
             assert result.actual_cost > 0
@@ -66,7 +73,7 @@ class TestSubmitPath:
 
     def test_plan_only_mode(self, db):
         with make_service(db, execute_queries=False) as service:
-            result = service.submit(
+            result = submit(service, 
                 "SELECT COUNT(*) FROM emp WHERE age > 30"
             )
             assert hasattr(result, "plan")
@@ -76,7 +83,7 @@ class TestSubmitPath:
 
     def test_dml_returns_affected_rows(self, db):
         with make_service(db) as service:
-            affected = service.submit("DELETE FROM emp WHERE age = 30")
+            affected = submit(service, "DELETE FROM emp WHERE age = 30")
             assert affected > 0
             assert (
                 service.metrics.counter("service.rows_modified")
@@ -97,7 +104,7 @@ class TestSubmitPath:
 class TestBackgroundAdvisor:
     def test_statistics_created_off_the_query_path(self, db):
         with make_service(db, creation_policy="mnsa") as service:
-            service.submit("SELECT COUNT(*) FROM emp WHERE age > 40")
+            submit(service, "SELECT COUNT(*) FROM emp WHERE age > 40")
             assert service.drain(timeout=30.0)
             created = service.created_off_path
         assert created, "advisor workers built nothing"
@@ -109,15 +116,15 @@ class TestBackgroundAdvisor:
 
     def test_covered_queries_are_skipped(self, db):
         with make_service(db) as service:
-            service.submit("SELECT COUNT(*) FROM emp")  # no predicates
+            submit(service, "SELECT COUNT(*) FROM emp")  # no predicates
             assert service.drain(timeout=30.0)
             assert service.metrics.counter("advisor.skipped") == 1
             assert service.metrics.counter("advisor.stats_created") == 0
 
     def test_mnsad_drop_lists_useless_statistics(self, db):
         with make_service(db, creation_policy="mnsad") as service:
-            service.submit("SELECT COUNT(*) FROM emp WHERE age > 40")
-            service.submit(
+            submit(service, "SELECT COUNT(*) FROM emp WHERE age > 40")
+            submit(service, 
                 "SELECT COUNT(*) FROM emp WHERE salary > 100000"
             )
             assert service.drain(timeout=30.0)
@@ -128,7 +135,7 @@ class TestBackgroundAdvisor:
 
     def test_final_metrics_dump_has_service_sections(self, db):
         with make_service(db) as service:
-            service.submit("SELECT COUNT(*) FROM emp WHERE age > 40")
+            submit(service, "SELECT COUNT(*) FROM emp WHERE age > 40")
             service.drain(timeout=30.0)
         text = service.metrics_text()
         assert "service.queries 1" in text
@@ -140,7 +147,7 @@ class TestStalenessIntegration:
     def test_dml_triggers_background_refresh(self, db):
         db.stats.create(StatKey("emp", ("age",)))
         with make_service(db, staleness_fraction=0.05) as service:
-            service.submit("UPDATE emp SET age = 44 WHERE age > 20")
+            submit(service, "UPDATE emp SET age = 44 WHERE age > 20")
             # stop() runs a final monitor pass, so no sleep is needed
         assert service.metrics.counter("monitor.refreshes") >= 1
         assert db.table("emp").rows_modified_since_stats == 0
@@ -174,7 +181,7 @@ class TestFeedbackLoop:
 
     def test_observations_flow_into_the_store(self, db):
         with make_service(db, feedback_enabled=True) as service:
-            service.submit("SELECT COUNT(*) FROM emp WHERE age > 40")
+            submit(service, "SELECT COUNT(*) FROM emp WHERE age > 40")
             service.drain(timeout=30.0)
         assert service.feedback.counters()["observations"] >= 1
         assert service.feedback.q_error_for_columns("emp", ["age"]) >= 1.0
@@ -192,7 +199,7 @@ class TestFeedbackLoop:
             qerror_refresh_threshold=1.0,
             qerror_retune_threshold=1.0,
         ) as service:
-            service.submit("SELECT COUNT(*) FROM emp WHERE age > 40")
+            submit(service, "SELECT COUNT(*) FROM emp WHERE age > 40")
             service.drain(timeout=30.0)
         metrics = service.metrics
         assert metrics.counter("feedback.retunes_requested") >= 1
@@ -206,6 +213,6 @@ class TestFeedbackLoop:
             qerror_refresh_threshold=1.0,
             qerror_retune_threshold=1.0,
         ) as service:
-            service.submit("SELECT COUNT(*) FROM emp WHERE age > 40")
-            service.submit("SELECT COUNT(*) FROM emp WHERE age > 40")
+            submit(service, "SELECT COUNT(*) FROM emp WHERE age > 40")
+            submit(service, "SELECT COUNT(*) FROM emp WHERE age > 40")
         assert service.metrics.counter("feedback.retunes_requested") == 1

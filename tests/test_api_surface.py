@@ -55,7 +55,11 @@ EXPECTED = [
     "ReproError",
     "Schema",
     "ServiceConfig",
+    "ServiceRejectedError",
+    "ServiceRequest",
+    "ServiceResponse",
     "Session",
+    "ShardRouter",
     "ShrinkingSetResult",
     "SketchJoinEstimator",
     "SkewSpec",
