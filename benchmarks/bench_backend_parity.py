@@ -1,0 +1,176 @@
+"""Cross-backend parity benchmark: decision agreement and relative cost.
+
+Runs the full MNSA -> Shrinking Set pipeline (and a separate MNSA/D
+pass) over the same workloads on :class:`MemoryBackend` and
+:class:`SqliteBackend` and records how closely the two engines' *tuning
+decisions* agree, plus the wall clock each engine spends being tuned.
+
+The numbers this pins:
+
+* **execution parity** — every workload query returns identical row
+  counts on both engines (hard zero; anything else is a dialect bug);
+* **MNSA agreement** — Jaccard similarity of the created sets (1.0 on
+  uniform data, >= 0.9 on skewed data where borderline candidates may
+  land differently);
+* **conservatism** — everything the memory engine retains (MNSA/D) or
+  keeps essential (shrinking) the SQLite engine also built: the
+  coarser ``sqlite_stat1`` statistics may keep more, never less.
+
+Deliberately plain pytest (no ``benchmark`` fixture) so it doubles as
+the CI smoke step; ``actual_cost`` is meaningless across engines, so
+the effort comparison uses wall clock (skipped by the baseline gate).
+
+Workload recipes match ``tests/backends/test_parity.py`` — keep the
+two in sync.
+"""
+
+import time
+
+import pytest
+
+from repro.backends.memory import MemoryBackend
+from repro.backends.sqlite import SqliteBackend
+from repro.core.mnsa import mnsa_for_workload
+from repro.core.mnsad import mnsad_for_workload
+from repro.core.shrinking import shrinking_set
+from repro.datagen import make_tpcd_database
+from repro.workload import generate_workload
+
+from benchmarks.conftest import bench_query_cap, bench_scale, write_bench_json
+
+#: (workload name, zipf skew) — one uniform, one skewed update-mix
+WORKLOADS = (("U0-S-100", 1.0), ("U50-S-100", 2.0))
+SEED = 11
+
+
+def _fresh_db(z):
+    return make_tpcd_database(scale=bench_scale(), z=z, seed=SEED)
+
+
+def _jaccard(a, b):
+    union = set(a) | set(b)
+    if not union:
+        return 1.0
+    return len(set(a) & set(b)) / len(union)
+
+
+def _run_workload(name, z):
+    queries = generate_workload(_fresh_db(z), name).queries()[
+        : bench_query_cap()
+    ]
+
+    # arm 1: MNSA + shrinking on each engine, timing the whole pipeline
+    mem = MemoryBackend(_fresh_db(z))
+    start = time.perf_counter()
+    mnsa_mem = mnsa_for_workload(mem, queries)
+    shrink_mem = shrinking_set(mem, queries)
+    wall_mem = time.perf_counter() - start
+
+    sq = SqliteBackend(_fresh_db(z))
+    start = time.perf_counter()
+    mnsa_sq = mnsa_for_workload(sq, queries)
+    shrink_sq = shrinking_set(sq, queries)
+    wall_sq = time.perf_counter() - start
+
+    mismatches = sum(
+        1
+        for q in queries
+        if mem.execute(q).row_count != sq.execute(q).row_count
+    )
+    sq.close()
+
+    # arm 2: MNSA/D on fresh copies (early drops change the trajectory)
+    mem2 = MemoryBackend(_fresh_db(z))
+    mnsad_mem = mnsad_for_workload(mem2, queries)
+    sq2 = SqliteBackend(_fresh_db(z))
+    mnsad_sq = mnsad_for_workload(sq2, queries)
+    sq2.close()
+
+    return {
+        "queries": len(queries),
+        "rowcount_mismatches": mismatches,
+        "mnsa": {
+            "created_memory": len(mnsa_mem.created),
+            "created_sqlite": len(mnsa_sq.created),
+            "agreement_jaccard": round(
+                _jaccard(mnsa_mem.created, mnsa_sq.created), 4
+            ),
+            "optimizer_calls_memory": mnsa_mem.optimizer_calls,
+            "optimizer_calls_sqlite": mnsa_sq.optimizer_calls,
+        },
+        "shrinking": {
+            "essential_memory": len(shrink_mem.essential),
+            "essential_sqlite": len(shrink_sq.essential),
+            "removed_memory": len(shrink_mem.removed),
+            "removed_sqlite": len(shrink_sq.removed),
+            "memory_essentials_in_sqlite_universe": set(
+                shrink_mem.essential
+            )
+            <= set(shrink_sq.essential) | set(shrink_sq.removed),
+        },
+        "mnsad": {
+            "retained_memory": len(mnsad_mem.retained),
+            "retained_sqlite": len(mnsad_sq.retained),
+            "dropped_memory": len(mnsad_mem.dropped),
+            "dropped_sqlite": len(mnsad_sq.dropped),
+            "memory_retained_seen_by_sqlite": set(mnsad_mem.retained)
+            <= set(mnsad_sq.created),
+        },
+        "tuning_wall_seconds_memory": round(wall_mem, 4),
+        "tuning_wall_seconds_sqlite": round(wall_sq, 4),
+    }
+
+
+@pytest.fixture(scope="module")
+def results():
+    payload = {
+        "scale": bench_scale(),
+        "seed": SEED,
+        "workloads": {
+            name: _run_workload(name, z) for name, z in WORKLOADS
+        },
+    }
+    write_bench_json("backend_parity", payload)
+    return payload
+
+
+class TestBackendParity:
+    def test_execution_parity_is_exact(self, results):
+        for name, row in results["workloads"].items():
+            assert row["rowcount_mismatches"] == 0, name
+
+    def test_mnsa_agreement(self, results):
+        uniform = results["workloads"]["U0-S-100"]["mnsa"]
+        assert uniform["agreement_jaccard"] == 1.0
+        skewed = results["workloads"]["U50-S-100"]["mnsa"]
+        assert skewed["agreement_jaccard"] >= 0.9
+
+    def test_sqlite_is_conservative_never_blind(self, results):
+        for row in results["workloads"].values():
+            assert row["shrinking"]["memory_essentials_in_sqlite_universe"]
+            assert row["mnsad"]["memory_retained_seen_by_sqlite"]
+
+    def test_both_engines_shrink(self, results):
+        for row in results["workloads"].values():
+            assert (
+                row["shrinking"]["essential_memory"]
+                < row["mnsa"]["created_memory"]
+            )
+            assert (
+                row["shrinking"]["essential_sqlite"]
+                < row["mnsa"]["created_sqlite"]
+            )
+
+    def test_report(self, results, report):
+        lines = []
+        for name, row in results["workloads"].items():
+            lines.append(
+                f"{name}: MNSA agreement "
+                f"{row['mnsa']['agreement_jaccard']:.2f} "
+                f"({row['mnsa']['created_memory']} mem / "
+                f"{row['mnsa']['created_sqlite']} sqlite created), "
+                f"row-count mismatches {row['rowcount_mismatches']}, "
+                f"tuning wall {row['tuning_wall_seconds_memory']:.2f}s mem "
+                f"/ {row['tuning_wall_seconds_sqlite']:.2f}s sqlite"
+            )
+        report.add_section("backend parity (memory vs sqlite)", "\n".join(lines))

@@ -31,6 +31,7 @@ import time
 
 import pytest
 
+from repro.backends.memory import MemoryBackend
 from repro.config import RefreshPolicy
 from repro.core.mnsa import mnsa_for_workload
 from repro.executor import Executor
@@ -75,7 +76,7 @@ def _run_arm(factory, refresh_policy: str):
 
     optimizer = Optimizer(db)
     executor = Executor(db)
-    mnsa_for_workload(db, optimizer, queries)  # initial tuning pass
+    mnsa_for_workload(MemoryBackend(db, optimizer), queries)  # initial tuning pass
 
     feedback = policy = None
     if refresh_policy == "qerror":

@@ -39,6 +39,7 @@ import time
 
 import pytest
 
+from repro.backends.memory import MemoryBackend
 from repro.config import RefreshPolicy
 from repro.core.driver import WorkloadDriver
 from repro.core.mnsa import mnsa_for_workload
@@ -46,7 +47,7 @@ from repro.executor import Executor
 from repro.executor.dml import apply_dml
 from repro.feedback import FeedbackPolicy, FeedbackStore, worst_plan_q_error
 from repro.learned import CorrectionStore, SketchJoinEstimator
-from repro.optimizer import Optimizer
+from repro.optimizer import Optimizer, PlanCache
 from repro.service import MetricsRegistry, StalenessMonitor
 from repro.sql.query import Query
 from repro.workload import generate_workload
@@ -83,7 +84,7 @@ def _run_arm(factory, arm: str):
 
     # identical initial tuning for every arm: a *raw* optimizer builds
     # the statistics, so the arms differ only in how they estimate
-    mnsa_for_workload(db, Optimizer(db), queries)
+    mnsa_for_workload(MemoryBackend(db, Optimizer(db)), queries)
 
     corrections = join_estimator = None
     if arm in ("learned", "sketch"):
@@ -93,7 +94,15 @@ def _run_arm(factory, arm: str):
     # the driver's A/B hook: the run optimizer (and any pre-warm clones)
     # carries the arm's learned attachments
     driver = WorkloadDriver(
-        db, corrections=corrections, join_estimator=join_estimator
+        MemoryBackend(
+            db,
+            Optimizer(
+                db,
+                cache=PlanCache(),
+                corrections=corrections,
+                join_estimator=join_estimator,
+            ),
+        )
     )
     optimizer = driver.optimizer
     executor = Executor(db)

@@ -11,6 +11,7 @@ smallest set whose removal of any element would change some query plan.
 """
 
 from repro import (
+    MemoryBackend,
     Optimizer,
     generate_workload,
     make_tpcd_database,
@@ -35,7 +36,8 @@ def main() -> None:
     print(f"candidate statistics for the workload: {len(candidates)}\n")
 
     print("=== phase 1: MNSA per query (t=20%, eps=0.0005)")
-    mnsa = mnsa_for_workload(db, optimizer, queries)
+    backend = MemoryBackend(db, optimizer)
+    mnsa = mnsa_for_workload(backend, queries)
     print(f"MNSA created {len(mnsa.created)} of {len(candidates)} "
           f"candidates with {mnsa.optimizer_calls} optimizer calls")
     print(f"creation cost: {mnsa.creation_cost:,.0f} work units\n")
@@ -43,7 +45,7 @@ def main() -> None:
     cost_before_shrink = workload_execution_cost(db, queries)
 
     print("=== phase 2: Shrinking Set eliminates non-essential statistics")
-    shrink = shrinking_set(db, optimizer, queries)
+    shrink = shrinking_set(backend, queries)
     print(f"retained {len(shrink.essential)} essential statistics, "
           f"removed {len(shrink.removed)}")
     print(f"optimizer calls: {shrink.optimizer_calls} "

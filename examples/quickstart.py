@@ -11,6 +11,7 @@ actual execution cost improve.
 """
 
 from repro import (
+    MemoryBackend,
     Executor,
     MnsaConfig,
     Optimizer,
@@ -54,7 +55,9 @@ def main() -> None:
 
     print("=== 3. MNSA builds only the statistics that can matter")
     result = mnsa_for_query(
-        db, optimizer, query, config=MnsaConfig(t_percent=20.0)
+        MemoryBackend(db, optimizer),
+        query,
+        config=MnsaConfig(t_percent=20.0),
     )
     print(f"created ({len(result.created)}): "
           f"{', '.join(str(k) for k in result.created)}")

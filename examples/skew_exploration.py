@@ -11,6 +11,7 @@ plans change, and more statistics become essential.
 """
 
 from repro import (
+    MemoryBackend,
     Executor,
     Optimizer,
     candidate_statistics,
@@ -47,7 +48,7 @@ def main() -> None:
         bare = optimizer.optimize(query)
         cost_bare = executor.execute(bare.plan, query).actual_cost
 
-        result = mnsa_for_query(db, optimizer, query)
+        result = mnsa_for_query(MemoryBackend(db, optimizer), query)
         tuned = optimizer.optimize(query)
         cost_tuned = executor.execute(tuned.plan, query).actual_cost
 

@@ -10,14 +10,22 @@ Quickstart::
 
     db = make_tpcd_database(scale=0.005, z=2.0)
     optimizer = Optimizer(db, cache=PlanCache())
+    backend = MemoryBackend(db, optimizer)
     query = parse_and_bind("SELECT ... FROM ...", db.schema)
-    result = mnsa_for_query(db, optimizer, query)   # builds what matters
+    result = mnsa_for_query(backend, query)   # builds what matters
     plan = optimizer.optimize_request(OptimizationRequest(query))
 
 See README.md for the architecture overview and DESIGN.md for the mapping
 from paper sections to modules.
 """
 
+from repro.backends import (
+    BACKEND_NAMES,
+    Backend,
+    MemoryBackend,
+    SqliteBackend,
+    backend_from_name,
+)
 from repro.catalog import (
     Column,
     ColumnRef,
@@ -121,6 +129,12 @@ from repro.workload import (
 __version__ = "1.0.0"
 
 __all__ = [
+    # engine backends
+    "BACKEND_NAMES",
+    "Backend",
+    "MemoryBackend",
+    "SqliteBackend",
+    "backend_from_name",
     # catalog / storage
     "Column",
     "ColumnRef",

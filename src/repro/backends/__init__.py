@@ -1,0 +1,20 @@
+"""Engine adapters: the ``Backend`` protocol and its implementations.
+
+See docs/backends.md for the contract and how to add a backend.
+"""
+
+from repro.backends.base import (
+    BACKEND_NAMES,
+    Backend,
+    backend_from_name,
+)
+from repro.backends.memory import MemoryBackend
+from repro.backends.sqlite import SqliteBackend
+
+__all__ = [
+    "BACKEND_NAMES",
+    "Backend",
+    "MemoryBackend",
+    "SqliteBackend",
+    "backend_from_name",
+]

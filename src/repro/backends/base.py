@@ -1,0 +1,273 @@
+"""The ``Backend`` protocol: the only engine surface the algorithms use.
+
+Every algorithm in :mod:`repro.core` — MNSA (Sec 4), MNSA/D (Sec 5.1),
+the Shrinking Set (Sec 5.2), and the essential-set checkers (Sec 3.3) —
+consumes a database engine through a deliberately narrow interface:
+
+* ``optimize(request)`` returning a plan tree and its estimated cost,
+  honouring the Sec 7.2 server extensions carried by the request —
+  selectivity pins (``overrides``) and ``Ignore_Statistics_Subset``
+  (``ignore``);
+* ``magic_variables(query)`` — step (a) of the Sec 4.1 sensitivity test;
+* statistics lifecycle with the paper's scope semantics: create / drop,
+  the Sec 5 drop-list (hidden but not deleted), and visibility;
+* table cardinalities and a DML / epoch notification hook.
+
+:class:`Backend` names that surface so the algorithms can run unchanged
+against any engine that implements it.  Two implementations ship:
+:class:`~repro.backends.memory.MemoryBackend` (the existing in-memory
+engine, byte-identical to calling it directly) and
+:class:`~repro.backends.sqlite.SqliteBackend` (stdlib ``sqlite3`` with
+``ANALYZE`` / ``sqlite_stat1``-backed statistics).  See docs/backends.md
+for the contract details and how to add a backend.
+"""
+
+from __future__ import annotations
+
+import abc
+import warnings
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import ReproDeprecationWarning
+from repro.optimizer.cache import OptimizationRequest
+from repro.optimizer.optimizer import OptimizationResult
+from repro.sql.query import Query
+from repro.stats.statistic import StatKey
+
+#: Backend names :func:`backend_from_name` (and the CLI) accept.
+BACKEND_NAMES = ("memory", "sqlite")
+
+
+class Backend(abc.ABC):
+    """Engine adapter contract for the statistics-management algorithms.
+
+    Implementations adapt one engine (in-memory, SQLite, ...) to the
+    protocol above.  All methods must be usable from a single thread;
+    implementations that share mutable state across threads declare
+    their locking with ``guarded_by`` like any other concurrent class.
+    """
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short engine name (``"memory"``, ``"sqlite"``)."""
+
+    @property
+    @abc.abstractmethod
+    def schema(self):
+        """The :class:`~repro.catalog.Schema` of the adapted database."""
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def optimize(self, request: OptimizationRequest) -> OptimizationResult:
+        """Plan a canonical request; honours overrides / ignore / degraded."""
+
+    def optimize_query(self, query: Query) -> OptimizationResult:
+        """Shorthand for the default request (no pins, nothing ignored)."""
+        return self.optimize(OptimizationRequest(query))
+
+    @abc.abstractmethod
+    def magic_variables(self, query: Query) -> List:
+        """Selectivity variables of ``query`` forced onto magic numbers."""
+
+    @property
+    @abc.abstractmethod
+    def optimizer_calls(self) -> int:
+        """Optimizer invocations so far (the paper's overhead metric)."""
+
+    @property
+    @abc.abstractmethod
+    def optimizer_call_cost(self) -> float:
+        """Work units one optimizer call is charged at (Sec 4.3)."""
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def execute(self, statement):
+        """Execute a bound :class:`Query` or DML statement.
+
+        Returns an object exposing at least ``row_count`` (rows produced
+        by a query / affected by DML) and ``actual_cost`` (engine work
+        units; proxies allowed — see docs/backends.md).
+        """
+
+    # ------------------------------------------------------------------
+    # statistics lifecycle (create / drop / drop-list / visibility)
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def create_stats(self, key: StatKey) -> None:
+        """Build a statistic; creating a drop-listed one revives it."""
+
+    @abc.abstractmethod
+    def drop_stats(self, key: StatKey) -> None:
+        """Physically remove a statistic."""
+
+    @abc.abstractmethod
+    def has_stats(self, key: StatKey) -> bool:
+        """Physically present (drop-listed statistics count)."""
+
+    @abc.abstractmethod
+    def is_stat_visible(self, key: StatKey) -> bool:
+        """Present and not hidden by the drop-list."""
+
+    @abc.abstractmethod
+    def stat_keys(self) -> List[StatKey]:
+        """All physically present statistics (including drop-listed)."""
+
+    @abc.abstractmethod
+    def visible_stat_keys(self) -> List[StatKey]:
+        """Statistics the optimizer can currently see."""
+
+    @abc.abstractmethod
+    def mark_stat_droppable(self, key: StatKey) -> None:
+        """Put a statistic on the Sec 5 drop-list (hidden, not deleted)."""
+
+    @abc.abstractmethod
+    def revive_stat(self, key: StatKey) -> None:
+        """Take a statistic off the drop-list."""
+
+    @abc.abstractmethod
+    def is_stat_droppable(self, key: StatKey) -> bool:
+        """Currently on the drop-list?"""
+
+    @abc.abstractmethod
+    def stat_drop_list(self) -> List[StatKey]:
+        """The drop-list, sorted."""
+
+    @property
+    @abc.abstractmethod
+    def creation_cost_total(self) -> float:
+        """Cumulative work units spent building statistics."""
+
+    # ------------------------------------------------------------------
+    # tables, DML notification, epoch
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def row_count(self, table: str) -> int:
+        """Current cardinality of ``table``."""
+
+    @abc.abstractmethod
+    def table_names(self) -> List[str]:
+        """Tables of the adapted database."""
+
+    @abc.abstractmethod
+    def note_data_change(self, table: Optional[str] = None) -> None:
+        """DML hook: table contents changed under existing statistics."""
+
+    @abc.abstractmethod
+    def stats_epoch(self) -> int:
+        """Monotone counter of statistics-affecting change."""
+
+
+def backend_from_name(
+    name: str,
+    database,
+    *,
+    optimizer=None,
+    cache=None,
+) -> Backend:
+    """Construct a backend over ``database`` by engine name.
+
+    Args:
+        name: one of :data:`BACKEND_NAMES`.
+        database: the :class:`~repro.storage.Database` to adapt.
+        optimizer: optional existing optimizer (memory backend only).
+        cache: optional :class:`~repro.optimizer.cache.PlanCache` for an
+            auto-created memory optimizer.
+
+    Raises:
+        ValueError: for unknown backend names (the CLI maps this to
+            exit code 2).
+    """
+    if name == "memory":
+        from repro.backends.memory import MemoryBackend
+
+        return MemoryBackend(database, optimizer=optimizer, cache=cache)
+    if name == "sqlite":
+        from repro.backends.sqlite import SqliteBackend
+
+        return SqliteBackend(database)
+    raise ValueError(
+        f"unknown backend {name!r}; expected one of {', '.join(BACKEND_NAMES)}"
+    )
+
+
+def _legacy_backend(first, second, caller: str, optimizer_first: bool):
+    # repro-lint: deprecation-shim=(database, optimizer
+    """Adapt a legacy ``(database, optimizer, ...)`` call to a backend.
+
+    Shared warn site for every ``repro.core`` entry point that kept its
+    pre-Backend argument order as a deprecation shim (``mnsa_for_query``
+    and friends take ``(database, optimizer, ...)``; the essential-set
+    checkers take ``(optimizer, database, ...)``).
+    """
+    from repro.backends.memory import MemoryBackend
+
+    if optimizer_first:
+        optimizer, database = first, second
+        old = f"{caller}(optimizer, database, ...)"
+    else:
+        database, optimizer = first, second
+        old = f"{caller}(database, optimizer, ...)"
+    warnings.warn(
+        f"{old} is deprecated; pass a Backend instead — e.g. "
+        f"{caller}(MemoryBackend(database, optimizer), ...)",
+        ReproDeprecationWarning,
+        stacklevel=4,
+    )
+    return MemoryBackend(database, optimizer=optimizer)
+
+
+def resolve_backend_entry(
+    first,
+    second,
+    legacy: Sequence,
+    caller: str,
+    optimizer_first: bool = False,
+):
+    """Normalize a backend entry point's arguments to the new layout.
+
+    New spelling: ``caller(backend, primary, *rest)``.  Legacy spelling:
+    ``caller(database, optimizer, primary, *rest)`` (or optimizer-first
+    for the essential-set checkers).  Returns ``(backend, primary,
+    rest)`` either way; the legacy path warns through
+    :func:`_legacy_backend`.
+    """
+    if isinstance(first, Backend):
+        return first, second, tuple(legacy)
+    backend = _legacy_backend(first, second, caller, optimizer_first)
+    if not legacy:
+        raise TypeError(
+            f"{caller}: legacy (database, optimizer, ...) call is missing "
+            "its positional query/workload argument"
+        )
+    return backend, legacy[0], tuple(legacy[1:])
+
+
+def bind_legacy_tail(extra: Iterable, values: Sequence) -> list:
+    """Overlay trailing positional arguments over keyword defaults.
+
+    ``extra`` holds positionals past the primary argument (legacy calls
+    passed ``candidates`` / ``config`` / ... positionally); ``values``
+    holds the keyword-supplied defaults in declaration order.
+    """
+    merged = list(values)
+    for index, value in enumerate(extra):
+        if index >= len(merged):
+            raise TypeError(
+                f"too many positional arguments ({len(tuple(extra))} past "
+                "the query/workload argument)"
+            )
+        merged[index] = value
+    return merged

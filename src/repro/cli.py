@@ -21,6 +21,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.backends.base import BACKEND_NAMES
 from repro.experiments.common import DATABASE_SPECS, format_table
 
 
@@ -78,6 +79,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=256,
         help="plan-cache capacity for analysis probes (0 disables)",
+    )
+    tune.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="memory",
+        help=(
+            "engine the tuning analyses run against; with a foreign "
+            "engine (e.g. sqlite) decisions are mirrored into the "
+            "in-memory statistics"
+        ),
     )
 
     serve = sub.add_parser(
@@ -191,6 +202,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("multiplicative", "bucket"),
         default="multiplicative",
         help="correction model class used when --learned is on",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="memory",
+        help=(
+            "engine the background advisor workers analyze against "
+            "(see ServiceConfig.backend)"
+        ),
     )
 
     feedback = sub.add_parser(
@@ -449,9 +469,14 @@ def _cmd_tune(args) -> int:
 
     config = MnsaConfig(t_percent=args.t)
     cache = PlanCache(args.cache_size) if args.cache_size > 0 else None
+    backend = None
+    if args.backend != "memory":
+        from repro.backends import backend_from_name
+
+        backend = backend_from_name(args.backend, db)
     if args.mode == "offline":
         advisor = StatisticsAdvisor(
-            db, CreationPolicy.NONE, config, cache=cache
+            db, CreationPolicy.NONE, config, cache=cache, backend=backend
         )
         shrink = advisor.offline_tune(workload.queries())
         print(
@@ -467,7 +492,9 @@ def _cmd_tune(args) -> int:
         "mnsad": CreationPolicy.MNSAD,
         "syntactic": CreationPolicy.SYNTACTIC,
     }[args.mode]
-    advisor = StatisticsAdvisor(db, policy, config, cache=cache)
+    advisor = StatisticsAdvisor(
+        db, policy, config, cache=cache, backend=backend
+    )
     report = advisor.run_workload(workload.statements)
     print(
         f"{args.mode}: processed {report.statements} statements, created "
@@ -521,6 +548,7 @@ def _cmd_serve(args) -> int:
         learned_enabled=args.learned,
         learned_model=args.learned_model,
         shards=args.shards,
+        backend=args.backend,
     )
     service = StatsService(db, config)
     clients = max(1, args.clients)
@@ -531,6 +559,8 @@ def _cmd_serve(args) -> int:
     )
     if args.learned:
         feedback_note += f", learned corrections ({args.learned_model})"
+    if args.backend != "memory":
+        feedback_note += f", {args.backend} analysis backend"
     print(
         f"serving workload {args.workload} over {db.name}: "
         f"{clients} client(s), {workers} advisor worker(s), "

@@ -296,6 +296,13 @@ class ServiceConfig:
             consecutive cycles counts as starved (``monitor.starved``);
             the monitor refreshes longest-waiting tables first so the
             counter stays at zero under any steady-state budget.
+        backend: the engine the advisor workers run their analyses
+            against — a name from
+            :data:`repro.backends.base.BACKEND_NAMES` (``"memory"``,
+            the default, or ``"sqlite"``).  With a foreign engine the
+            service shares one backend instance across workers, replays
+            DML into it, and mirrors creation/drop decisions into
+            ``database.stats`` (``backend.*`` metrics).
     """
 
     capture_capacity: int = 1024
@@ -329,6 +336,7 @@ class ServiceConfig:
     degraded_backlog_high: int | None = None
     degraded_backlog_low: int = 0
     starvation_cycles: int = 8
+    backend: str = "memory"
 
     def __post_init__(self) -> None:
         if self.capture_capacity < 1:
@@ -479,6 +487,14 @@ class ServiceConfig:
             raise ValueError(
                 f"starvation_cycles must be >= 1, got "
                 f"{self.starvation_cycles}"
+            )
+        # local import: repro.backends.sqlite imports this module
+        from repro.backends.base import BACKEND_NAMES
+
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"backend must be one of {', '.join(BACKEND_NAMES)}, "
+                f"got {self.backend!r}"
             )
 
 

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.backends.base import Backend
+from repro.backends.memory import MemoryBackend
 from repro.core.candidates import (
     CandidateMode,
     candidate_statistics,
@@ -77,10 +79,24 @@ class StatisticsAdvisor:
         execute_queries: bool = True,
         incremental_maintenance: bool = False,
         cache: Optional[PlanCache] = None,
+        backend: Optional[Backend] = None,
     ) -> None:
         self._db = database
         self._optimizer = Optimizer(database, cache=cache)
         self._executor = Executor(database)
+        #: the engine the creation policies run against; defaults to the
+        #: in-memory stack above.  With a foreign engine (e.g.
+        #: ``SqliteBackend``), creation/drop decisions are mirrored into
+        #: ``database.stats`` so the DML refresh/drop policies — which
+        #: read the in-memory modification counters — keep working.
+        self._backend = (
+            backend
+            if backend is not None
+            else MemoryBackend(
+                database, optimizer=self._optimizer, executor=self._executor
+            )
+        )
+        self._mirror = not isinstance(self._backend, MemoryBackend)
         self.creation_policy = creation_policy
         self.mnsa_config = mnsa_config or MnsaConfig()
         self.drop_policy = drop_policy or AutoDropPolicy()
@@ -118,11 +134,14 @@ class StatisticsAdvisor:
 
     def _process_query(self, query: Query):
         self._create_statistics_for(query)
-        result = self._optimizer.optimize(query)
-        self.report.optimizer_calls = self._optimizer.call_count
+        result = self._backend.optimize_query(query)
+        self.report.optimizer_calls = self._backend.optimizer_calls
         if not self.execute_queries:
             return result
-        executed = self._executor.execute(result.plan, query)
+        if isinstance(self._backend, MemoryBackend):
+            executed = self._executor.execute(result.plan, query)
+        else:
+            executed = self._backend.execute(query)
         self.report.execution_cost += executed.actual_cost
         return executed
 
@@ -140,27 +159,26 @@ class StatisticsAdvisor:
         if policy == CreationPolicy.SYNTACTIC:
             # SQL Server 7.0: create every syntactically relevant
             # single-column statistic on the fly.
-            before = self._db.stats.creation_cost_total
+            before = self._backend.creation_cost_total
             for key in candidates:
-                if not self._db.stats.is_visible(key):
-                    self._db.stats.create(key)
+                if not self._backend.is_stat_visible(key):
+                    self._backend.create_stats(key)
                     self.report.created.append(key)
             self.report.creation_cost += (
-                self._db.stats.creation_cost_total - before
+                self._backend.creation_cost_total - before
             )
+            self._mirror_created(self.report.created)
             return
         if policy == CreationPolicy.MNSA:
             result = mnsa_for_query(
-                self._db,
-                self._optimizer,
+                self._backend,
                 query,
                 candidates=candidates,
                 config=self.mnsa_config,
             )
         else:  # MNSAD
             result = mnsad_for_query(
-                self._db,
-                self._optimizer,
+                self._backend,
                 query,
                 candidates=candidates,
                 config=self.mnsa_config,
@@ -169,12 +187,22 @@ class StatisticsAdvisor:
             if key not in self.report.created:
                 self.report.created.append(key)
         self.report.creation_cost += result.creation_cost
+        self._mirror_created(result.created)
+
+    def _mirror_created(self, keys) -> None:
+        """Reflect a foreign backend's created statistics into
+        ``database.stats`` so counter-driven policies see them."""
+        if not self._mirror:
+            return
+        for key in keys:
+            if not self._db.stats.has(key):
+                self._db.stats.create(key)
 
     def _apply_aging(self, query: Query, candidates):
         if self.aging is None:
             return candidates
         # estimate the query's cost once to decide if it is "expensive"
-        estimate = self._optimizer.optimize(query).cost
+        estimate = self._backend.optimize_query(query).cost
         return [
             key
             for key in candidates
@@ -230,21 +258,29 @@ class StatisticsAdvisor:
         queries = [q for q in queries if isinstance(q, Query)]
         for query in queries:
             result = mnsa_for_query(
-                self._db, self._optimizer, query, config=self.mnsa_config
+                self._backend, query, config=self.mnsa_config
             )
             for key in result.created:
                 if key not in self.report.created:
                     self.report.created.append(key)
             self.report.creation_cost += result.creation_cost
-        shrink = shrinking_set(self._db, self._optimizer, queries)
+            self._mirror_created(result.created)
+        shrink = shrinking_set(self._backend, queries)
         for key in shrink.removed:
             self.report.dropped.append(key)
+            if self._mirror and self._db.stats.has(key):
+                self._db.stats.drop(key)
             if self.aging is not None:
                 self.aging.record_drop(key, self._clock)
-        self.report.optimizer_calls = self._optimizer.call_count
+        self.report.optimizer_calls = self._backend.optimizer_calls
         return shrink
 
     # ------------------------------------------------------------------
+
+    @property
+    def backend(self) -> Backend:
+        """The engine the creation policies run against."""
+        return self._backend
 
     @property
     def optimizer(self) -> Optimizer:

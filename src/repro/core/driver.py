@@ -20,16 +20,24 @@ optimizations already cached, and the merge order is the serial
 algorithm's own order — so results are byte-identical to the serial path
 by construction, with ``parallelism=1`` degrading to a plain cached (or
 uncached) serial run.
+
+The driver runs against any :class:`~repro.backends.base.Backend`; the
+pre-warm phase is a :class:`~repro.backends.memory.MemoryBackend`
+optimization (other engines have no shared plan cache to warm) and
+silently degrades to the serial path elsewhere.
 """
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, List, Optional
 
+from repro.backends.base import Backend
+from repro.backends.memory import MemoryBackend
 from repro.core.mnsa import MnsaConfig, MnsaResult, mnsa_for_workload
 from repro.core.mnsad import MnsadResult, mnsad_for_workload
-from repro.errors import PolicyError
+from repro.errors import PolicyError, ReproDeprecationWarning
 from repro.optimizer.cache import OptimizationRequest, PlanCache
 from repro.optimizer.optimizer import Optimizer
 from repro.sql.query import Query
@@ -39,30 +47,34 @@ class WorkloadDriver:
     """Runs workload-level MNSA / MNSA/D with a shared plan cache.
 
     Args:
-        database: the database to tune.
-        optimizer: the primary optimizer for the serial pass; created on
-            demand (with ``cache`` attached) when omitted.
+        backend: the engine to tune — any
+            :class:`~repro.backends.base.Backend`.  Passing a raw
+            :class:`~repro.storage.Database` (with an optional
+            ``optimizer`` second argument) is deprecated and adapts to a
+            :class:`~repro.backends.memory.MemoryBackend`.
         parallelism: worker threads for the read-only pre-warm phase;
             ``1`` disables the phase entirely.
-        cache: the shared :class:`~repro.optimizer.cache.PlanCache`.
-            Defaults to a fresh cache when an optimizer must be created;
-            when both ``optimizer`` and ``cache`` are given they must
-            agree (the pre-warm phase is useless against a cache the
-            serial pass will not read).
+        cache: the shared :class:`~repro.optimizer.cache.PlanCache`
+            (memory backend only).  Defaults to a fresh cache when an
+            optimizer must be created; when the backend already carries
+            an optimizer with a cache, they must agree (the pre-warm
+            phase is useless against a cache the serial pass will not
+            read).
         corrections: optional :class:`~repro.learned.CorrectionStore`
-            for the auto-created optimizer — the A/B hook for running the
-            same workload with and without learned corrections.  Ignored
-            when ``optimizer`` is given (the optimizer's own attachments
-            win); the pre-warm optimizers always mirror the primary's
-            learned attachments so cache keys line up.
+            for a legacy auto-created optimizer — the A/B hook for
+            running the same workload with and without learned
+            corrections.  Ignored when an optimizer is supplied (the
+            optimizer's own attachments win); the pre-warm optimizers
+            always mirror the primary's learned attachments so cache
+            keys line up.
         join_estimator: optional
-            :class:`~repro.learned.SketchJoinEstimator` for the
+            :class:`~repro.learned.SketchJoinEstimator` for a legacy
             auto-created optimizer; same rules as ``corrections``.
     """
 
     def __init__(
         self,
-        database,
+        backend,
         optimizer: Optional[Optimizer] = None,
         *,
         parallelism: int = 1,
@@ -70,28 +82,56 @@ class WorkloadDriver:
         corrections=None,
         join_estimator=None,
     ) -> None:
+        # repro-lint: deprecation-shim=WorkloadDriver(
         if parallelism < 1:
             raise PolicyError(
                 f"parallelism must be >= 1, got {parallelism}"
             )
-        self._db = database
         self.parallelism = int(parallelism)
-        if optimizer is None:
-            self._cache = cache if cache is not None else PlanCache()
-            self._optimizer = Optimizer(
-                database,
-                cache=self._cache,
-                corrections=corrections,
-                join_estimator=join_estimator,
+        if not isinstance(backend, Backend):
+            database = backend
+            warnings.warn(
+                "WorkloadDriver(database, optimizer, ...) is deprecated; "
+                "pass a Backend instead — e.g. "
+                "WorkloadDriver(MemoryBackend(database, optimizer))",
+                ReproDeprecationWarning,
+                stacklevel=2,
             )
-        else:
-            if cache is not None:
+            if optimizer is None:
+                cache = cache if cache is not None else PlanCache()
+                optimizer = Optimizer(
+                    database,
+                    cache=cache,
+                    corrections=corrections,
+                    join_estimator=join_estimator,
+                )
+            elif cache is not None:
                 optimizer.attach_cache(cache)  # raises if they disagree
-            self._optimizer = optimizer
-            self._cache = optimizer.cache
+            backend = MemoryBackend(database, optimizer=optimizer)
+        elif optimizer is not None:
+            raise TypeError(
+                "WorkloadDriver(backend, optimizer) is ambiguous: the "
+                "backend already carries its optimizer"
+            )
+        elif cache is not None and isinstance(backend, MemoryBackend):
+            backend.optimizer.attach_cache(cache)
+        self._backend = backend
+        if isinstance(backend, MemoryBackend):
+            self._db = backend.database
+            self._optimizer = backend.optimizer
+            self._cache = backend.optimizer.cache
+        else:
+            self._db = None
+            self._optimizer = None
+            self._cache = None
 
     @property
-    def optimizer(self) -> Optimizer:
+    def backend(self) -> Backend:
+        return self._backend
+
+    @property
+    def optimizer(self) -> Optional[Optimizer]:
+        """The memory engine's optimizer; ``None`` for other backends."""
         return self._optimizer
 
     @property
@@ -111,9 +151,7 @@ class WorkloadDriver:
         config = config if config is not None else MnsaConfig()
         queries = self._queries(workload)
         self._prewarm(queries, config)
-        return mnsa_for_workload(
-            self._db, self._optimizer, queries, config=config
-        )
+        return mnsa_for_workload(self._backend, queries, config=config)
 
     def run_mnsad(
         self,
@@ -124,9 +162,7 @@ class WorkloadDriver:
         config = config if config is not None else MnsaConfig()
         queries = self._queries(workload)
         self._prewarm(queries, config)
-        return mnsad_for_workload(
-            self._db, self._optimizer, queries, config=config
-        )
+        return mnsad_for_workload(self._backend, queries, config=config)
 
     # ------------------------------------------------------------------
     # pre-warm phase

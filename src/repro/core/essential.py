@@ -17,6 +17,11 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, List, Optional, Sequence
 
+from repro.backends.base import (
+    Backend,
+    bind_legacy_tail,
+    resolve_backend_entry,
+)
 from repro.core.equivalence import (
     EquivalenceCriterion,
     ExecutionTreeEquivalence,
@@ -24,13 +29,16 @@ from repro.core.equivalence import (
 from repro.core.mnsa import MnsaConfig, resolve_config
 from repro.errors import StatisticsError
 from repro.optimizer.cache import OptimizationRequest
-from repro.optimizer.optimizer import OptimizationResult, Optimizer
+from repro.optimizer.optimizer import OptimizationResult
 from repro.sql.query import Query
 from repro.stats.statistic import StatKey
 
 
 def plan_with_stats(
-    optimizer: Optimizer, database, query: Query, keys: Iterable[StatKey]
+    backend: Backend,
+    query: Optional[Query] = None,
+    *legacy,
+    keys: Optional[Iterable[StatKey]] = None,
 ) -> OptimizationResult:
     """The paper's ``Plan(Q, X)``: optimize with exactly ``keys`` available.
 
@@ -38,40 +46,67 @@ def plan_with_stats(
     ``Ignore_Statistics_Subset`` mechanism.  Statistics already on the
     drop-list stay hidden regardless (callers doing essential-set analysis
     should not have an active drop-list).
+
+    .. deprecated::
+        ``plan_with_stats(optimizer, database, query, keys)`` is a shim;
+        pass a :class:`~repro.backends.base.Backend` instead.
     """
+    backend, query, extra = resolve_backend_entry(
+        backend, query, legacy, "plan_with_stats", optimizer_first=True
+    )
+    (keys,) = bind_legacy_tail(extra, (keys,))
+    if keys is None:
+        raise TypeError("plan_with_stats: missing the keys argument")
     available = set(keys)
     for key in available:
-        if not database.stats.has(key):
+        if not backend.has_stats(key):
             raise StatisticsError(
                 f"plan_with_stats: statistic {key} is not built"
             )
-    hidden = [key for key in database.stats.keys() if key not in available]
-    return optimizer.optimize_request(
-        OptimizationRequest(query, ignore=hidden)
-    )
+    hidden = [key for key in backend.stat_keys() if key not in available]
+    return backend.optimize(OptimizationRequest(query, ignore=hidden))
 
 
 def is_equivalent_to_candidates(
-    optimizer: Optimizer,
-    database,
-    query: Query,
-    subset: Sequence[StatKey],
-    candidates: Sequence[StatKey],
+    backend: Backend,
+    query: Optional[Query] = None,
+    *legacy,
+    subset: Optional[Sequence[StatKey]] = None,
+    candidates: Optional[Sequence[StatKey]] = None,
     criterion: Optional[EquivalenceCriterion] = None,
 ) -> bool:
-    """Is ``subset`` equivalent to the full candidate set for ``query``?"""
+    """Is ``subset`` equivalent to the full candidate set for ``query``?
+
+    .. deprecated::
+        ``is_equivalent_to_candidates(optimizer, database, query, ...)``
+        is a shim; pass a :class:`~repro.backends.base.Backend` instead.
+    """
+    backend, query, extra = resolve_backend_entry(
+        backend,
+        query,
+        legacy,
+        "is_equivalent_to_candidates",
+        optimizer_first=True,
+    )
+    subset, candidates, criterion = bind_legacy_tail(
+        extra, (subset, candidates, criterion)
+    )
+    if subset is None or candidates is None:
+        raise TypeError(
+            "is_equivalent_to_candidates: missing subset/candidates"
+        )
     criterion = criterion or ExecutionTreeEquivalence()
-    with_all = plan_with_stats(optimizer, database, query, candidates)
-    with_subset = plan_with_stats(optimizer, database, query, subset)
+    with_all = plan_with_stats(backend, query, keys=candidates)
+    with_subset = plan_with_stats(backend, query, keys=subset)
     return criterion.equivalent(with_subset, with_all)
 
 
 def is_essential_set(
-    optimizer: Optimizer,
-    database,
-    query: Query,
-    subset: Sequence[StatKey],
-    candidates: Sequence[StatKey],
+    backend: Backend,
+    query: Optional[Query] = None,
+    *legacy,
+    subset: Optional[Sequence[StatKey]] = None,
+    candidates: Optional[Sequence[StatKey]] = None,
     criterion: Optional[EquivalenceCriterion] = None,
 ) -> bool:
     """Definition 1: equivalent to C, and minimally so.
@@ -79,26 +114,46 @@ def is_essential_set(
     Minimality is checked against all subsets of ``subset`` lacking one
     element, which suffices for the monotone optimizers this library
     models (and mirrors Example 1's conditions (2)-(4)).
+
+    .. deprecated::
+        ``is_essential_set(optimizer, database, query, ...)`` is a shim;
+        pass a :class:`~repro.backends.base.Backend` instead.
     """
+    backend, query, extra = resolve_backend_entry(
+        backend, query, legacy, "is_essential_set", optimizer_first=True
+    )
+    subset, candidates, criterion = bind_legacy_tail(
+        extra, (subset, candidates, criterion)
+    )
+    if subset is None or candidates is None:
+        raise TypeError("is_essential_set: missing subset/candidates")
     criterion = criterion or ExecutionTreeEquivalence()
     if not is_equivalent_to_candidates(
-        optimizer, database, query, subset, candidates, criterion
+        backend,
+        query,
+        subset=subset,
+        candidates=candidates,
+        criterion=criterion,
     ):
         return False
     for removed in subset:
         smaller = [key for key in subset if key != removed]
         if is_equivalent_to_candidates(
-            optimizer, database, query, smaller, candidates, criterion
+            backend,
+            query,
+            subset=smaller,
+            candidates=candidates,
+            criterion=criterion,
         ):
             return False
     return True
 
 
 def find_minimal_essential_set(
-    optimizer: Optimizer,
-    database,
-    query: Query,
-    candidates: Sequence[StatKey],
+    backend: Backend,
+    query: Optional[Query] = None,
+    *legacy,
+    candidates: Optional[Sequence[StatKey]] = None,
     criterion: Optional[EquivalenceCriterion] = None,
     max_candidates: int = 12,
     config: Optional[MnsaConfig] = None,
@@ -112,10 +167,26 @@ def find_minimal_essential_set(
     execution-tree equivalence; ``config`` uses ``config.criterion()``.
 
     .. deprecated::
+        ``find_minimal_essential_set(optimizer, database, query, ...)``
+        is a shim — pass a :class:`~repro.backends.base.Backend`;
         ``t_percent`` is an alias for
         ``MnsaConfig(t_percent=..., equivalence="t_cost").criterion()``;
         pass a criterion or config instead.
     """
+    backend, query, extra = resolve_backend_entry(
+        backend,
+        query,
+        legacy,
+        "find_minimal_essential_set",
+        optimizer_first=True,
+    )
+    candidates, criterion, max_candidates, config, t_percent = (
+        bind_legacy_tail(
+            extra, (candidates, criterion, max_candidates, config, t_percent)
+        )
+    )
+    if candidates is None:
+        raise TypeError("find_minimal_essential_set: missing candidates")
     candidates = list(candidates)
     if len(candidates) > max_candidates:
         raise StatisticsError(
@@ -132,10 +203,10 @@ def find_minimal_essential_set(
             criterion = config.criterion()
         else:
             criterion = ExecutionTreeEquivalence()
-    reference = plan_with_stats(optimizer, database, query, candidates)
+    reference = plan_with_stats(backend, query, keys=candidates)
     for size in range(0, len(candidates) + 1):
         for combo in itertools.combinations(candidates, size):
-            attempt = plan_with_stats(optimizer, database, query, combo)
+            attempt = plan_with_stats(backend, query, keys=combo)
             if criterion.equivalent(attempt, reference):
                 return list(combo)
     return candidates

@@ -19,6 +19,11 @@ import warnings
 from dataclasses import dataclass, field, replace
 from typing import Iterable, List, Optional, Sequence
 
+from repro.backends.base import (
+    Backend,
+    bind_legacy_tail,
+    resolve_backend_entry,
+)
 from repro.core.candidates import CandidateMode, candidate_statistics
 from repro.core.equivalence import (
     EquivalenceCriterion,
@@ -28,7 +33,6 @@ from repro.core.equivalence import (
 from repro.core.next_stat import find_next_stat_to_build
 from repro.errors import ReproDeprecationWarning
 from repro.optimizer.cache import OptimizationRequest
-from repro.optimizer.optimizer import Optimizer
 from repro.optimizer.variables import EPSILON
 from repro.sql.query import Query
 from repro.stats.statistic import StatKey
@@ -190,14 +194,14 @@ class MnsaResult:
 
 
 def mnsa_for_query(
-    database,
-    optimizer: Optimizer,
-    query: Query,
+    backend: Backend,
+    query: Optional[Query] = None,
+    *legacy,
     candidates: Optional[Sequence[StatKey]] = None,
     config: MnsaConfig = MnsaConfig(),
     feedback=None,
 ) -> MnsaResult:
-    """Run Figure 1's algorithm for one query.
+    """Run Figure 1's algorithm for one query against ``backend``.
 
     Statistics already present (and visible) are treated as existing set S;
     only missing candidates are considered for creation.  ``feedback``
@@ -205,40 +209,50 @@ def mnsa_for_query(
     ``FindNextStatToBuild`` break candidate ties toward the
     highest-error observed predicate columns; ``None`` reproduces the
     paper's candidate-order choice exactly.
+
+    .. deprecated::
+        ``mnsa_for_query(database, optimizer, query, ...)`` is a shim;
+        pass a :class:`~repro.backends.base.Backend` instead.
     """
+    backend, query, extra = resolve_backend_entry(
+        backend, query, legacy, "mnsa_for_query"
+    )
+    candidates, config, feedback = bind_legacy_tail(
+        extra, (candidates, config, feedback)
+    )
     result = MnsaResult()
     criterion = config.cost_criterion()
-    calls_before = optimizer.call_count
-    build_cost_before = database.stats.creation_cost_total
+    calls_before = backend.optimizer_calls
+    build_cost_before = backend.creation_cost_total
 
     if candidates is None:
         candidates = candidate_statistics(query, config.candidate_mode)
     remaining = [
-        key for key in candidates if not database.stats.is_visible(key)
+        key for key in candidates if not backend.is_stat_visible(key)
     ]
 
     # Sec 4.3 augmentation: small tables skip the analysis entirely.
     if config.min_table_rows > 0:
         for key in list(remaining):
-            if database.row_count(key.table) < config.min_table_rows:
-                database.stats.create(key)
+            if backend.row_count(key.table) < config.min_table_rows:
+                backend.create_stats(key)
                 result.created.append(key)
                 remaining.remove(key)
 
-    plan = optimizer.optimize(query)  # step 2: default magic numbers
+    plan = backend.optimize_query(query)  # step 2: default magic numbers
     max_iterations = len(remaining) + 1
     for _ in range(max_iterations):
         result.iterations += 1
-        missing = optimizer.magic_variables(query)  # step 4
+        missing = backend.magic_variables(query)  # step 4
         if not missing:
             result.stop_reason = "no_missing_variables"
             break
-        low = optimizer.optimize_request(
+        low = backend.optimize(
             OptimizationRequest(
                 query, {v: config.epsilon for v in missing}
             )
         )
-        high = optimizer.optimize_request(
+        high = backend.optimize(
             OptimizationRequest(
                 query, {v: 1.0 - config.epsilon for v in missing}
             )
@@ -257,27 +271,25 @@ def mnsa_for_query(
             result.stop_reason = "exhausted"
             break
         for key in group:  # step 10 (pairs for join dependencies)
-            database.stats.create(key)
+            backend.create_stats(key)
             result.created.append(key)
             remaining.remove(key)
-        plan = optimizer.optimize(query)  # steps 11-12
+        plan = backend.optimize_query(query)  # steps 11-12
     else:
         result.stop_reason = "iteration_limit"
 
     result.skipped = list(remaining)
-    result.optimizer_calls = optimizer.call_count - calls_before
-    build_cost = database.stats.creation_cost_total - build_cost_before
-    overhead = (
-        result.optimizer_calls * optimizer.config.cost.optimizer_call_cost
-    )
+    result.optimizer_calls = backend.optimizer_calls - calls_before
+    build_cost = backend.creation_cost_total - build_cost_before
+    overhead = result.optimizer_calls * backend.optimizer_call_cost
     result.creation_cost = build_cost + overhead
     return result
 
 
 def mnsa_for_workload(
-    database,
-    optimizer: Optimizer,
-    queries: Iterable[Query],
+    backend: Backend,
+    queries: Optional[Iterable[Query]] = None,
+    *legacy,
     config: MnsaConfig = MnsaConfig(),
 ) -> MnsaResult:
     """Create a sufficient statistics set for a workload (Sec 4.3):
@@ -286,10 +298,18 @@ def mnsa_for_workload(
     With ``config.min_query_cost_fraction > 0``, queries whose estimated
     cost (under current statistics) falls below that fraction of the
     total are skipped — the Sec 6 off-line workload optimization.
+
+    .. deprecated::
+        ``mnsa_for_workload(database, optimizer, queries, ...)`` is a
+        shim; pass a :class:`~repro.backends.base.Backend` instead.
     """
+    backend, queries, extra = resolve_backend_entry(
+        backend, queries, legacy, "mnsa_for_workload"
+    )
+    (config,) = bind_legacy_tail(extra, (config,))
     queries = list(queries)
     if config.min_query_cost_fraction > 0.0 and queries:
-        estimates = [optimizer.optimize(q).cost for q in queries]
+        estimates = [backend.optimize_query(q).cost for q in queries]
         total_cost = sum(estimates) or 1.0
         threshold = config.min_query_cost_fraction * total_cost
         queries = [
@@ -297,5 +317,5 @@ def mnsa_for_workload(
         ]
     total = MnsaResult()
     for query in queries:
-        total.merge(mnsa_for_query(database, optimizer, query, config=config))
+        total.merge(mnsa_for_query(backend, query, config=config))
     return total

@@ -16,11 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
+from repro.backends.base import (
+    Backend,
+    bind_legacy_tail,
+    resolve_backend_entry,
+)
 from repro.core.candidates import candidate_statistics
 from repro.core.mnsa import MnsaConfig, resolve_config
 from repro.core.next_stat import find_next_stat_to_build
 from repro.optimizer.cache import OptimizationRequest
-from repro.optimizer.optimizer import Optimizer
 from repro.sql.query import Query
 from repro.stats.statistic import StatKey
 
@@ -60,16 +64,16 @@ class MnsadResult:
 
 
 def mnsad_for_query(
-    database,
-    optimizer: Optimizer,
-    query: Query,
+    backend: Backend,
+    query: Optional[Query] = None,
+    *legacy,
     candidates: Optional[Sequence[StatKey]] = None,
     config: Optional[MnsaConfig] = None,
     t_percent: Optional[float] = None,
     epsilon: Optional[float] = None,
     feedback=None,
 ) -> MnsadResult:
-    """Run MNSA/D for one query.
+    """Run MNSA/D for one query against ``backend``.
 
     ``feedback`` (an optional
     :class:`~repro.feedback.store.FeedbackStore`) biases
@@ -77,46 +81,54 @@ def mnsad_for_query(
     columns, as in :func:`~repro.core.mnsa.mnsa_for_query`.
 
     .. deprecated::
-        ``t_percent`` / ``epsilon`` are aliases for the corresponding
+        ``mnsad_for_query(database, optimizer, query, ...)`` is a shim —
+        pass a :class:`~repro.backends.base.Backend`; ``t_percent`` /
+        ``epsilon`` are aliases for the corresponding
         :class:`~repro.core.mnsa.MnsaConfig` fields; pass a config.
     """
+    backend, query, extra = resolve_backend_entry(
+        backend, query, legacy, "mnsad_for_query"
+    )
+    candidates, config, t_percent, epsilon, feedback = bind_legacy_tail(
+        extra, (candidates, config, t_percent, epsilon, feedback)
+    )
     config = resolve_config(
         config, "mnsad_for_query", t_percent=t_percent, epsilon=epsilon
     )
     result = MnsadResult()
     criterion = config.cost_criterion()
     drop_criterion = config.drop_criterion()
-    calls_before = optimizer.call_count
-    build_cost_before = database.stats.creation_cost_total
+    calls_before = backend.optimizer_calls
+    build_cost_before = backend.creation_cost_total
 
     if candidates is None:
         candidates = candidate_statistics(query, config.candidate_mode)
     remaining = [
-        key for key in candidates if not database.stats.is_visible(key)
+        key for key in candidates if not backend.is_stat_visible(key)
     ]
 
     if config.min_table_rows > 0:
         for key in list(remaining):
-            if database.row_count(key.table) < config.min_table_rows:
-                database.stats.create(key)
+            if backend.row_count(key.table) < config.min_table_rows:
+                backend.create_stats(key)
                 result.created.append(key)
                 result.retained.append(key)
                 remaining.remove(key)
 
-    plan = optimizer.optimize(query)
+    plan = backend.optimize_query(query)
     max_iterations = len(remaining) + 1
     for _ in range(max_iterations):
         result.iterations += 1
-        missing = optimizer.magic_variables(query)
+        missing = backend.magic_variables(query)
         if not missing:
             result.stop_reason = "no_missing_variables"
             break
-        low = optimizer.optimize_request(
+        low = backend.optimize(
             OptimizationRequest(
                 query, {v: config.epsilon for v in missing}
             )
         )
-        high = optimizer.optimize_request(
+        high = backend.optimize(
             OptimizationRequest(
                 query, {v: 1.0 - config.epsilon for v in missing}
             )
@@ -131,14 +143,14 @@ def mnsad_for_query(
             result.stop_reason = "exhausted"
             break
         for key in group:
-            database.stats.create(key)
+            backend.create_stats(key)
             result.created.append(key)
             remaining.remove(key)
-        new_plan = optimizer.optimize(query)
+        new_plan = backend.optimize_query(query)
         if drop_criterion.equivalent(new_plan, plan):
             # the new statistics changed nothing: heuristically non-essential
             for key in group:
-                database.stats.mark_droppable(key)
+                backend.mark_stat_droppable(key)
                 result.dropped.append(key)
         else:
             result.retained.extend(group)
@@ -146,18 +158,18 @@ def mnsad_for_query(
     else:
         result.stop_reason = "iteration_limit"
 
-    result.optimizer_calls = optimizer.call_count - calls_before
-    build_cost = database.stats.creation_cost_total - build_cost_before
+    result.optimizer_calls = backend.optimizer_calls - calls_before
+    build_cost = backend.creation_cost_total - build_cost_before
     result.creation_cost = build_cost + (
-        result.optimizer_calls * optimizer.config.cost.optimizer_call_cost
+        result.optimizer_calls * backend.optimizer_call_cost
     )
     return result
 
 
 def mnsad_for_workload(
-    database,
-    optimizer: Optimizer,
-    queries: Iterable[Query],
+    backend: Backend,
+    queries: Optional[Iterable[Query]] = None,
+    *legacy,
     config: Optional[MnsaConfig] = None,
     t_percent: Optional[float] = None,
     epsilon: Optional[float] = None,
@@ -169,18 +181,26 @@ def mnsad_for_workload(
     drop-list over physical deletion.
 
     .. deprecated::
+        ``mnsad_for_workload(database, optimizer, queries, ...)`` is a
+        shim — pass a :class:`~repro.backends.base.Backend`;
         ``t_percent`` / ``epsilon`` are aliases for the corresponding
         :class:`~repro.core.mnsa.MnsaConfig` fields; pass a config.
     """
+    backend, queries, extra = resolve_backend_entry(
+        backend, queries, legacy, "mnsad_for_workload"
+    )
+    config, t_percent, epsilon = bind_legacy_tail(
+        extra, (config, t_percent, epsilon)
+    )
     config = resolve_config(
         config, "mnsad_for_workload", t_percent=t_percent, epsilon=epsilon
     )
     total = MnsadResult()
     for query in queries:
-        partial = mnsad_for_query(database, optimizer, query, config=config)
+        partial = mnsad_for_query(backend, query, config=config)
         total.merge(partial)
-    # reconcile the manager's drop-list with the merged view
+    # reconcile the drop-list with the merged view
     for key in total.retained:
-        if database.stats.is_droppable(key):
-            database.stats.revive(key)
+        if backend.is_stat_droppable(key):
+            backend.revive_stat(key)
     return total

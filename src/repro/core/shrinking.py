@@ -25,13 +25,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
+from repro.backends.base import (
+    Backend,
+    bind_legacy_tail,
+    resolve_backend_entry,
+)
 from repro.core.equivalence import (
     EquivalenceCriterion,
     ExecutionTreeEquivalence,
 )
 from repro.core.mnsa import MnsaConfig, resolve_config
 from repro.optimizer.cache import OptimizationRequest
-from repro.optimizer.optimizer import OptimizationResult, Optimizer
+from repro.optimizer.optimizer import OptimizationResult
 from repro.sql.query import Query
 from repro.stats.statistic import StatKey
 
@@ -73,9 +78,9 @@ def _relevant_subset(
 
 
 def shrinking_set(
-    database,
-    optimizer: Optimizer,
-    workload: Iterable[Query],
+    backend: Backend,
+    workload: Optional[Iterable[Query]] = None,
+    *legacy,
     initial: Optional[Sequence[StatKey]] = None,
     criterion: Optional[EquivalenceCriterion] = None,
     memoize: bool = True,
@@ -85,8 +90,8 @@ def shrinking_set(
     """Run Figure 2 over ``workload`` starting from set ``initial``.
 
     Args:
-        database: the database owning the statistics.
-        optimizer: optimizer used for ``Plan(Q, X)`` probes.
+        backend: the engine owning the statistics; also answers the
+            ``Plan(Q, X)`` probes.
         workload: the queries (DML statements are skipped).
         initial: S in Figure 2; defaults to all currently *visible*
             statistics.
@@ -99,13 +104,21 @@ def shrinking_set(
             ``config.criterion()``, the same equivalence MNSA runs with.
 
     Side effect: removed statistics are physically dropped from the
-    manager (Figure 2 discards them and never considers them again).
+    backend (Figure 2 discards them and never considers them again).
 
     .. deprecated::
-        ``t_percent`` is an alias for
+        ``shrinking_set(database, optimizer, workload, ...)`` is a shim —
+        pass a :class:`~repro.backends.base.Backend`; ``t_percent`` is an
+        alias for
         ``MnsaConfig(t_percent=..., equivalence="t_cost").criterion()``;
         pass a criterion or config instead.
     """
+    backend, workload, extra = resolve_backend_entry(
+        backend, workload, legacy, "shrinking_set"
+    )
+    initial, criterion, memoize, config, t_percent = bind_legacy_tail(
+        extra, (initial, criterion, memoize, config, t_percent)
+    )
     if criterion is None:
         if t_percent is not None:
             base = config if config is not None else MnsaConfig()
@@ -118,9 +131,9 @@ def shrinking_set(
             criterion = ExecutionTreeEquivalence()
     queries = [q for q in workload if isinstance(q, Query)]
     if initial is None:
-        initial = database.stats.visible_keys()
+        initial = backend.visible_stat_keys()
     original = list(initial)
-    calls_before = optimizer.call_count
+    calls_before = backend.optimizer_calls
     memo: Dict[Tuple[Query, FrozenSet[StatKey]], OptimizationResult] = {}
     memo_hits = 0
 
@@ -133,10 +146,10 @@ def shrinking_set(
             return memo[cache_key]
         hidden = [
             key
-            for key in database.stats.keys()
+            for key in backend.stat_keys()
             if key not in set(available)
         ]
-        result = optimizer.optimize_request(
+        result = backend.optimize(
             OptimizationRequest(queries[i], ignore=hidden)
         )
         if memoize:
@@ -162,11 +175,11 @@ def shrinking_set(
         if drop_ok:
             retained = without  # step 5
             removed.append(key)
-            database.stats.drop(key)
+            backend.drop_stats(key)
 
     return ShrinkingSetResult(
         essential=retained,
         removed=removed,
-        optimizer_calls=optimizer.call_count - calls_before,
+        optimizer_calls=backend.optimizer_calls - calls_before,
         memo_hits=memo_hits,
     )

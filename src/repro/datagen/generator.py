@@ -381,13 +381,13 @@ class TpcdGenerator:
             counter[start:stop] = np.arange(1, stop - start + 1)
         linenumbers[order] = counter
 
-        # ship/commit/receipt dates follow the parent order's date
-        date_of_order = dict(
-            zip(orderkeys.tolist(), orderdates.tolist())
-        )
-        base_dates = np.asarray(
-            [date_of_order[int(k)] for k in l_orderkey], dtype=np.int64
-        )
+        # ship/commit/receipt dates follow the parent order's date;
+        # o_orderkey is np.arange(1, n+1) so a vectorized sorted lookup
+        # replaces the dict (whose iteration order is construction-order
+        # dependent) and keeps row content a pure function of the seed
+        base_dates = orderdates[
+            np.searchsorted(orderkeys, l_orderkey)
+        ].astype(np.int64)
         ship_lag = self._draw(
             "lineitem", "l_shipdate", np.arange(1, 122, dtype=np.int64), n
         )

@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro.backends.memory import MemoryBackend
 from repro.core.candidates import candidate_statistics
 from repro.core.equivalence import (
     ExecutionTreeEquivalence,
@@ -56,9 +57,9 @@ def run_threshold_sweep(
     for t in t_values:
         db = database_factory(z)
         queries = generate_workload(db, workload_name).queries()[:max_queries]
-        optimizer = Optimizer(db)
+        backend = MemoryBackend(db, Optimizer(db))
         result = mnsa_for_workload(
-            db, optimizer, queries, MnsaConfig(t_percent=t)
+            backend, queries, config=MnsaConfig(t_percent=t)
         )
         rows.append(
             ThresholdSweepRow(
@@ -130,11 +131,11 @@ def run_next_stat_ablation(
 
     db_h = database_factory(z)
     queries = generate_workload(db_h, workload_name).queries()[:max_queries]
-    opt_h = Optimizer(db_h)
+    backend_h = MemoryBackend(db_h, Optimizer(db_h))
     heuristic_created = 0
     for query in queries:
         heuristic_created += len(
-            mnsa_for_query(db_h, opt_h, query, config=config).created
+            mnsa_for_query(backend_h, query, config=config).created
         )
     heuristic_cost = db_h.stats.creation_cost_total
 
@@ -182,18 +183,18 @@ def run_shrinking_ablation(
     # arm 1: MNSA then Shrinking Set (guaranteed essential set)
     db_s = database_factory(z)
     queries = generate_workload(db_s, workload_name).queries()[:max_queries]
-    opt_s = Optimizer(db_s)
-    mnsa_for_workload(db_s, opt_s, queries)
+    backend_s = MemoryBackend(db_s, Optimizer(db_s))
+    mnsa_for_workload(backend_s, queries)
     mnsa_retained = len(db_s.stats.visible_keys())
-    shrink = shrinking_set(db_s, opt_s, queries)
+    shrink = shrinking_set(backend_s, queries)
     shrink_update = db_s.stats.update_cost_of_keys(shrink.essential)
     shrink_exec = workload_execution_cost(db_s, queries)
 
     # arm 2: MNSA/D
     db_d = database_factory(z)
     queries_d = generate_workload(db_d, workload_name).queries()[:max_queries]
-    opt_d = Optimizer(db_d)
-    mnsad = mnsad_for_workload(db_d, opt_d, queries_d)
+    backend_d = MemoryBackend(db_d, Optimizer(db_d))
+    mnsad = mnsad_for_workload(backend_d, queries_d)
     db_d.stats.purge_drop_list()
     mnsad_update = db_d.stats.update_cost_of_keys(db_d.stats.visible_keys())
     mnsad_exec = workload_execution_cost(db_d, queries_d)
@@ -237,9 +238,9 @@ def run_equivalence_ablation(
     for name, criterion in criteria:
         db = database_factory(z)
         queries = generate_workload(db, workload_name).queries()[:max_queries]
-        opt = Optimizer(db)
-        mnsa_for_workload(db, opt, queries, MnsaConfig(t_percent=1e-9))
-        result = shrinking_set(db, opt, queries, criterion=criterion)
+        backend = MemoryBackend(db, Optimizer(db))
+        mnsa_for_workload(backend, queries, config=MnsaConfig(t_percent=1e-9))
+        result = shrinking_set(backend, queries, criterion=criterion)
         rows.append(
             EquivalenceAblationRow(
                 criterion=name,

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
+from repro.backends.memory import MemoryBackend
 from repro.core.candidates import (
     CandidateMode,
     workload_candidate_statistics,
@@ -90,8 +91,8 @@ def _run(
         db_mnsa, workload_name, seed=workload_seed
     )
     queries_b = workload_b.queries()[:max_queries]
-    optimizer = Optimizer(db_mnsa)
-    result = mnsa_for_workload(db_mnsa, optimizer, queries_b, mnsa_config)
+    backend = MemoryBackend(db_mnsa, Optimizer(db_mnsa))
+    result = mnsa_for_workload(backend, queries_b, config=mnsa_config)
     mnsa_execution = workload_execution_cost(db_mnsa, queries_b)
 
     return Figure4Result(

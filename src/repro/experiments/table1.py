@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.backends.memory import MemoryBackend
 from repro.core.mnsa import MnsaConfig, mnsa_for_workload
 from repro.core.mnsad import mnsad_for_workload
 from repro.experiments.common import (
@@ -72,7 +73,7 @@ def run_table1(
     db_a = database_factory(z)
     workload_a = generate_workload(db_a, workload_name, seed=workload_seed)
     queries_a = workload_a.queries()[:max_queries]
-    mnsa_for_workload(db_a, Optimizer(db_a), queries_a, config)
+    mnsa_for_workload(MemoryBackend(db_a, Optimizer(db_a)), queries_a, config=config)
     mnsa_keys = db_a.stats.visible_keys()
     mnsa_update = db_a.stats.update_cost_of_keys(mnsa_keys)
     mnsa_execution = workload_execution_cost(db_a, queries_a)
@@ -81,7 +82,7 @@ def run_table1(
     db_b = database_factory(z)
     workload_b = generate_workload(db_b, workload_name, seed=workload_seed)
     queries_b = workload_b.queries()[:max_queries]
-    mnsad_for_workload(db_b, Optimizer(db_b), queries_b, config)
+    mnsad_for_workload(MemoryBackend(db_b, Optimizer(db_b)), queries_b, config=config)
     db_b.stats.purge_drop_list()
     mnsad_keys = db_b.stats.visible_keys()
     mnsad_update = db_b.stats.update_cost_of_keys(mnsad_keys)

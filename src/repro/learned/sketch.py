@@ -136,10 +136,14 @@ class SketchJoinEstimator:
             for owner, column in self._join_columns()
             if owner == table
         }
+        # read the cardinality before taking our lock: row_count may
+        # itself lock the backing engine, and holding both inverts the
+        # order used by planning paths
+        row_total = self._db.row_count(table) if built else 0
         with self._lock:
             self._sketches.update(built)
             if built:
-                self._rows[table] = self._db.row_count(table)
+                self._rows[table] = row_total
             self._version += 1
         return len(built)
 

@@ -32,6 +32,9 @@ METRICS: Dict[str, str] = {
     "advisor.skipped": "capture events skipped as not analyzable",
     "advisor.stats_created": "statistics created by advisor decisions",
     "advisor.stats_drop_listed": "statistics moved to the drop list by MNSA/D",
+    "backend.analyses": "advisor analyses run against a foreign (non-memory) backend",
+    "backend.mirrored_creates": "foreign-backend created statistics mirrored into database.stats",
+    "backend.mirrored_drops": "foreign-backend drop-list decisions mirrored into database.stats",
     "capture.depth": "current capture-log queue depth",
     "capture.dropped": "capture events dropped while the log was closed",
     "capture.events": "query/DML events recorded in the capture log",

@@ -51,6 +51,7 @@ import warnings
 from contextlib import ExitStack
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.backends.base import Backend, backend_from_name
 from repro.concurrency import guarded_by
 from repro.config import ServiceConfig
 from repro.core.mnsa import MnsaConfig
@@ -290,6 +291,17 @@ class StatsService:
             database, cache=self.plan_cache, corrections=self.corrections
         )
         self._executor = Executor(database)
+        #: the engine advisor analyses run against.  ``None`` for the
+        #: default ``"memory"`` backend (each worker builds its own
+        #: MemoryBackend so optimizer call counts attribute per worker);
+        #: otherwise one shared foreign engine — analyses are serialized
+        #: by the statement locks, DML is replayed into it on the DML
+        #: path, and workers mirror its decisions into ``database.stats``.
+        self._analysis_backend: Optional[Backend] = None
+        if self.config.backend != "memory":
+            self._analysis_backend = backend_from_name(
+                self.config.backend, database
+            )
         #: execution-feedback store + policy; None unless
         #: ``config.feedback_enabled`` (the default keeps the service
         #: byte-identical to its pre-feedback behaviour)
@@ -364,6 +376,7 @@ class StatsService:
                     router=self._router,
                     statement_locks=statement_locks,
                     shard_id=shard.shard_id,
+                    backend=self._analysis_backend,
                 )
                 for index in range(cfg.advisor_workers)
             ]
@@ -693,6 +706,9 @@ class StatsService:
         with self.metrics.timer("service.dml"):
             with self._shards[shard_id].statement_lock:
                 affected = apply_dml(self.database, statement)
+                if self._analysis_backend is not None:
+                    # keep the foreign analysis engine's data in step
+                    self._analysis_backend.execute(statement)
         self.metrics.inc("service.dml_statements")
         self.metrics.inc("service.rows_modified", affected)
         return ServiceResponse(
@@ -740,6 +756,11 @@ class StatsService:
     def router(self):
         """The shared table -> shard router."""
         return self._router
+
+    @property
+    def analysis_backend(self) -> Optional[Backend]:
+        """The shared foreign analysis engine (None for ``"memory"``)."""
+        return self._analysis_backend
 
     @property
     def queue_depth(self) -> int:

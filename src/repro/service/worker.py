@@ -16,6 +16,8 @@ import time
 from contextlib import ExitStack
 from typing import Callable, List, Optional, Tuple
 
+from repro.backends.base import Backend
+from repro.backends.memory import MemoryBackend
 from repro.concurrency import guarded_by
 from repro.core.mnsa import MnsaConfig, mnsa_for_query
 from repro.core.mnsad import mnsad_for_query
@@ -67,6 +69,16 @@ class AdvisorWorker(threading.Thread):
         statement_locks: per-shard statement locks, indexed by shard id.
         shard_id: the service shard this worker belongs to (thread
             naming only).
+        backend: the :class:`~repro.backends.base.Backend` analyses run
+            against.  ``None`` (default) builds a private
+            :class:`~repro.backends.memory.MemoryBackend` over
+            ``database`` and this worker's optimizer — the historic
+            behaviour.  A foreign engine (e.g. ``SqliteBackend``) is
+            typically *shared* across workers (analyses are serialized
+            by the statement locks anyway) and its creation/drop-list
+            decisions are mirrored into ``database.stats`` so the
+            refresh/drop policies and foreground sessions see them
+            (``backend.*`` metrics count the mirroring).
     """
 
     _errors = guarded_by("_errors_lock")
@@ -89,6 +101,7 @@ class AdvisorWorker(threading.Thread):
         router=None,
         statement_locks: Optional[List[threading.RLock]] = None,
         shard_id: Optional[int] = None,
+        backend: Optional[Backend] = None,
     ) -> None:
         name = (
             f"stats-advisor-{index}"
@@ -110,6 +123,10 @@ class AdvisorWorker(threading.Thread):
         self._optimizer = Optimizer(
             database, cache=cache, corrections=corrections
         )
+        if backend is None:
+            backend = MemoryBackend(database, optimizer=self._optimizer)
+        self._backend = backend
+        self._mirror = not isinstance(backend, MemoryBackend)
         self._corrections = corrections
         self._feedback_policy = feedback_policy
         self._feedback = (
@@ -183,8 +200,7 @@ class AdvisorWorker(threading.Thread):
             self._retune(event)
         if self._policy == "mnsa":
             result = mnsa_for_query(
-                self._db,
-                self._optimizer,
+                self._backend,
                 event.query,
                 config=self._config,
                 feedback=self._feedback,
@@ -192,14 +208,45 @@ class AdvisorWorker(threading.Thread):
             drop_listed: List[StatKey] = []
         else:
             result = mnsad_for_query(
-                self._db,
-                self._optimizer,
+                self._backend,
                 event.query,
                 config=self._config,
                 feedback=self._feedback,
             )
             drop_listed = result.dropped
+        self._mirror_decisions(result.created, drop_listed)
         return result, drop_listed
+
+    def _mirror_decisions(
+        self, created: List[StatKey], drop_listed: List[StatKey]
+    ) -> None:
+        """Reflect a foreign backend's decisions into ``database.stats``.
+
+        The counter-driven refresh/drop policies and the foreground
+        optimizer read the in-memory statistics manager; when analyses
+        run on another engine, its created statistics are built there
+        too and its drop-listed ones marked droppable.  Runs under the
+        analysis locks (called from :meth:`_analyze`).
+        """
+        if not self._mirror:
+            return
+        self._metrics.inc("backend.analyses")
+        mirrored = 0
+        for key in created:
+            if not self._db.stats.has(key):
+                self._db.stats.create(key)
+                mirrored += 1
+        if mirrored:
+            self._metrics.inc("backend.mirrored_creates", mirrored)
+        dropped = 0
+        for key in drop_listed:
+            if self._db.stats.has(key) and not self._db.stats.is_droppable(
+                key
+            ):
+                self._db.stats.mark_droppable(key)
+                dropped += 1
+        if dropped:
+            self._metrics.inc("backend.mirrored_drops", dropped)
 
     def _retune(self, event: QueryEvent) -> None:
         """Rebuild the statistics feedback blames for a misestimated plan.

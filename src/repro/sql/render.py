@@ -32,20 +32,29 @@ from repro.sql.query import DmlStatement, Query, Statement
 
 
 # repro-lint: dispatch=Statement
-def render_statement(statement: Statement, schema: Schema) -> str:
-    """Render a bound statement to SQL text."""
+def render_statement(
+    statement: Statement, schema: Schema, renderer: "_Renderer" = None
+) -> str:
+    """Render a bound statement to SQL text.
+
+    ``renderer`` lets dialect adapters (e.g. the SQLite backend, whose
+    DATE literals are plain day numbers) swap the literal rendering
+    while reusing the statement structure.
+    """
     if isinstance(statement, Query):
-        return render_query(statement, schema)
+        return render_query(statement, schema, renderer)
     if isinstance(statement, DmlStatement):
-        return _render_dml(statement, schema)
+        return _render_dml(statement, schema, renderer)
     raise SqlError(
         f"cannot render statement of type {type(statement).__name__}"
     )
 
 
-def render_query(query: Query, schema: Schema) -> str:
+def render_query(
+    query: Query, schema: Schema, renderer: "_Renderer" = None
+) -> str:
     """Render a bound SELECT statement to SQL text."""
-    renderer = _Renderer(schema)
+    renderer = renderer if renderer is not None else _Renderer(schema)
     parts = [f"SELECT {renderer.select_list(query)}"]
     parts.append(f"FROM {', '.join(query.tables)}")
     conjuncts: List[str] = [
@@ -145,8 +154,10 @@ class _Renderer:
         return ", ".join(self.select_item(i) for i in query.projections)
 
 
-def _render_dml(statement: DmlStatement, schema: Schema) -> str:
-    renderer = _Renderer(schema)
+def _render_dml(
+    statement: DmlStatement, schema: Schema, renderer: "_Renderer" = None
+) -> str:
+    renderer = renderer if renderer is not None else _Renderer(schema)
     table = statement.table
     if statement.kind == "insert":
         table_schema = schema.table(table)

@@ -1,0 +1,98 @@
+"""The legacy entry-point shims: old call forms warn, then still work.
+
+R008 companions: the warn sites in :func:`repro.backends.base.
+_legacy_backend` and :class:`repro.core.driver.WorkloadDriver` carry
+``repro-lint: deprecation-shim=`` markers whose needles —
+``(database, optimizer`` and ``WorkloadDriver(`` — must appear in a
+``pytest.warns(ReproDeprecationWarning`` test (this file) and in the
+CONTRIBUTING.md deprecation table.
+"""
+
+import pytest
+
+from repro.backends.memory import MemoryBackend
+from repro.core.driver import WorkloadDriver
+from repro.core.essential import find_minimal_essential_set, plan_with_stats
+from repro.core.mnsa import mnsa_for_query
+from repro.core.mnsad import mnsad_for_query
+from repro.core.shrinking import shrinking_set
+from repro.errors import ReproDeprecationWarning
+from repro.optimizer import Optimizer
+from repro.sql.builder import QueryBuilder
+from repro.stats import StatKey
+
+from tests.util import simple_db
+
+AGE = StatKey("emp", ("age",))
+
+
+def _age_query(db):
+    return QueryBuilder(db.schema).where("emp.age", "=", 30).build()
+
+
+class TestLegacyAlgorithmEntryPoints:
+    """``caller(database, optimizer, ...)`` still runs, with a warning."""
+
+    def test_mnsa_legacy_call_warns_and_matches(self, db):
+        query = _age_query(db)
+        with pytest.warns(ReproDeprecationWarning, match="pass a Backend"):
+            legacy = mnsa_for_query(db, Optimizer(db), query)
+        db2 = simple_db()
+        modern = mnsa_for_query(MemoryBackend(db2, Optimizer(db2)), query)
+        assert legacy.created == modern.created
+        assert legacy.stop_reason == modern.stop_reason
+
+    def test_mnsad_legacy_call_warns(self, db):
+        with pytest.warns(ReproDeprecationWarning):
+            result = mnsad_for_query(db, Optimizer(db), _age_query(db))
+        assert set(result.retained) | set(result.dropped) == set(
+            result.created
+        )
+
+    def test_shrinking_legacy_call_warns(self, db):
+        db.stats.create(AGE)
+        with pytest.warns(ReproDeprecationWarning):
+            result = shrinking_set(db, Optimizer(db), [_age_query(db)])
+        assert set(result.essential) | set(result.removed) == {AGE}
+
+    def test_essential_legacy_call_is_optimizer_first(self, db):
+        # the Sec 3.3 checkers kept their (optimizer, database, ...) order
+        query = _age_query(db)
+        db.stats.create(AGE)
+        with pytest.warns(ReproDeprecationWarning, match="optimizer, database"):
+            minimal = find_minimal_essential_set(
+                Optimizer(db), db, query, [AGE]
+            )
+        assert set(minimal) <= {AGE}
+
+    def test_plan_with_stats_legacy_call_warns(self, db):
+        with pytest.warns(ReproDeprecationWarning):
+            result = plan_with_stats(Optimizer(db), db, _age_query(db), [])
+        assert result is not None
+
+    def test_legacy_call_without_query_rejected(self, db):
+        with pytest.warns(ReproDeprecationWarning):
+            with pytest.raises(TypeError, match="missing"):
+                mnsa_for_query(db, Optimizer(db))
+
+
+class TestLegacyWorkloadDriver:
+    def test_database_first_construction_warns(self, db):
+        with pytest.warns(ReproDeprecationWarning, match="WorkloadDriver"):
+            driver = WorkloadDriver(db)
+        assert isinstance(driver.backend, MemoryBackend)
+        assert driver.backend.database is db
+
+    def test_database_plus_optimizer_adopted(self, db):
+        optimizer = Optimizer(db)
+        with pytest.warns(ReproDeprecationWarning, match="WorkloadDriver"):
+            driver = WorkloadDriver(db, optimizer)
+        assert driver.optimizer is optimizer
+
+    def test_backend_first_construction_is_silent(self, db, recwarn):
+        WorkloadDriver(MemoryBackend(db, Optimizer(db)))
+        assert not [
+            w
+            for w in recwarn.list
+            if issubclass(w.category, ReproDeprecationWarning)
+        ]

@@ -1,0 +1,170 @@
+"""Cross-backend parity suite: the same algorithms, two real engines.
+
+Runs MNSA (Sec 4), MNSA/D (Sec 5.1) and the Shrinking Set (Sec 5.2)
+unchanged against :class:`MemoryBackend` and :class:`SqliteBackend` over
+the same workloads and pins how closely the *decisions* agree:
+
+* execution answers are engine-independent — row counts match exactly;
+* MNSA's created set agrees exactly on the uniform workload and within
+  a small tolerance on the skewed one (the engines estimate skew
+  through different statistics formats, so an occasional borderline
+  candidate lands differently);
+* MNSA/D and the Shrinking Set satisfy the paper's structural
+  invariants on both engines, and everything the memory engine keeps
+  the SQLite engine also considered (its decisions are conservative:
+  ``sqlite_stat1`` carries less detail than real histograms, so it
+  retains more).
+
+Workload recipes match ``benchmarks/bench_backend_parity.py`` — keep
+the two in sync.
+"""
+
+import pytest
+
+from repro.backends.memory import MemoryBackend
+from repro.backends.sqlite import SqliteBackend
+from repro.core.mnsa import mnsa_for_workload
+from repro.core.mnsad import mnsad_for_workload
+from repro.core.shrinking import shrinking_set
+from repro.datagen import make_tpcd_database
+from repro.workload import generate_workload
+
+#: (workload name, zipf skew) — one uniform, one skewed update-mix
+WORKLOADS = (("U0-S-100", 1.0), ("U50-S-100", 2.0))
+QUERY_LIMIT = 20
+SCALE = 0.002
+SEED = 11
+
+
+def _fresh_db(z):
+    return make_tpcd_database(scale=SCALE, z=z, seed=SEED)
+
+
+class _ParityRun:
+    """Both backends' decisions for one workload, computed once."""
+
+    def __init__(self, name: str, z: float) -> None:
+        self.name = name
+        db_mem, db_sq = _fresh_db(z), _fresh_db(z)
+        self.queries = generate_workload(db_mem, name).queries()[:QUERY_LIMIT]
+
+        # arm 1: MNSA then Shrinking Set on each engine
+        self.mem = MemoryBackend(db_mem)
+        self.sq = SqliteBackend(db_sq)
+        self.mnsa_mem = mnsa_for_workload(self.mem, self.queries)
+        self.mnsa_sq = mnsa_for_workload(self.sq, self.queries)
+        self.row_counts_mem = [
+            self.mem.execute(q).row_count for q in self.queries
+        ]
+        self.row_counts_sq = [
+            self.sq.execute(q).row_count for q in self.queries
+        ]
+        self.visible_mem = set(self.mem.visible_stat_keys())
+        self.visible_sq = set(self.sq.visible_stat_keys())
+        self.shrink_mem = shrinking_set(self.mem, self.queries)
+        self.shrink_sq = shrinking_set(self.sq, self.queries)
+
+        # arm 2: MNSA/D on fresh copies (drops change the trajectory)
+        db_mem2, db_sq2 = _fresh_db(z), _fresh_db(z)
+        self.mem2 = MemoryBackend(db_mem2)
+        self.sq2 = SqliteBackend(db_sq2)
+        self.mnsad_mem = mnsad_for_workload(self.mem2, self.queries)
+        self.mnsad_sq = mnsad_for_workload(self.sq2, self.queries)
+
+        self.sq.close()
+        self.sq2.close()
+
+
+@pytest.fixture(scope="module", params=WORKLOADS, ids=lambda w: w[0])
+def run(request):
+    name, z = request.param
+    return _ParityRun(name, z)
+
+
+class TestExecutionParity:
+    def test_row_counts_identical(self, run):
+        """Answers are engine-independent, statistics or not."""
+        assert run.row_counts_mem == run.row_counts_sq
+
+
+class TestMnsaParity:
+    def test_created_sets_agree(self, run):
+        created_mem = set(run.mnsa_mem.created)
+        created_sq = set(run.mnsa_sq.created)
+        if run.name == "U0-S-100":
+            # uniform data: the engines agree exactly
+            assert created_mem == created_sq
+        else:
+            # skewed data: at most 2 borderline candidates differ
+            assert len(created_mem ^ created_sq) <= 2
+            union = created_mem | created_sq
+            assert len(created_mem & created_sq) >= 0.9 * len(union)
+
+    def test_both_engines_create_something(self, run):
+        assert run.mnsa_mem.created
+        assert run.mnsa_sq.created
+
+    def test_created_stats_visible_on_both(self, run):
+        """Visibility captured right after MNSA, before shrinking hid
+        the non-essential ones."""
+        assert set(run.mnsa_mem.created) <= run.visible_mem
+        assert set(run.mnsa_sq.created) <= run.visible_sq
+
+
+class TestMnsadParity:
+    def test_partition_invariants_on_both(self, run):
+        for result in (run.mnsad_mem, run.mnsad_sq):
+            assert set(result.retained) | set(result.dropped) == set(
+                result.created
+            )
+            assert not set(result.retained) & set(result.dropped)
+
+    def test_drop_list_scope_on_both(self, run):
+        for backend, result in (
+            (run.mem2, run.mnsad_mem),
+            (run.sq2, run.mnsad_sq),
+        ):
+            for key in result.dropped:
+                assert backend.is_stat_droppable(key)
+            for key in result.retained:
+                assert backend.is_stat_visible(key)
+
+    def test_memory_keeps_nothing_sqlite_never_saw(self, run):
+        """The coarser engine is conservative, never blind: whatever the
+        memory engine decided was worth keeping, the SQLite run also
+        built (it may keep more — stat1 strings resolve fewer plan
+        distinctions than real histograms)."""
+        assert set(run.mnsad_mem.retained) <= set(run.mnsad_sq.created)
+
+
+class TestShrinkingParity:
+    def test_partition_of_visible_set(self, run):
+        for mnsa, shrink in (
+            (run.mnsa_mem, run.shrink_mem),
+            (run.mnsa_sq, run.shrink_sq),
+        ):
+            assert set(shrink.essential) | set(shrink.removed) == set(
+                mnsa.created
+            )
+
+    def test_shrinks_on_both(self, run):
+        assert len(run.shrink_mem.essential) < len(run.mnsa_mem.created)
+        assert len(run.shrink_sq.essential) < len(run.mnsa_sq.created)
+
+    def test_memory_essentials_within_sqlite_universe(self, run):
+        universe_sq = set(run.shrink_sq.essential) | set(
+            run.shrink_sq.removed
+        )
+        assert set(run.shrink_mem.essential) <= universe_sq
+
+    def test_plans_preserved_per_backend(self, run):
+        """The Shrinking Set's contract holds on each engine: removing
+        the non-essential statistics left every workload plan intact."""
+        for backend, shrink in (
+            (run.mem, run.shrink_mem),
+            (run.sq, run.shrink_sq),
+        ):
+            for key in shrink.removed:
+                assert not backend.is_stat_visible(key)
+            for key in shrink.essential:
+                assert backend.is_stat_visible(key)

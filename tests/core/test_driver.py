@@ -8,7 +8,9 @@ database.  The pre-warm phase may only shift work into the cache.
 
 import pytest
 
+from repro.backends.memory import MemoryBackend
 from repro.core import WorkloadDriver
+from repro.errors import ReproDeprecationWarning
 from repro.core.mnsa import MnsaConfig, mnsa_for_workload
 from repro.core.mnsad import mnsad_for_workload
 from repro.errors import PolicyError
@@ -57,12 +59,14 @@ class TestSerialParallelEquivalence:
     def test_mnsa_matches_serial(self, figure4_queries):
         serial_db = _fresh_db()
         serial = mnsa_for_workload(
-            serial_db, Optimizer(serial_db), figure4_queries
+            MemoryBackend(serial_db, Optimizer(serial_db)), figure4_queries
         )
 
         parallel_db = _fresh_db()
         driver = WorkloadDriver(
-            parallel_db, parallelism=4, cache=PlanCache(512)
+            MemoryBackend(parallel_db, Optimizer(parallel_db)),
+            parallelism=4,
+            cache=PlanCache(512),
         )
         parallel = driver.run_mnsa(figure4_queries)
 
@@ -76,12 +80,14 @@ class TestSerialParallelEquivalence:
     def test_mnsad_matches_serial(self, figure4_queries):
         serial_db = _fresh_db()
         serial = mnsad_for_workload(
-            serial_db, Optimizer(serial_db), figure4_queries
+            MemoryBackend(serial_db, Optimizer(serial_db)), figure4_queries
         )
 
         parallel_db = _fresh_db()
         driver = WorkloadDriver(
-            parallel_db, parallelism=4, cache=PlanCache(512)
+            MemoryBackend(parallel_db, Optimizer(parallel_db)),
+            parallelism=4,
+            cache=PlanCache(512),
         )
         parallel = driver.run_mnsad(figure4_queries)
 
@@ -93,24 +99,27 @@ class TestSerialParallelEquivalence:
     def test_parallelism_one_matches_serial(self, figure4_queries):
         serial_db = _fresh_db()
         serial = mnsa_for_workload(
-            serial_db, Optimizer(serial_db), figure4_queries[:8]
+            MemoryBackend(serial_db, Optimizer(serial_db)),
+            figure4_queries[:8],
         )
         db = _fresh_db()
-        result = WorkloadDriver(db, parallelism=1).run_mnsa(
-            figure4_queries[:8]
-        )
+        result = WorkloadDriver(
+            MemoryBackend(db, Optimizer(db)), parallelism=1
+        ).run_mnsa(figure4_queries[:8])
         assert _mnsa_snapshot(result) == _mnsa_snapshot(serial)
 
     def test_config_is_forwarded(self, figure4_queries):
         config = MnsaConfig(t_percent=60.0)
         serial_db = _fresh_db()
         serial = mnsa_for_workload(
-            serial_db, Optimizer(serial_db), figure4_queries[:8], config
+            MemoryBackend(serial_db, Optimizer(serial_db)),
+            figure4_queries[:8],
+            config=config,
         )
         db = _fresh_db()
-        result = WorkloadDriver(db, parallelism=2).run_mnsa(
-            figure4_queries[:8], config=config
-        )
+        result = WorkloadDriver(
+            MemoryBackend(db, Optimizer(db)), parallelism=2
+        ).run_mnsa(figure4_queries[:8], config=config)
         assert _mnsa_snapshot(result) == _mnsa_snapshot(serial)
 
 
@@ -120,7 +129,9 @@ class TestDriverConstruction:
             WorkloadDriver(_fresh_db(), parallelism=0)
 
     def test_default_optimizer_gets_a_cache(self):
-        driver = WorkloadDriver(_fresh_db())
+        # legacy database-first construction still works, with a warning
+        with pytest.warns(ReproDeprecationWarning, match="WorkloadDriver"):
+            driver = WorkloadDriver(_fresh_db())
         assert driver.cache is not None
         assert driver.optimizer.cache is driver.cache
 
@@ -128,7 +139,8 @@ class TestDriverConstruction:
         db = _fresh_db()
         optimizer = Optimizer(db)
         cache = PlanCache(64)
-        driver = WorkloadDriver(db, optimizer, cache=cache)
+        with pytest.warns(ReproDeprecationWarning, match="WorkloadDriver"):
+            driver = WorkloadDriver(db, optimizer, cache=cache)
         assert driver.optimizer is optimizer
         assert optimizer.cache is cache
 
@@ -137,12 +149,15 @@ class TestDriverConstruction:
 
         db = _fresh_db()
         optimizer = Optimizer(db, cache=PlanCache(8))
-        with pytest.raises(OptimizerError):
-            WorkloadDriver(db, optimizer, cache=PlanCache(8))
+        with pytest.warns(ReproDeprecationWarning, match="WorkloadDriver"):
+            with pytest.raises(OptimizerError):
+                WorkloadDriver(db, optimizer, cache=PlanCache(8))
 
     def test_dml_statements_are_skipped(self, figure4_queries):
         db = _fresh_db()
-        driver = WorkloadDriver(db, parallelism=2)
+        driver = WorkloadDriver(
+            MemoryBackend(db, Optimizer(db)), parallelism=2
+        )
         mixed = list(figure4_queries[:5]) + ["not a query"]
         result = driver.run_mnsa(mixed)
         assert result.iterations > 0

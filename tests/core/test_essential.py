@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.backends.memory import MemoryBackend
 from repro.catalog import ColumnRef
 from repro.core.equivalence import TOptimizerCostEquivalence
 from repro.core.essential import (
@@ -38,28 +39,28 @@ def prepared(db):
     ]
     for key in candidates:
         db.stats.create(key)
-    return db, Optimizer(db), query, candidates
+    return db, MemoryBackend(db, Optimizer(db)), query, candidates
 
 
 class TestPlanWithStats:
     def test_empty_set_hides_everything(self, prepared):
-        db, opt, query, candidates = prepared
-        bare = plan_with_stats(opt, db, query, [])
-        assert len(opt.magic_variables(query)) == 0 or bare is not None
+        db, backend, query, candidates = prepared
+        bare = plan_with_stats(backend, query, keys=[])
+        assert len(backend.magic_variables(query)) == 0 or bare is not None
         # with nothing visible the estimates must be pure magic numbers
-        full = plan_with_stats(opt, db, query, candidates)
+        full = plan_with_stats(backend, query, keys=candidates)
         assert bare.rows != full.rows
 
     def test_requires_built_statistics(self, prepared):
-        db, opt, query, _ = prepared
+        db, backend, query, _ = prepared
         with pytest.raises(StatisticsError):
             plan_with_stats(
-                opt, db, query, [StatKey("emp", ("salary",))]
+                backend, query, keys=[StatKey("emp", ("salary",))]
             )
 
     def test_restores_visibility(self, prepared):
-        db, opt, query, candidates = prepared
-        plan_with_stats(opt, db, query, [])
+        db, backend, query, candidates = prepared
+        plan_with_stats(backend, query, keys=[])
         assert set(db.stats.visible_keys()) == set(candidates)
 
 
@@ -67,45 +68,55 @@ class TestDefinitionOne:
     """Example 1's shape: S equivalent to C, no proper subset is."""
 
     def test_full_candidate_set_is_equivalent_to_itself(self, prepared):
-        db, opt, query, candidates = prepared
+        db, backend, query, candidates = prepared
         assert is_equivalent_to_candidates(
-            opt, db, query, candidates, candidates
+            backend, query, subset=candidates, candidates=candidates
         )
 
     def test_minimal_set_is_essential(self, prepared):
-        db, opt, query, candidates = prepared
-        minimal = find_minimal_essential_set(opt, db, query, candidates)
-        assert is_essential_set(opt, db, query, minimal, candidates)
+        db, backend, query, candidates = prepared
+        minimal = find_minimal_essential_set(
+            backend, query, candidates=candidates
+        )
+        assert is_essential_set(
+            backend, query, subset=minimal, candidates=candidates
+        )
 
     def test_supersets_of_essential_not_essential(self, prepared):
-        db, opt, query, candidates = prepared
-        minimal = find_minimal_essential_set(opt, db, query, candidates)
+        db, backend, query, candidates = prepared
+        minimal = find_minimal_essential_set(
+            backend, query, candidates=candidates
+        )
         if len(minimal) < len(candidates):
             # the full set is equivalent but not minimal
             assert not is_essential_set(
-                opt, db, query, candidates, candidates
+                backend, query, subset=candidates, candidates=candidates
             )
 
     def test_non_equivalent_subset_not_essential(self, prepared):
-        db, opt, query, candidates = prepared
-        minimal = find_minimal_essential_set(opt, db, query, candidates)
+        db, backend, query, candidates = prepared
+        minimal = find_minimal_essential_set(
+            backend, query, candidates=candidates
+        )
         if minimal:
             smaller = minimal[:-1]
             assert not is_essential_set(
-                opt, db, query, smaller, candidates
+                backend, query, subset=smaller, candidates=candidates
             )
 
     def test_t_cost_criterion_usable(self, prepared):
-        db, opt, query, candidates = prepared
+        db, backend, query, candidates = prepared
         criterion = TOptimizerCostEquivalence(t_percent=1e9)
         # with an absurdly loose criterion, the empty set is essential
         minimal = find_minimal_essential_set(
-            opt, db, query, candidates, criterion=criterion
+            backend, query, candidates=candidates, criterion=criterion
         )
         assert minimal == []
 
     def test_brute_force_guard(self, prepared):
-        db, opt, query, _ = prepared
+        db, backend, query, _ = prepared
         too_many = [StatKey("emp", (f"c{i}",)) for i in range(20)]
         with pytest.raises(StatisticsError):
-            find_minimal_essential_set(opt, db, query, too_many)
+            find_minimal_essential_set(
+                backend, query, candidates=too_many
+            )

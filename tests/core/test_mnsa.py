@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.backends.memory import MemoryBackend
 from repro.catalog import ColumnRef
 from repro.core.mnsa import MnsaConfig, MnsaResult, mnsa_for_query, mnsa_for_workload
 from repro.core.candidates import candidate_statistics
@@ -40,8 +41,8 @@ class TestMnsaConfig:
 
 class TestMnsaForQuery:
     def test_terminates_and_reports(self, db):
-        opt = Optimizer(db)
-        result = mnsa_for_query(db, opt, _join_query(db))
+        backend = MemoryBackend(db, Optimizer(db))
+        result = mnsa_for_query(backend, _join_query(db))
         assert result.stop_reason in (
             "insensitive",
             "no_missing_variables",
@@ -51,87 +52,83 @@ class TestMnsaForQuery:
         assert result.optimizer_calls >= 2
 
     def test_created_statistics_exist(self, db):
-        opt = Optimizer(db)
-        result = mnsa_for_query(db, opt, _join_query(db))
+        backend = MemoryBackend(db, Optimizer(db))
+        result = mnsa_for_query(backend, _join_query(db))
         for key in result.created:
             assert db.stats.is_visible(key)
 
     def test_created_plus_skipped_cover_candidates(self, db):
-        opt = Optimizer(db)
+        backend = MemoryBackend(db, Optimizer(db))
         query = _join_query(db)
         candidates = candidate_statistics(query)
-        result = mnsa_for_query(db, opt, query)
+        result = mnsa_for_query(backend, query)
         assert set(result.created) | set(result.skipped) == set(candidates)
 
     def test_huge_t_builds_nothing(self, db):
         """With an enormous threshold every plan pair is equivalent."""
-        opt = Optimizer(db)
+        backend = MemoryBackend(db, Optimizer(db))
         result = mnsa_for_query(
-            db, opt, _join_query(db), config=MnsaConfig(t_percent=1e9)
+            backend, _join_query(db), config=MnsaConfig(t_percent=1e9)
         )
         assert result.created == []
         assert result.stop_reason == "insensitive"
 
     def test_tiny_t_builds_everything_relevant(self, db):
-        opt = Optimizer(db)
+        backend = MemoryBackend(db, Optimizer(db))
         query = _join_query(db)
         result = mnsa_for_query(
-            db, opt, query, config=MnsaConfig(t_percent=1e-9)
+            backend, query, config=MnsaConfig(t_percent=1e-9)
         )
         # all candidates get built (none can be proven irrelevant)
         assert set(result.created) == set(candidate_statistics(query))
 
     def test_existing_statistics_respected(self, db):
         db.stats.create(AGE)
-        opt = Optimizer(db)
-        result = mnsa_for_query(db, opt, _join_query(db))
+        backend = MemoryBackend(db, Optimizer(db))
+        result = mnsa_for_query(backend, _join_query(db))
         assert StatKey.single(AGE) not in result.created
 
     def test_small_table_threshold_builds_outright(self, db):
-        opt = Optimizer(db)
+        backend = MemoryBackend(db, Optimizer(db))
         config = MnsaConfig(min_table_rows=10**9)
         query = _join_query(db)
-        result = mnsa_for_query(db, opt, query, config=config)
+        result = mnsa_for_query(backend, query, config=config)
         # every candidate is on a "small" table -> created without analysis
         assert set(result.created) == set(candidate_statistics(query))
         assert result.skipped == []
 
     def test_creation_cost_includes_optimizer_overhead(self, db):
-        opt = Optimizer(db)
-        result = mnsa_for_query(db, opt, _join_query(db))
+        backend = MemoryBackend(db, Optimizer(db))
+        result = mnsa_for_query(backend, _join_query(db))
         build_cost = sum(
             db.stats.get(key).build_cost for key in result.created
         )
         overhead = (
-            result.optimizer_calls * opt.config.cost.optimizer_call_cost
+            result.optimizer_calls * backend.optimizer_call_cost
         )
         assert result.creation_cost == pytest.approx(build_cost + overhead)
 
     def test_explicit_candidates_used(self, db):
-        opt = Optimizer(db)
+        backend = MemoryBackend(db, Optimizer(db))
         result = mnsa_for_query(
-            db,
-            opt,
-            _join_query(db),
-            candidates=[StatKey.single(AGE)],
+            backend, _join_query(db), candidates=[StatKey.single(AGE)]
         )
         assert set(result.created) <= {StatKey.single(AGE)}
 
     def test_rerun_is_noop(self, db):
         """Second MNSA run over the same query creates nothing new."""
-        opt = Optimizer(db)
+        backend = MemoryBackend(db, Optimizer(db))
         query = _join_query(db)
-        mnsa_for_query(db, opt, query)
-        second = mnsa_for_query(db, opt, query)
+        mnsa_for_query(backend, query)
+        second = mnsa_for_query(backend, query)
         assert second.created == []
 
 
 class TestMnsaExtensions:
     def test_execution_tree_mode_valid(self, db):
-        opt = Optimizer(db)
+        backend = MemoryBackend(db, Optimizer(db))
         result = mnsa_for_query(
-            db,
-            opt,
+            backend,
             _join_query(db),
             config=MnsaConfig(equivalence="execution_tree"),
         )
@@ -149,14 +146,12 @@ class TestMnsaExtensions:
         db_tree = simple_db()
         db_cost = simple_db()
         tree = mnsa_for_query(
-            db_tree,
-            Optimizer(db_tree),
+            MemoryBackend(db_tree, Optimizer(db_tree)),
             _join_query(db_tree),
             config=MnsaConfig(equivalence="execution_tree"),
         )
         loose = mnsa_for_query(
-            db_cost,
-            Optimizer(db_cost),
+            MemoryBackend(db_cost, Optimizer(db_cost)),
             _join_query(db_cost),
             config=MnsaConfig(t_percent=1e9),
         )
@@ -172,38 +167,40 @@ class TestMnsaExtensions:
 
     def test_cost_fraction_skips_cheap_queries(self, db):
         """Sec 6: only analyze queries carrying real workload cost."""
-        opt = Optimizer(db)
+        backend = MemoryBackend(db, Optimizer(db))
         expensive = _join_query(db)
         cheap = QueryBuilder(db.schema).table("dept").build()
         config = MnsaConfig(min_query_cost_fraction=0.2)
-        result = mnsa_for_workload(db, opt, [expensive, cheap], config)
+        result = mnsa_for_workload(
+            backend, [expensive, cheap], config=config
+        )
         # the cheap dept-only query contributed no candidates
         assert all(key.table != "dept" or key.columns != ("id",)
                    for key in result.created) or result.created
 
     def test_cost_fraction_zero_keeps_all(self, db):
-        opt = Optimizer(db)
+        backend = MemoryBackend(db, Optimizer(db))
         q1 = _join_query(db)
         result = mnsa_for_workload(
-            db, opt, [q1], MnsaConfig(min_query_cost_fraction=0.0)
+            backend, [q1], config=MnsaConfig(min_query_cost_fraction=0.0)
         )
         assert result.iterations >= 1
 
 
 class TestMnsaForWorkload:
     def test_merges_results(self, db):
-        opt = Optimizer(db)
+        backend = MemoryBackend(db, Optimizer(db))
         q1 = _join_query(db)
         q2 = QueryBuilder(db.schema).where("emp.salary", ">", 1.0).build()
-        result = mnsa_for_workload(db, opt, [q1, q2])
+        result = mnsa_for_workload(backend, [q1, q2])
         assert result.stop_reason == "workload"
         assert result.iterations >= 2
 
     def test_no_duplicate_creations(self, db):
-        opt = Optimizer(db)
+        backend = MemoryBackend(db, Optimizer(db))
         q1 = _join_query(db)
         q2 = _join_query(db)
-        result = mnsa_for_workload(db, opt, [q1, q2])
+        result = mnsa_for_workload(backend, [q1, q2])
         assert len(result.created) == len(set(result.created))
 
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.backends.memory import MemoryBackend
 from repro.catalog import ColumnRef
 from repro.core.mnsa import MnsaConfig, mnsa_for_workload
 from repro.core.mnsad import mnsad_for_query, mnsad_for_workload
@@ -22,40 +23,40 @@ def _join_query(db):
 
 class TestMnsadForQuery:
     def test_partitions_created(self, db):
-        opt = Optimizer(db)
-        result = mnsad_for_query(db, opt, _join_query(db))
+        backend = MemoryBackend(db, Optimizer(db))
+        result = mnsad_for_query(backend, _join_query(db))
         assert set(result.retained) | set(result.dropped) == set(
             result.created
         )
         assert not (set(result.retained) & set(result.dropped))
 
     def test_dropped_statistics_on_drop_list(self, db):
-        opt = Optimizer(db)
-        result = mnsad_for_query(db, opt, _join_query(db))
+        backend = MemoryBackend(db, Optimizer(db))
+        result = mnsad_for_query(backend, _join_query(db))
         for key in result.dropped:
             assert db.stats.is_droppable(key)
             assert not db.stats.is_visible(key)
 
     def test_retained_statistics_visible(self, db):
-        opt = Optimizer(db)
-        result = mnsad_for_query(db, opt, _join_query(db))
+        backend = MemoryBackend(db, Optimizer(db))
+        result = mnsad_for_query(backend, _join_query(db))
         for key in result.retained:
             assert db.stats.is_visible(key)
 
     def test_huge_t_creates_nothing(self, db):
-        opt = Optimizer(db)
+        backend = MemoryBackend(db, Optimizer(db))
         result = mnsad_for_query(
-            db, opt, _join_query(db), config=MnsaConfig(t_percent=1e9)
+            backend, _join_query(db), config=MnsaConfig(t_percent=1e9)
         )
         assert result.created == []
 
     def test_drops_plan_preserving_statistics(self, db):
         """With tiny t, MNSA/D builds every candidate; the ones that never
         changed the plan must be on the drop-list."""
-        opt = Optimizer(db)
+        backend = MemoryBackend(db, Optimizer(db))
         query = _join_query(db)
         result = mnsad_for_query(
-            db, opt, query, config=MnsaConfig(t_percent=1e-9)
+            backend, query, config=MnsaConfig(t_percent=1e-9)
         )
         assert result.created
         # MNSA/D keeps only plan-changing statistics
@@ -77,10 +78,9 @@ class TestDropCriterion:
         db = fresh_tpcd_db()
         queries = generate_workload(db, "U0-S-100").queries()[:10]
         result = mnsad_for_workload(
-            db,
-            Optimizer(db),
+            MemoryBackend(db, Optimizer(db)),
             queries,
-            MnsaConfig(mnsad_drop_equivalence="t_cost"),
+            config=MnsaConfig(mnsad_drop_equivalence="t_cost"),
         )
         assert set(result.retained) | set(result.dropped) == set(
             result.created
@@ -91,10 +91,10 @@ class TestDropCriterion:
 
 class TestMnsadForWorkload:
     def test_retained_never_marked_droppable(self, db):
-        opt = Optimizer(db)
+        backend = MemoryBackend(db, Optimizer(db))
         q1 = _join_query(db)
         q2 = QueryBuilder(db.schema).where("emp.age", "=", 30).build()
-        result = mnsad_for_workload(db, opt, [q1, q2])
+        result = mnsad_for_workload(backend, [q1, q2])
         for key in result.retained:
             assert not db.stats.is_droppable(key)
 
@@ -106,8 +106,8 @@ class TestMnsadForWorkload:
         db_a = fresh_tpcd_db(scale=0.002, z=2.0)
         db_b = fresh_tpcd_db(scale=0.002, z=2.0)
         queries = generate_workload(db_a, "U0-S-100").queries()[:15]
-        mnsa_for_workload(db_a, Optimizer(db_a), queries)
-        mnsad_for_workload(db_b, Optimizer(db_b), queries)
+        mnsa_for_workload(MemoryBackend(db_a, Optimizer(db_a)), queries)
+        mnsad_for_workload(MemoryBackend(db_b, Optimizer(db_b)), queries)
         cost_mnsa = db_a.stats.update_cost_of_keys(db_a.stats.visible_keys())
         cost_mnsad = db_b.stats.update_cost_of_keys(
             db_b.stats.visible_keys()
@@ -121,7 +121,7 @@ class TestMnsadForWorkload:
         from repro.workload import generate_workload
 
         db = fresh_tpcd_db(scale=0.002, z=2.0)
-        opt = Optimizer(db)
+        backend = MemoryBackend(db, Optimizer(db))
         exe = Executor(db)
         queries = generate_workload(db, "U0-S-100").queries()[:10]
 
@@ -130,7 +130,8 @@ class TestMnsadForWorkload:
         # arm 1: MNSA keeps everything
         from repro.core.mnsa import mnsa_for_workload as run_mnsa
 
-        run_mnsa(db, opt, queries)
+        opt = backend.optimizer
+        run_mnsa(backend, queries)
         for query in queries:
             mnsa_cost += exe.execute(
                 opt.optimize(query).plan, query
@@ -139,7 +140,7 @@ class TestMnsadForWorkload:
         # arm 2: MNSA/D on a fresh copy
         db2 = fresh_tpcd_db(scale=0.002, z=2.0)
         opt2, exe2 = Optimizer(db2), Executor(db2)
-        mnsad_for_workload(db2, opt2, queries)
+        mnsad_for_workload(MemoryBackend(db2, opt2), queries)
         for query in queries:
             mnsad_cost += exe2.execute(
                 opt2.optimize(query).plan, query

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.backends.memory import MemoryBackend
 from repro.catalog import ColumnRef
 from repro.core.equivalence import TOptimizerCostEquivalence
 from repro.core.essential import plan_with_stats
@@ -26,61 +27,62 @@ def _queries(db):
 
 @pytest.fixture
 def prepared(db):
-    opt = Optimizer(db)
+    backend = MemoryBackend(db, Optimizer(db))
     queries = _queries(db)
     # build a superset via MNSA with tiny t (creates all candidates)
-    mnsa_for_workload(db, opt, queries, config=MnsaConfig(t_percent=1e-9))
-    return db, opt, queries
+    mnsa_for_workload(backend, queries, config=MnsaConfig(t_percent=1e-9))
+    return db, backend, queries
 
 
 class TestShrinkingSet:
     def test_result_partitions_initial(self, prepared):
-        db, opt, queries = prepared
+        db, backend, queries = prepared
         initial = db.stats.visible_keys()
-        result = shrinking_set(db, opt, queries)
+        result = shrinking_set(backend, queries)
         assert set(result.essential) | set(result.removed) == set(initial)
         assert not (set(result.essential) & set(result.removed))
 
     def test_removed_physically_dropped(self, prepared):
-        db, opt, queries = prepared
-        result = shrinking_set(db, opt, queries)
+        db, backend, queries = prepared
+        result = shrinking_set(backend, queries)
         for key in result.removed:
             assert not db.stats.has(key)
 
     def test_plans_preserved(self, prepared):
         """The retained set yields the same plan as the initial set."""
-        db, opt, queries = prepared
+        db, backend, queries = prepared
+        opt = backend.optimizer
         baselines = [opt.optimize(q).signature for q in queries]
-        result = shrinking_set(db, opt, queries)
+        result = shrinking_set(backend, queries)
         after = [opt.optimize(q).signature for q in queries]
         assert baselines == after
 
     def test_result_is_minimal(self, prepared):
         """Removing any retained statistic changes some query's plan —
         the Figure 2 guarantee of an essential set."""
-        db, opt, queries = prepared
-        result = shrinking_set(db, opt, queries)
+        db, backend, queries = prepared
+        result = shrinking_set(backend, queries)
         baselines = [
-            plan_with_stats(opt, db, q, result.essential).signature
+            plan_with_stats(backend, q, keys=result.essential).signature
             for q in queries
         ]
         for key in result.essential:
             without = [k for k in result.essential if k != key]
             changed = False
             for query, baseline in zip(queries, baselines):
-                probe = plan_with_stats(opt, db, query, without)
+                probe = plan_with_stats(backend, query, keys=without)
                 if probe.signature != baseline:
                     changed = True
                     break
             assert changed, f"{key} could have been removed"
 
     def test_memo_reduces_calls(self, db):
-        opt = Optimizer(db)
+        backend = MemoryBackend(db, Optimizer(db))
         queries = _queries(db) * 3  # repeated queries share probes
         mnsa_for_workload(
-            db, opt, queries, config=MnsaConfig(t_percent=1e-9)
+            backend, queries, config=MnsaConfig(t_percent=1e-9)
         )
-        result = shrinking_set(db, opt, queries, memoize=True)
+        result = shrinking_set(backend, queries, memoize=True)
         assert result.memo_hits > 0
 
     def test_memo_equivalence(self, fresh_tpcd_db):
@@ -90,32 +92,32 @@ class TestShrinkingSet:
         results = []
         for memoize in (True, False):
             db = fresh_tpcd_db(scale=0.002, z=2.0)
-            opt = Optimizer(db)
+            backend = MemoryBackend(db, Optimizer(db))
             queries = generate_workload(db, "U0-S-100").queries()[:10]
-            mnsa_for_workload(db, opt, queries)
-            result = shrinking_set(db, opt, queries, memoize=memoize)
+            mnsa_for_workload(backend, queries)
+            result = shrinking_set(backend, queries, memoize=memoize)
             results.append(sorted(result.essential))
         assert results[0] == results[1]
 
     def test_explicit_initial_set(self, prepared):
-        db, opt, queries = prepared
+        db, backend, queries = prepared
         subset = db.stats.visible_keys()[:2]
-        result = shrinking_set(db, opt, queries, initial=subset)
+        result = shrinking_set(backend, queries, initial=subset)
         assert set(result.essential) | set(result.removed) == set(subset)
 
     def test_t_cost_criterion(self, prepared):
-        db, opt, queries = prepared
+        db, backend, queries = prepared
         criterion = TOptimizerCostEquivalence(t_percent=1e9)
-        result = shrinking_set(db, opt, queries, criterion=criterion)
+        result = shrinking_set(backend, queries, criterion=criterion)
         # absurdly loose criterion -> everything is removable
         assert result.essential == []
 
     def test_dml_statements_skipped(self, prepared):
-        db, opt, queries = prepared
+        db, backend, queries = prepared
         from repro.sql.query import DmlStatement
 
         dml = DmlStatement(
             kind="insert", table="dept", rows=({"id": 1, "dname": "x", "budget": 1.0},)
         )
-        result = shrinking_set(db, opt, queries + [dml])
+        result = shrinking_set(backend, queries + [dml])
         assert result is not None

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.backends.memory import MemoryBackend
 from repro.core.mnsa import mnsa_for_workload
 from repro.core.mnsad import mnsad_for_workload
 from repro.core.shrinking import shrinking_set
@@ -30,7 +31,7 @@ class TestFullPipeline:
             sorted(exe.execute(opt.optimize(q).plan, q).rows())
             for q in queries
         ]
-        mnsa_for_workload(db, opt, queries)
+        mnsa_for_workload(MemoryBackend(db, opt), queries)
         after = [
             sorted(exe.execute(opt.optimize(q).plan, q).rows())
             for q in queries
@@ -49,7 +50,9 @@ class TestFullPipeline:
             db_all.stats.create(key)
         all_cost = db_all.stats.creation_cost_total
 
-        result = mnsa_for_workload(db_mnsa, Optimizer(db_mnsa), queries)
+        result = mnsa_for_workload(
+            MemoryBackend(db_mnsa, Optimizer(db_mnsa)), queries
+        )
         assert result.creation_cost < all_cost
 
     def test_mnsa_execution_cost_close_to_full(self, fresh_tpcd_db):
@@ -62,7 +65,9 @@ class TestFullPipeline:
 
         for key in workload_candidate_statistics(queries_all):
             db_all.stats.create(key)
-        mnsa_for_workload(db_mnsa, Optimizer(db_mnsa), queries_mnsa)
+        mnsa_for_workload(
+            MemoryBackend(db_mnsa, Optimizer(db_mnsa)), queries_mnsa
+        )
 
         full_cost = _workload_execution_cost(db_all, queries_all)
         mnsa_cost = _workload_execution_cost(db_mnsa, queries_mnsa)
@@ -72,9 +77,10 @@ class TestFullPipeline:
         db = fresh_tpcd_db()
         opt = Optimizer(db)
         queries = generate_workload(db, "U0-S-100").queries()[:15]
-        mnsa_for_workload(db, opt, queries)
+        backend = MemoryBackend(db, opt)
+        mnsa_for_workload(backend, queries)
         plans_before = [opt.optimize(q).signature for q in queries]
-        shrinking_set(db, opt, queries)
+        shrinking_set(backend, queries)
         plans_after = [opt.optimize(q).signature for q in queries]
         assert plans_before == plans_after
 
@@ -84,7 +90,7 @@ class TestFullPipeline:
         db = fresh_tpcd_db()
         opt = Optimizer(db)
         workload = generate_workload(db, "U50-S-100")
-        mnsa_for_workload(db, opt, workload.queries()[:10])
+        mnsa_for_workload(MemoryBackend(db, opt), workload.queries()[:10])
         policy = AutoDropPolicy(refresh_fraction=0.01)
         refreshed = []
         for stmt in workload.dml()[:30]:
@@ -96,7 +102,7 @@ class TestFullPipeline:
         db = fresh_tpcd_db()
         opt = Optimizer(db)
         queries = generate_workload(db, "U0-S-100").queries()[:15]
-        result = mnsad_for_workload(db, opt, queries)
+        result = mnsad_for_workload(MemoryBackend(db, opt), queries)
         # invariants: every created stat is either visible or drop-listed
         for key in result.created:
             assert db.stats.has(key)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.backends.memory import MemoryBackend
 from repro.catalog import Column, ColumnRef, ColumnType, Schema, TableSchema
 from repro.core.essential import plan_with_stats
 from repro.optimizer import Optimizer
@@ -63,16 +64,16 @@ class TestExample1:
         ]
         for key in candidates:
             db.stats.create(key)
-        opt = Optimizer(db)
+        backend = MemoryBackend(db, Optimizer(db))
 
-        full = plan_with_stats(opt, db, query, candidates)
+        full = plan_with_stats(backend, query, keys=candidates)
         # find which sets are execution-tree equivalent to C
         from itertools import combinations
 
         equivalent_sets = []
         for size in range(len(candidates) + 1):
             for combo in combinations(candidates, size):
-                probe = plan_with_stats(opt, db, query, combo)
+                probe = plan_with_stats(backend, query, keys=combo)
                 if probe.signature == full.signature:
                     equivalent_sets.append(set(combo))
         # the full set is always equivalent to itself
@@ -150,7 +151,6 @@ class TestExample2:
         db.stats.create(StatKey("Employees", ("DeptId",)))
         db.stats.create(StatKey("Department", ("DeptId2",)))
         db.stats.create(StatKey("Employees", ("Salary",)))
-        opt = Optimizer(db)
-        result = mnsa_for_query(db, opt, query)
+        result = mnsa_for_query(MemoryBackend(db, Optimizer(db)), query)
         assert StatKey("Employees", ("Age",)) not in result.created
         assert result.stop_reason == "insensitive"

@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.backends.memory import MemoryBackend
 from repro.core.candidates import candidate_statistics
 from repro.core.equivalence import TOptimizerCostEquivalence
 from repro.core.mnsa import MnsaConfig, mnsa_for_query
@@ -43,7 +44,9 @@ class TestMnsaPostconditions:
         db = _fresh_db()
         optimizer = Optimizer(db)
         config = MnsaConfig(t_percent=t)
-        result = mnsa_for_query(db, optimizer, query, config=config)
+        result = mnsa_for_query(
+            MemoryBackend(db, optimizer), query, config=config
+        )
         if result.stop_reason != "insensitive":
             return
         missing = optimizer.magic_variables(query)
@@ -66,7 +69,7 @@ class TestMnsaPostconditions:
     def test_created_are_candidates(self, query_pool, index):
         query = query_pool[index % len(query_pool)]
         db = _fresh_db()
-        result = mnsa_for_query(db, Optimizer(db), query)
+        result = mnsa_for_query(MemoryBackend(db, Optimizer(db)), query)
         candidates = set(candidate_statistics(query))
         assert set(result.created) <= candidates
         assert set(result.skipped) <= candidates
@@ -80,7 +83,7 @@ class TestMnsaPostconditions:
         query = query_pool[index % len(query_pool)]
         db = _fresh_db()
         optimizer = Optimizer(db)
-        result = mnsa_for_query(db, optimizer, query)
+        result = mnsa_for_query(MemoryBackend(db, optimizer), query)
         if result.stop_reason == "no_missing_variables":
             assert optimizer.magic_variables(query) == []
 
@@ -91,6 +94,7 @@ class TestMnsaPostconditions:
         query = query_pool[index % len(query_pool)]
         db = _fresh_db()
         optimizer = Optimizer(db)
-        mnsa_for_query(db, optimizer, query)
-        second = mnsa_for_query(db, optimizer, query)
+        backend = MemoryBackend(db, optimizer)
+        mnsa_for_query(backend, query)
+        second = mnsa_for_query(backend, query)
         assert second.created == []

@@ -11,6 +11,8 @@ import repro
 EXPECTED = [
     "AgingPolicy",
     "AutoDropPolicy",
+    "BACKEND_NAMES",
+    "Backend",
     "BucketRegressor",
     "CandidateMode",
     "CaptureLog",
@@ -32,6 +34,7 @@ EXPECTED = [
     "FeedbackStore",
     "ForeignKey",
     "MagicNumbers",
+    "MemoryBackend",
     "MetricsRegistry",
     "MnsaConfig",
     "MnsaResult",
@@ -63,6 +66,7 @@ EXPECTED = [
     "ShrinkingSetResult",
     "SketchJoinEstimator",
     "SkewSpec",
+    "SqliteBackend",
     "StalenessMonitor",
     "StatKey",
     "Statistic",
@@ -75,6 +79,7 @@ EXPECTED = [
     "Workload",
     "WorkloadDriver",
     "apply_tuned_tpcd_indexes",
+    "backend_from_name",
     "bind",
     "candidate_statistics",
     "find_minimal_essential_set",

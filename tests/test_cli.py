@@ -181,6 +181,88 @@ class TestWorkloadAndTune:
         assert "Shrinking Set retained" in out
 
 
+class TestBackendSelection:
+    def test_tune_sqlite_backend(self, tpcd_dir, tmp_path, capsys):
+        out_file = str(tmp_path / "w.sql")
+        main(
+            [
+                "workload",
+                "--db",
+                tpcd_dir,
+                "--name",
+                "U0-S-100",
+                "--out",
+                out_file,
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "tune",
+                "--db",
+                tpcd_dir,
+                "--workload",
+                out_file,
+                "--mode",
+                "mnsa",
+                "--backend",
+                "sqlite",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "created" in out
+
+    def test_unknown_backend_exits_2(self, tpcd_dir, tmp_path, capsys):
+        out_file = str(tmp_path / "w.sql")
+        main(
+            [
+                "workload",
+                "--db",
+                tpcd_dir,
+                "--name",
+                "U0-S-100",
+                "--out",
+                out_file,
+            ]
+        )
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "tune",
+                    "--db",
+                    tpcd_dir,
+                    "--workload",
+                    out_file,
+                    "--backend",
+                    "bogus",
+                ]
+            )
+        assert excinfo.value.code == 2
+
+    def test_serve_sqlite_backend(self, tpcd_dir, capsys):
+        code = main(
+            [
+                "serve",
+                "--db",
+                tpcd_dir,
+                "--workload",
+                "U25-S-10",
+                "--clients",
+                "1",
+                "--seed",
+                "7",
+                "--backend",
+                "sqlite",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sqlite analysis backend" in out
+        assert "backend.analyses" in out
+
+
 class TestServe:
     def test_serve_small_workload(self, tpcd_dir, capsys):
         code = main(
