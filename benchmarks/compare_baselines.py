@@ -9,7 +9,9 @@ tolerance band: a numeric leaf may move by up to ``max(ABS_TOLERANCE,
 REL_TOLERANCE * magnitude)`` before it counts as a drift.  Wall-clock
 leaves (any key mentioning ``wall`` or ``seconds``) are skipped — CI
 runner speed is not a regression.  Non-numeric leaves must match
-exactly; a key present on only one side is always a drift.
+exactly; a key present on only one side is always a drift, *including*
+wall-clock keys — the skip is a value tolerance, not a structure
+tolerance, so a stale baseline key fails instead of silently passing.
 
 Exit status is 1 with one line per violation, so the CI step fails
 loudly and names exactly what moved.  ``REPRO_BENCH_TOLERANCE``
@@ -57,13 +59,19 @@ def compare(baseline: dict, fresh: dict) -> list:
     new = dict(_leaves(fresh))
     problems = []
     for path in sorted(set(old) | set(new)):
-        if _skipped(path):
+        # key-existence is structural, checked before the wall-clock
+        # skip: a stale baseline key (or a fresh key with no baseline)
+        # is a drift even when the key names a timing leaf
+        if path not in new:
+            problems.append(
+                f"{path}: stale baseline key (baseline {old[path]!r}, "
+                "absent from fresh run)"
+            )
             continue
         if path not in old:
             problems.append(f"{path}: new key (= {new[path]!r})")
             continue
-        if path not in new:
-            problems.append(f"{path}: missing (baseline {old[path]!r})")
+        if _skipped(path):
             continue
         was, now = old[path], new[path]
         numeric = isinstance(was, (int, float)) and isinstance(

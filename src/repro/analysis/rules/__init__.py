@@ -12,6 +12,10 @@ from repro.analysis.rules.deprecation import DeprecationShimRule
 from repro.analysis.rules.plan_state import PlanStateRule
 from repro.analysis.rules.escape import GuardedEscapeRule
 from repro.analysis.rules.check_then_act import CheckThenActRule
+from repro.analysis.rules.droplist import DropListProtocolRule
+from repro.analysis.rules.admission import AdmissionLifecycleRule
+from repro.analysis.rules.shard_order import ShardLockOrderRule
+from repro.analysis.rules.backend_lifecycle import BackendLifecycleRule
 
 __all__ = [
     "GuardedByRule",
@@ -25,4 +29,8 @@ __all__ = [
     "PlanStateRule",
     "GuardedEscapeRule",
     "CheckThenActRule",
+    "DropListProtocolRule",
+    "AdmissionLifecycleRule",
+    "ShardLockOrderRule",
+    "BackendLifecycleRule",
 ]

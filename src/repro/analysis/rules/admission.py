@@ -1,0 +1,47 @@
+"""R013: admission/session lifecycle around the service queue.
+
+PR 8 made ``StatsService`` ingress a protocol: a request is rate-checked
+against the session's :class:`~repro.service.admission.TokenBucket`,
+*then* enqueued via :meth:`AdmissionQueue.admit`, and on shutdown
+``close()`` hands back the stranded tickets which every caller must
+fail.  The ``protocol("admission-queue", rule="R013", ...)`` /
+``protocol("token-bucket", ...)`` declarations turn that into three
+machine-checked obligations:
+
+* **no admit after close** — the typestate walk flags ``admit()`` on a
+  path where the queue is provably closed;
+* **stranded handling on every close path** — a ``drains={"close":
+  ("fail", "resolve")}`` entry makes every ``close()`` call site settle
+  the returned tickets (dropping the result, or iterating without
+  failing them, is a finding);
+* **rate check before enqueue** — ``requires_before={"admit":
+  "token-bucket:acquire"}`` flags any path where the bucket is consumed
+  *after* the request was already queued.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.framework import Finding, Project, Rule, rule
+from repro.analysis.typestate import typestate_analysis
+
+
+@rule
+class AdmissionLifecycleRule(Rule):
+    id = "R013"
+    name = "admission-lifecycle"
+    description = (
+        "service admission lifecycle: no admit after close, stranded "
+        "tickets settled on every close path, token bucket consumed "
+        "before enqueue"
+    )
+    scope = "project"
+    version = 1
+
+    def check(self, project: Project) -> List[Finding]:
+        analysis = typestate_analysis(project)
+        return [
+            self.finding(module, lineno, col, message)
+            for module, lineno, col, message in analysis.check_rule(self.id)
+        ]

@@ -1,0 +1,44 @@
+"""R015: backend lifecycle — loaded before optimized, full conformance.
+
+A :class:`~repro.backends.base.Backend` must not serve ``optimize`` /
+``execute`` / ``checksum`` before its engine state is loaded
+(``SqliteBackend.__init__`` materializes the database *last*; deleting
+that load is the classic half-constructed-adapter bug), and any future
+implementor must provide the complete statistics-lifecycle surface the
+service relies on.  The ``protocol("backend-lifecycle", rule="R015",
+...)`` declaration on the base class drives both checks:
+
+* the typestate walk verifies no restricted operation runs while the
+  object is provably still loading, and that every ``__init__`` path
+  reaches the declared ``final="ready"`` state (subclasses that are
+  live at construction opt out with ``# repro-lint:
+  protocol-initial=backend-lifecycle:ready <reason>``);
+* ``requires=(...)`` lists the operations every concrete implementor
+  must define — a partial adapter is flagged at its class line.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.framework import Finding, Project, Rule, rule
+from repro.analysis.typestate import typestate_analysis
+
+
+@rule
+class BackendLifecycleRule(Rule):
+    id = "R015"
+    name = "backend-lifecycle"
+    description = (
+        "backends must load before optimize/execute/checksum and "
+        "concrete implementors must provide the full protocol surface"
+    )
+    scope = "project"
+    version = 1
+
+    def check(self, project: Project) -> List[Finding]:
+        analysis = typestate_analysis(project)
+        return [
+            self.finding(module, lineno, col, message)
+            for module, lineno, col, message in analysis.check_rule(self.id)
+        ]

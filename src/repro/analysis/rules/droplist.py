@@ -1,0 +1,48 @@
+"""R012: the statistics drop-list protocol must hold end to end.
+
+The paper's central mechanism (Sec 4) is the drop-list lifecycle:
+created -> droppable (hidden, not deleted) -> revived, with ``create``
+reviving a drop-listed statistic instead of failing.  MNSA/MNSA-D
+correctness depends on two invariants this rule machine-checks from the
+``protocol("stat-drop-list", rule="R012", ...)`` declarations
+(:func:`repro.concurrency.protocol`):
+
+* every declared transition really flips the carrier (``create`` must
+  clear the hidden marker; deleting the revive branch is exactly the
+  double-create bug), and guarded transitions check the store first;
+* no estimation read can serve a hidden statistic: ``reads=``
+  operations must consult the ``visibility=`` predicate (or the carrier
+  directly), and the predicate itself must consult the carrier.
+
+Classes that *delegate* the lifecycle (``MemoryBackend`` forwards to
+``StatsShard`` via ``database.stats``; the selectivity estimator reads
+through the manager) declare ``delegate=`` instead, and the rule then
+verifies every protocol operation really forwards.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.framework import Finding, Project, Rule, rule
+from repro.analysis.typestate import typestate_analysis
+
+
+@rule
+class DropListProtocolRule(Rule):
+    id = "R012"
+    name = "stat-drop-list-protocol"
+    description = (
+        "statistics drop-list lifecycle: transitions must flip the "
+        "carrier, guarded ops must check the store, and no estimation "
+        "read may see a hidden statistic"
+    )
+    scope = "project"
+    version = 1
+
+    def check(self, project: Project) -> List[Finding]:
+        analysis = typestate_analysis(project)
+        return [
+            self.finding(module, lineno, col, message)
+            for module, lineno, col, message in analysis.check_rule(self.id)
+        ]

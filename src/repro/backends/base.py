@@ -28,6 +28,7 @@ import abc
 import warnings
 from typing import Iterable, List, Optional, Sequence
 
+from repro.concurrency import protocol
 from repro.errors import ReproDeprecationWarning
 from repro.optimizer.cache import OptimizationRequest
 from repro.optimizer.optimizer import OptimizationResult
@@ -45,7 +46,56 @@ class Backend(abc.ABC):
     protocol above.  All methods must be usable from a single thread;
     implementations that share mutable state across threads declare
     their locking with ``guarded_by`` like any other concurrent class.
+
+    The lifecycle declaration below is machine-checked (R015): a
+    backend must not plan or execute before its engine state is
+    loaded, every ``__init__`` path must end loaded (adapters that are
+    live at construction opt out per class with ``# repro-lint:
+    protocol-initial=backend-lifecycle:ready <reason>``), and every
+    concrete implementor must provide the full ``requires=`` surface.
     """
+
+    _lifecycle = protocol(
+        "backend-lifecycle",
+        rule="R015",
+        states=("loading", "ready"),
+        initial="loading",
+        transitions={"_load": ("loading", "ready")},
+        allowed={
+            "loading": ("_load",),
+            "ready": (
+                "optimize",
+                "optimize_query",
+                "magic_variables",
+                "execute",
+                "checksum",
+                "create_stats",
+                "drop_stats",
+                "note_data_change",
+            ),
+        },
+        final="ready",
+        requires=(
+            "name",
+            "schema",
+            "optimize",
+            "execute",
+            "create_stats",
+            "drop_stats",
+            "has_stats",
+            "is_stat_visible",
+            "stat_keys",
+            "visible_stat_keys",
+            "mark_stat_droppable",
+            "revive_stat",
+            "is_stat_droppable",
+            "stat_drop_list",
+            "row_count",
+            "table_names",
+            "note_data_change",
+            "stats_epoch",
+        ),
+    )
 
     # ------------------------------------------------------------------
     # identity

@@ -308,7 +308,29 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--rules",
         default=None,
-        help="comma-separated rule ids to run (default: all, R001-R011)",
+        help="comma-separated rule ids to run (default: all, R001-R015)",
+    )
+    lint.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="BASE_REF",
+        help=(
+            "only lint files that differ from BASE_REF (default: HEAD) "
+            "plus untracked files; falls back to a full run when git "
+            "is unavailable"
+        ),
+    )
+    lint.add_argument(
+        "--exclude",
+        action="append",
+        default=None,
+        metavar="PATTERN",
+        help=(
+            "skip files whose /-separated path matches the fnmatch "
+            "PATTERN (repeatable)"
+        ),
     )
     lint.add_argument(
         "--format",
@@ -1012,6 +1034,39 @@ def _cmd_ablation(args) -> int:
     return 0
 
 
+def _git_changed_files(base_ref):
+    """Absolute paths changed vs ``base_ref`` plus untracked files, or
+    None when git is unavailable (not a repo, no git binary, bad ref)."""
+    import os
+    import subprocess
+
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            check=True,
+            text=True,
+        ).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", "-z", base_ref, "--"],
+            capture_output=True,
+            check=True,
+            text=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard", "-z"],
+            capture_output=True,
+            check=True,
+            text=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    names = set()
+    for blob in (diff.stdout, untracked.stdout):
+        names.update(name for name in blob.split("\0") if name)
+    return [os.path.join(top, name) for name in sorted(names)]
+
+
 def _cmd_lint(args) -> int:
     import os
 
@@ -1053,6 +1108,42 @@ def _cmd_lint(args) -> int:
         )
         return 2
 
+    # --changed / --exclude narrow the target set down to explicit
+    # files; project-scope rules then see only that subset, which is the
+    # point of the fast pre-gate (CI still runs the full tree).
+    lint_targets = list(args.paths)
+    if args.exclude or args.changed is not None:
+        import fnmatch
+
+        from repro.analysis.framework import collect_files
+
+        selected = collect_files(lint_targets)
+        if args.exclude:
+            selected = [
+                path
+                for path in selected
+                if not any(
+                    fnmatch.fnmatch(path.replace(os.sep, "/"), pattern)
+                    for pattern in args.exclude
+                )
+            ]
+        if args.changed is not None:
+            changed = _git_changed_files(args.changed)
+            if changed is None:
+                print(
+                    "repro lint: --changed: git unavailable, "
+                    "falling back to a full run",
+                    file=sys.stderr,
+                )
+            else:
+                changed_set = {os.path.realpath(path) for path in changed}
+                selected = [
+                    path
+                    for path in selected
+                    if os.path.realpath(path) in changed_set
+                ]
+        lint_targets = selected
+
     jobs = max(1, args.jobs)
     baseline = args.baseline
     if baseline is None:
@@ -1067,14 +1158,14 @@ def _cmd_lint(args) -> int:
                 break
 
     if args.update_baseline:
-        findings = run_lint(args.paths, rules=rules, jobs=jobs)
+        findings = run_lint(lint_targets, rules=rules, jobs=jobs)
         target = args.baseline or BASELINE_FILENAME
         save_baseline(target, findings)
         print(f"wrote {len(findings)} finding(s) to {target}")
         return 0
 
     findings = run_lint(
-        args.paths,
+        lint_targets,
         rules=rules,
         baseline=baseline,
         cache_path=args.cache,
@@ -1089,7 +1180,7 @@ def _cmd_lint(args) -> int:
             print(f"fixed {report.files[path]} finding(s) in {path}")
         if report.files:
             findings = run_lint(
-                args.paths,
+                lint_targets,
                 rules=rules,
                 baseline=baseline,
                 cache_path=args.cache,

@@ -41,7 +41,7 @@ import threading
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.catalog import ColumnRef
-from repro.concurrency import guarded_by
+from repro.concurrency import guarded_by, protocol
 from repro.config import DEFAULT_CONFIG, OptimizerConfig
 from repro.errors import StatisticsError
 from repro.stats.builder import build_statistic
@@ -66,6 +66,34 @@ class StatsShard:
 
     _statistics = guarded_by("_lock")
     _drop_list = guarded_by("_lock")
+    # The paper's drop-list lifecycle (Sec 5), machine-checked (R012):
+    # transitions must flip the _drop_list carrier (create revives a
+    # drop-listed key instead of failing), guarded ops must check the
+    # store first, and every estimator lookup must consult is_visible.
+    _droplist_protocol = protocol(
+        "stat-drop-list",
+        rule="R012",
+        states=("visible", "hidden"),
+        initial="visible",
+        transitions={
+            "create": ("hidden", "visible"),
+            "mark_droppable": ("visible", "hidden"),
+            "revive": ("hidden", "visible"),
+        },
+        carrier="_drop_list",
+        store="_statistics",
+        guarded=("create", "mark_droppable", "revive"),
+        reads=(
+            "histogram_for",
+            "density_for_columns",
+            "joint_for_columns",
+            "visible_keys",
+            "visible_statistics",
+            "drop_list",
+            "is_droppable",
+        ),
+        visibility="is_visible",
+    )
     _ignored = guarded_by("_lock")
     _epoch = guarded_by("_lock")
     _creation_cost = guarded_by("_lock")

@@ -66,6 +66,7 @@ class ShardRouter:
         """Shard id of ``table``; unseen tables are assigned on demand."""
         return self._assign(table)
 
+    # repro-lint: ascending-source=returns sorted() distinct shard ids; canonical lock order
     def shard_ids_for(self, tables: Iterable[str]) -> Tuple[int, ...]:
         """Distinct shard ids of ``tables``, ascending.
 

@@ -1,0 +1,67 @@
+"""R012 bad fixture: every drop-list obligation violated.
+
+``create`` never flips the carrier (the double-create bug), ``hide``
+mutates the carrier without checking the store, the visibility
+predicate ignores the carrier, an estimation read bypasses the
+predicate, and the delegating mirror silently stops forwarding.
+"""
+
+from repro.concurrency import protocol
+
+
+class BadLedger:
+    _proto = protocol(
+        "r012-fixture",
+        rule="R012",
+        states=("visible", "hidden"),
+        initial="visible",
+        transitions={
+            "create": ("hidden", "visible"),
+            "hide": ("visible", "hidden"),
+        },
+        carrier="_hidden",
+        store="_entries",
+        guarded=("hide",),
+        reads=("lookup",),
+        visibility="is_visible",
+    )
+
+    def __init__(self):
+        self._entries = {}
+        self._hidden = set()
+
+    def create(self, key, value):
+        # transition without the revive branch: never mutates _hidden
+        self._entries[key] = value
+
+    def hide(self, key):
+        # carrier flip with no existence check against _entries
+        self._hidden.add(key)
+
+    def is_visible(self, key):
+        # ignores the carrier: hidden entries reported visible
+        return key in self._entries
+
+    def lookup(self, key):
+        # estimation read without consulting is_visible or the carrier
+        return self._entries.get(key)
+
+
+class BadMirror:
+    _proto = protocol(
+        "r012-mirror",
+        rule="R012",
+        states=("visible", "hidden"),
+        initial="visible",
+        reads=("lookup",),
+        delegate="ledger",
+    )
+
+    def __init__(self, ledger):
+        self._ledger = ledger
+        self._cache = {}
+
+    def lookup(self, key):
+        # answers from a local cache instead of forwarding to the
+        # delegate: its drop-list state silently diverges
+        return self._cache.get(key)

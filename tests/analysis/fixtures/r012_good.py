@@ -1,0 +1,63 @@
+"""R012 good fixture: the drop-list protocol held end to end."""
+
+from repro.concurrency import protocol
+
+
+class GoodLedger:
+    _proto = protocol(
+        "r012-good-fixture",
+        rule="R012",
+        states=("visible", "hidden"),
+        initial="visible",
+        transitions={
+            "create": ("hidden", "visible"),
+            "hide": ("visible", "hidden"),
+        },
+        carrier="_hidden",
+        store="_entries",
+        guarded=("hide",),
+        reads=("lookup",),
+        visibility="is_visible",
+    )
+
+    def __init__(self):
+        self._entries = {}
+        self._hidden = set()
+
+    def create(self, key, value):
+        if key in self._entries:
+            # creating a hidden entry revives it instead of failing
+            self._hidden.discard(key)
+            return self._entries[key]
+        self._entries[key] = value
+        return value
+
+    def hide(self, key):
+        if key not in self._entries:
+            raise KeyError(key)
+        self._hidden.add(key)
+
+    def is_visible(self, key):
+        return key in self._entries and key not in self._hidden
+
+    def lookup(self, key):
+        if not self.is_visible(key):
+            return None
+        return self._entries.get(key)
+
+
+class GoodMirror:
+    _proto = protocol(
+        "r012-good-mirror",
+        rule="R012",
+        states=("visible", "hidden"),
+        initial="visible",
+        reads=("lookup",),
+        delegate="ledger",
+    )
+
+    def __init__(self, ledger):
+        self._ledger = ledger
+
+    def lookup(self, key):
+        return self._ledger.lookup(key)

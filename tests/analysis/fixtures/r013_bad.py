@@ -1,0 +1,68 @@
+"""R013 bad fixture: every admission-lifecycle obligation violated.
+
+``shutdown`` drops the stranded tickets ``close()`` returns and then
+enqueues on the provably-closed queue; ``submit`` consumes the rate
+gate *after* the request is already enqueued.
+"""
+
+from repro.concurrency import protocol
+
+
+class FixtureGate:
+    _proto = protocol(
+        "r013-gate",
+        rule="R013",
+        states=("ready",),
+        initial="ready",
+        operations=("grab",),
+    )
+
+    def grab(self):
+        return True
+
+
+class FixtureQueue:
+    _proto = protocol(
+        "r013-queue",
+        rule="R013",
+        states=("open", "closed"),
+        initial="open",
+        transitions={"close": ("open", "closed")},
+        allowed={
+            "open": ("push", "close"),
+            "closed": ("close",),
+        },
+        drains={"close": ("fail",)},
+        requires_before={"push": "r013-gate:grab"},
+    )
+
+    def __init__(self):
+        self._items = []
+        self._closed = False
+
+    def push(self, item):
+        self._items.append(item)
+        return item
+
+    def close(self):
+        self._closed = True
+        stranded, self._items = self._items, []
+        return stranded
+
+
+class BadService:
+    def __init__(self):
+        self._queue = FixtureQueue()
+        self._gate = FixtureGate()
+
+    def shutdown(self):
+        # stranded tickets dropped on the floor
+        self._queue.close()
+        # enqueue on a provably-closed queue
+        self._queue.push("late")
+
+    def submit(self, item):
+        ticket = self._queue.push(item)
+        # rate gate consumed after the request was already enqueued
+        self._gate.grab()
+        return ticket

@@ -1,0 +1,62 @@
+"""R013 good fixture: the admission lifecycle held on every path."""
+
+from repro.concurrency import protocol
+
+
+class GoodGate:
+    _proto = protocol(
+        "r013-good-gate",
+        rule="R013",
+        states=("ready",),
+        initial="ready",
+        operations=("grab",),
+    )
+
+    def grab(self):
+        return True
+
+
+class GoodQueue:
+    _proto = protocol(
+        "r013-good-queue",
+        rule="R013",
+        states=("open", "closed"),
+        initial="open",
+        transitions={"close": ("open", "closed")},
+        allowed={
+            "open": ("push", "close"),
+            "closed": ("close",),
+        },
+        drains={"close": ("fail",)},
+        requires_before={"push": "r013-good-gate:grab"},
+    )
+
+    def __init__(self):
+        self._items = []
+        self._closed = False
+
+    def push(self, item):
+        self._items.append(item)
+        return item
+
+    def close(self):
+        self._closed = True
+        stranded, self._items = self._items, []
+        return stranded
+
+
+class GoodService:
+    def __init__(self):
+        self._queue = GoodQueue()
+        self._gate = GoodGate()
+
+    def shutdown(self):
+        # every stranded ticket is settled, and nothing is enqueued
+        # after the close
+        for ticket in self._queue.close():
+            ticket.fail("service stopped")
+
+    def submit(self, item):
+        # rate gate consumed strictly before the enqueue
+        self._gate.grab()
+        return self._queue.push(item)

@@ -1,0 +1,28 @@
+"""R014 bad fixture: multi-lock acquisition over a hand-rolled order.
+
+``ids_for`` returns a set (iteration order unspecified) and ``drain``
+iterates it reversed: two concurrent calls can acquire the same pair of
+locks in opposite orders.
+"""
+
+import threading
+from contextlib import ExitStack
+
+
+class BadMultiLock:
+    def __init__(self, count):
+        self._locks = [threading.Lock() for _ in range(count)]
+
+    def ids_for(self, keys):
+        return {hash(key) % len(self._locks) for key in keys}
+
+    def run(self, keys):
+        with ExitStack() as stack:
+            for sid in self.ids_for(keys):
+                stack.enter_context(self._locks[sid])
+
+    def drain(self, keys):
+        ids = sorted(self.ids_for(keys))
+        with ExitStack() as stack:
+            for sid in reversed(ids):
+                stack.enter_context(self._locks[sid])

@@ -1,0 +1,31 @@
+"""R014 good fixture: every multi-lock loop draws from a provably
+ascending source — a marked function, ``sorted(...)``, or an
+order-preserving wrapper over one of those."""
+
+import threading
+from contextlib import ExitStack
+
+
+class GoodMultiLock:
+    def __init__(self, count):
+        self._locks = [threading.Lock() for _ in range(count)]
+
+    # repro-lint: ascending-source=returns sorted() distinct ids
+    def ids_for(self, keys):
+        return sorted({hash(key) % len(self._locks) for key in keys})
+
+    def run(self, keys):
+        with ExitStack() as stack:
+            for sid in self.ids_for(keys):
+                stack.enter_context(self._locks[sid])
+
+    def drain(self, keys):
+        ids = tuple(self.ids_for(keys))
+        with ExitStack() as stack:
+            for sid in ids:
+                stack.enter_context(self._locks[sid])
+
+    def sweep(self, raw_ids):
+        with ExitStack() as stack:
+            for sid in sorted(raw_ids):
+                stack.enter_context(self._locks[sid])

@@ -1,0 +1,34 @@
+"""R015 bad fixture: a backend that plans before loading, can finish
+construction unloaded, and ships a partial protocol surface."""
+
+from repro.concurrency import protocol
+
+
+class BadEngine:
+    _proto = protocol(
+        "r015-engine",
+        rule="R015",
+        states=("loading", "ready"),
+        initial="loading",
+        transitions={"_load": ("loading", "ready")},
+        allowed={
+            "loading": ("_load",),
+            "ready": ("run",),
+        },
+        final="ready",
+        requires=("run", "stop"),
+    )
+
+    def __init__(self, data):
+        self._data = data
+        # restricted operation while provably still loading, and no
+        # _load on any path: __init__ can finish unloaded
+        self.run()
+
+    def _load(self):
+        self._ready = True
+
+    def run(self):
+        return self._data
+
+    # requires=("run", "stop") but stop() is never defined

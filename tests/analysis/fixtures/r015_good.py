@@ -1,0 +1,47 @@
+"""R015 good fixture: the backend lifecycle held — load before use,
+every construction path ends ready, full protocol surface, and a
+live-at-construction subclass opts out with a reasoned marker."""
+
+from repro.concurrency import protocol
+
+
+class GoodEngine:
+    _proto = protocol(
+        "r015-good-engine",
+        rule="R015",
+        states=("loading", "ready"),
+        initial="loading",
+        transitions={"_load": ("loading", "ready")},
+        allowed={
+            "loading": ("_load",),
+            "ready": ("run",),
+        },
+        final="ready",
+        requires=("run", "stop"),
+    )
+
+    def __init__(self, data):
+        self._data = data
+        self._load()
+
+    def _load(self):
+        self._ready = True
+
+    def run(self):
+        return self._data
+
+    def stop(self):
+        self._ready = False
+
+
+class WrappedEngine(GoodEngine):
+    # repro-lint: protocol-initial=r015-good-engine:ready wraps an engine that is live at construction
+    def __init__(self, inner):
+        self._data = inner
+        self._ready = True
+
+    def run(self):
+        return self._data
+
+    def stop(self):
+        self._ready = False

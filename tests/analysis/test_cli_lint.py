@@ -2,6 +2,7 @@
 
 import json
 import os
+import subprocess
 
 from repro.cli import main
 
@@ -36,7 +37,7 @@ def test_lint_list_rules(capsys):
     out = capsys.readouterr().out
     for rule_id in (
         "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
-        "R009", "R010", "R011",
+        "R009", "R010", "R011", "R012", "R013", "R014", "R015",
     ):
         assert rule_id in out
     assert "guarded" in out
@@ -45,7 +46,7 @@ def test_lint_list_rules(capsys):
 def test_lint_list_rules_shows_scope_and_version_columns(capsys):
     assert main(["lint", "--list-rules"]) == 0
     lines = capsys.readouterr().out.strip().splitlines()
-    assert len(lines) == 11
+    assert len(lines) == 15
     for line in lines:
         columns = line.split()
         assert columns[2] in ("file", "project"), line
@@ -54,6 +55,10 @@ def test_lint_list_rules_shows_scope_and_version_columns(capsys):
     assert by_id["R009"][2] == "project"
     assert by_id["R010"][2] == "file"
     assert by_id["R011"][2] == "file"
+    # the typestate rule family (and R014's dataflow rule) are all
+    # project-scope: they reason across files via the shared call graph
+    for rule_id in ("R012", "R013", "R014", "R015"):
+        assert by_id[rule_id][2] == "project"
 
 
 def test_lint_update_baseline_then_clean(tmp_path, capsys):
@@ -124,6 +129,60 @@ def test_lint_cache_flag_reuses_results(tmp_path, capsys, monkeypatch):
     assert os.path.exists(tmp_path / ".repro-lint-cache.json")
     assert main(["lint", "bad.py", "--cache"]) == 1
     assert capsys.readouterr().out == cold
+
+
+def test_lint_exclude_pattern_drops_matching_files(capsys):
+    bad = os.path.join(FIXTURES, "r001_bad.py")
+    good = os.path.join(FIXTURES, "r001_good.py")
+    assert main(["lint", bad, good, "--rules", "R001"]) == 1
+    capsys.readouterr()
+    args = ["lint", bad, good, "--rules", "R001", "--exclude", "*r001_bad.py"]
+    assert main(args) == 0
+    assert capsys.readouterr().out == ""
+
+
+def _git(cwd, *argv):
+    subprocess.run(
+        ["git", *argv],
+        cwd=cwd,
+        check=True,
+        capture_output=True,
+        env={
+            **os.environ,
+            "GIT_AUTHOR_NAME": "lint-test",
+            "GIT_AUTHOR_EMAIL": "lint@test",
+            "GIT_COMMITTER_NAME": "lint-test",
+            "GIT_COMMITTER_EMAIL": "lint@test",
+        },
+    )
+
+
+def test_lint_changed_narrows_to_dirty_and_untracked(
+    tmp_path, capsys, monkeypatch
+):
+    bad = open(os.path.join(FIXTURES, "r001_bad.py")).read()
+    good = open(os.path.join(FIXTURES, "r001_good.py")).read()
+    (tmp_path / "committed_bad.py").write_text(bad)
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", "committed_bad.py")
+    _git(tmp_path, "commit", "-qm", "seed")
+    (tmp_path / "untracked_good.py").write_text(good)
+    monkeypatch.chdir(tmp_path)
+    # committed_bad.py is unchanged vs HEAD, so --changed skips it and
+    # only the clean untracked file runs
+    assert main(["lint", ".", "--changed", "--rules", "R001"]) == 0
+    assert capsys.readouterr().out == ""
+    # the full run still sees the committed violations
+    assert main(["lint", ".", "--rules", "R001"]) == 1
+    assert "4 finding(s)" in capsys.readouterr().out
+
+
+def test_lint_changed_bad_ref_falls_back_to_full_run(capsys):
+    bad = os.path.join(FIXTURES, "r001_bad.py")
+    assert main(["lint", bad, "--changed", "no-such-ref"]) == 1
+    captured = capsys.readouterr()
+    assert "falling back to a full run" in captured.err
+    assert "4 finding(s)" in captured.out
 
 
 def test_lint_fix_flow(tmp_path, capsys):

@@ -159,3 +159,44 @@ def test_sarif_validates_against_schema_subset():
         pytest.skip("jsonschema not installed")
     document, _ = _sarif_document()
     jsonschema.validate(document, SARIF_LOG_SCHEMA)
+
+
+def _typestate_sarif_document():
+    findings = run_lint(
+        [
+            os.path.join(FIXTURES, "r012_bad.py"),
+            os.path.join(FIXTURES, "r013_bad.py"),
+            os.path.join(FIXTURES, "r014_bad.py"),
+            os.path.join(FIXTURES, "r015_bad.py"),
+        ],
+        rules=["R012", "R013", "R014", "R015"],
+    )
+    assert findings
+    return json.loads(render_sarif(findings)), findings
+
+
+def test_typestate_findings_render_as_sarif_results():
+    document, findings = _typestate_sarif_document()
+    (run,) = document["runs"]
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    # all four typestate rules fire on the bad fixtures and each appears
+    # in the driver catalog
+    assert {"R012", "R013", "R014", "R015"} <= {
+        f.rule_id for f in findings
+    }
+    assert {f.rule_id for f in findings} <= rule_ids
+    for result, finding in zip(run["results"], findings):
+        assert result["ruleId"] == finding.rule_id
+        assert result["message"]["text"] == finding.message
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith(".py")
+        assert location["region"]["startLine"] == finding.line
+
+
+def test_typestate_sarif_validates_against_schema_subset():
+    if jsonschema is None:
+        import pytest
+
+        pytest.skip("jsonschema not installed")
+    document, _ = _typestate_sarif_document()
+    jsonschema.validate(document, SARIF_LOG_SCHEMA)

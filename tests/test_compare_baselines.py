@@ -1,0 +1,41 @@
+"""The benchmark baseline gate: tolerance bands apply to values, never
+to structure.  A key present on only one side is a drift even when it
+names a wall-clock leaf — regression coverage for the stale-key fix."""
+
+from benchmarks.compare_baselines import ABS_TOLERANCE, compare
+
+
+def test_matching_payloads_pass():
+    payload = {"files": 131, "wall_seconds_cold": 8.4}
+    assert compare(payload, dict(payload)) == []
+
+
+def test_wall_clock_values_may_drift_freely():
+    baseline = {"wall_seconds_cold": 1.0, "nested": {"warm_wall": 0.1}}
+    fresh = {"wall_seconds_cold": 900.0, "nested": {"warm_wall": 50.0}}
+    assert compare(baseline, fresh) == []
+
+
+def test_gated_numeric_drift_is_reported():
+    baseline = {"findings": 0}
+    fresh = {"findings": ABS_TOLERANCE + 1}
+    problems = compare(baseline, fresh)
+    assert len(problems) == 1
+    assert problems[0].startswith("findings:")
+
+
+def test_stale_baseline_key_fails_even_for_wall_clock():
+    baseline = {"wall_seconds_removed_arm": 3.2, "files": 10}
+    fresh = {"files": 10}
+    problems = compare(baseline, fresh)
+    assert problems == [
+        "wall_seconds_removed_arm: stale baseline key "
+        "(baseline 3.2, absent from fresh run)"
+    ]
+
+
+def test_new_key_fails_even_for_wall_clock():
+    baseline = {"files": 10}
+    fresh = {"files": 10, "wall_seconds_new_arm": 0.5}
+    problems = compare(baseline, fresh)
+    assert problems == ["wall_seconds_new_arm: new key (= 0.5)"]
